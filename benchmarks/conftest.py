@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Each figure's dataset is computed once per session and shared; every
+bench writes its regenerated table to ``benchmarks/results/`` so the
+artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.overhead import measure_overheads
+from repro.experiments.partition import measure_partition_variants
+from repro.experiments.recompile import measure_recompile_times
+from repro.programs.registry import all_programs
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def programs():
+    return all_programs()
+
+
+@pytest.fixture(scope="session")
+def overhead_summary(programs):
+    """Fig. 8/9 dataset: all tools x all 13 programs."""
+    return measure_overheads(programs)
+
+
+@pytest.fixture(scope="session")
+def partition_summary(programs):
+    """Fig. 10 dataset: 3 partition variants x all 13 programs."""
+    return measure_partition_variants(programs)
+
+
+@pytest.fixture(scope="session")
+def recompile_summary(programs):
+    """Fig. 11/12 dataset: per-fragment compile times, all variants."""
+    return measure_recompile_times(programs)

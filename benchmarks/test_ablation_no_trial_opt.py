@@ -1,0 +1,71 @@
+"""Ablation: disable the trial-optimization survey.
+
+DESIGN.md design decision 2: the partitioner's quality comes from the
+requirement log.  Without it (bonds and copy-on-use unknown), Algorithm 1
+degenerates to innate constraints only — i.e. Odin-MaxPartition — and the
+generated code pays the lost-IPO price on exactly the programs that need
+inlining.
+"""
+
+from conftest import write_result
+
+from repro.core.partition import STRATEGY_MAX, STRATEGY_ODIN, partition
+from repro.experiments.runners import (
+    build_odin_engine,
+    measure_baseline_cycles,
+    replay_cycles,
+)
+from repro.fuzz.executor import PlainExecutor
+from repro.programs.registry import get_program
+
+PROGRAMS = ("harfbuzz", "json", "libjpeg")
+
+
+def partition_without_survey(module):
+    """Partition with an empty requirement log (the ablated configuration)."""
+    return partition(module, STRATEGY_ODIN, ("main", "run_input"), requirements=[])
+
+
+def test_ablation_no_trial_opt(benchmark):
+    module = get_program("harfbuzz").compile()
+    fragdef = benchmark(partition_without_survey, module)
+
+    lines = ["Ablation — partitioning without the trial-optimization survey", ""]
+    lines.append(f"{'program':>10} | {'odin ovh':>9} | {'ablated ovh':>11} | fragments odin/ablated")
+    lines.append("-" * 62)
+    for name in PROGRAMS:
+        program = get_program(name)
+        seeds = program.seeds()
+        base = measure_baseline_cycles(program, seeds)
+
+        engine = build_odin_engine(program)
+        engine.initial_build()
+        odin_cycles = replay_cycles(PlainExecutor(engine.executable), seeds)
+
+        module = program.compile()
+        ablated_def = partition_without_survey(module)
+        from repro.core.engine import Odin
+
+        # Construct over the cheap MAX strategy, then install the ablated
+        # definition (avoids re-running the survey we are ablating).
+        ablated = Odin(module, strategy=STRATEGY_MAX, preserve=("main", "run_input"))
+        ablated.fragdef = ablated_def
+        ablated.cache.clear()
+        ablated.initial_build()
+        ablated_cycles = replay_cycles(PlainExecutor(ablated.executable), seeds)
+
+        odin_ovh = odin_cycles / base - 1
+        ablated_ovh = ablated_cycles / base - 1
+        lines.append(
+            f"{name:>10} | {odin_ovh*100:>8.2f}% | {ablated_ovh*100:>10.2f}% |"
+            f" {engine.num_fragments}/{ablated.num_fragments}"
+        )
+        # Without the survey the partition fractures like MaxPartition...
+        assert ablated.num_fragments >= engine.num_fragments
+        # ...and on IPO-heavy programs the code gets slower.
+        if name in ("harfbuzz", "json"):
+            assert ablated_ovh > odin_ovh + 0.05, name
+        else:  # libjpeg barely cares (flat kernels)
+            assert ablated_ovh < 0.10
+
+    write_result("ablation_no_trial_opt.txt", "\n".join(lines))

@@ -1,0 +1,52 @@
+"""Figure 10 + Table 1: execution duration of partition-scheme variants.
+
+Paper: Odin-OnePartition 1.12%, Odin 1.43%, Odin-MaxPartition 55.77%
+average overhead on non-instrumented programs; harfbuzz is MaxPartition's
+worst case (186.91%), libjpeg its best (0.95%).  The benchmark measures
+one Odin partition run (trial optimization + Algorithm 1).
+"""
+
+from conftest import write_result
+
+from repro.core.partition import STRATEGY_MAX, STRATEGY_ODIN, STRATEGY_ONE, partition
+from repro.experiments.partition import format_fig10, format_table1
+from repro.programs.registry import get_program
+
+
+def test_fig10_partition_overhead(benchmark, partition_summary):
+    # Benchmark the partitioning survey itself on a mid-sized program.
+    module = get_program("libxml2").compile()
+    benchmark(partition, module, STRATEGY_ODIN, ("main", "run_input"))
+
+    report = format_table1() + "\n\n" + format_fig10(partition_summary)
+    mean_one = partition_summary.mean_overhead(STRATEGY_ONE)
+    mean_odin = partition_summary.mean_overhead(STRATEGY_ODIN)
+    mean_max = partition_summary.mean_overhead(STRATEGY_MAX)
+    report += (
+        f"\n\nmean overheads (paper): one {mean_one*100:.2f}% (1.12%), "
+        f"odin {mean_odin*100:.2f}% (1.43%), max {mean_max*100:.2f}% (55.77%)"
+        f"\nmax worst: {partition_summary.worst_program(STRATEGY_MAX).program}"
+        f" (paper: harfbuzz)"
+        f"\nmax best:  {partition_summary.best_program(STRATEGY_MAX).program}"
+        f" (paper: libjpeg)"
+    )
+    write_result("fig10_partition_overhead.txt", report)
+
+    # Shape: One <= Odin << Max on average; Odin stays within a couple of
+    # percent of OnePartition (paper gap: 0.31%).
+    assert mean_one <= mean_odin + 0.02
+    assert mean_max > mean_odin + 0.05
+    assert abs(mean_odin - mean_one) < 0.03
+    # Per-program spread: IPO-heavy programs suffer, flat kernels don't.
+    rows = {r.program: r for r in partition_summary.rows}
+    assert rows["libjpeg"].overhead(STRATEGY_MAX) < 0.05
+    assert rows["harfbuzz"].overhead(STRATEGY_MAX) > 0.20
+    assert rows["json"].overhead(STRATEGY_MAX) > 0.20
+    # Fragment-count monotonicity everywhere.
+    for row in partition_summary.rows:
+        assert row.num_fragments[STRATEGY_ONE] == 1
+        assert (
+            row.num_fragments[STRATEGY_ONE]
+            <= row.num_fragments[STRATEGY_ODIN]
+            <= row.num_fragments[STRATEGY_MAX]
+        )

@@ -1,0 +1,54 @@
+"""Figure 12: worst-case re-instrumentation duration (+ link cost).
+
+Paper: median slowest-fragment recompile ~542 ms, only three programs
+exceed 1 s; sqlite is the worst case (its giant sqlite3VdbeExec-style
+function), taking ~2 s under Odin vs 0.69 s under MaxPartition; linking
+averages ~49 ms because internalized fragments leave few symbols to
+resolve.
+"""
+
+from conftest import write_result
+
+from repro.core.partition import STRATEGY_MAX, STRATEGY_ODIN, STRATEGY_ONE
+from repro.experiments.recompile import format_fig12
+from repro.experiments.runners import build_odin_engine
+from repro.linker.linker import link
+from repro.programs.registry import get_program
+
+
+def test_fig12_worst_case(benchmark, recompile_summary):
+    # Benchmark the relink step (the dark bars of Fig. 12).
+    engine = build_odin_engine(get_program("libxml2"))
+    engine.initial_build()
+    objects = [engine.cache[f.id] for f in engine.fragdef.fragments]
+    benchmark(link, objects)
+
+    table = format_fig12(recompile_summary)
+    odin_rows = [
+        recompile_summary.row(p, STRATEGY_ODIN)
+        for p in recompile_summary.programs()
+    ]
+    worsts = sorted(r.worst_ms for r in odin_rows)
+    median_worst = worsts[len(worsts) // 2]
+    mean_link = sum(r.link_ms for r in odin_rows) / len(odin_rows)
+    table += (
+        f"\n\nmedian worst-case fragment: {median_worst:.0f} ms (paper: 542 ms)"
+        f"\nmean link cost: {mean_link:.0f} ms (paper: 49 ms)"
+    )
+    write_result("fig12_worst_case.txt", table)
+
+    by_program = {r.program: r for r in odin_rows}
+    # sqlite's interpreter dominates everything else.
+    sqlite_worst = by_program["sqlite"].worst_ms
+    assert sqlite_worst == max(r.worst_ms for r in odin_rows)
+    assert sqlite_worst > 2 * median_worst
+    assert sqlite_worst > 1000, "the giant function costs > 1s to recompile"
+    # Link cost is small relative to the worst compile and in the tens of ms.
+    assert 10 <= mean_link <= 200
+    assert mean_link < sqlite_worst / 5
+    # MaxPartition's worst fragment is never worse than Odin's.
+    for program in recompile_summary.programs():
+        assert (
+            recompile_summary.row(program, STRATEGY_MAX).worst_ms
+            <= recompile_summary.row(program, STRATEGY_ODIN).worst_ms + 1e-9
+        )

@@ -1,0 +1,59 @@
+"""Figure 8: normalized execution duration per program, five tools.
+
+Regenerates the full 13-program x 5-tool table.  The shape assertions
+check the per-program tool ordering the paper reports; the benchmark
+measures one seed-corpus replay on the OdinCov build (the fast path every
+fuzzing execution takes).
+"""
+
+from conftest import write_result
+
+from repro.experiments.overhead import format_fig8
+from repro.experiments.runners import (
+    ALL_TOOLS,
+    TOOL_DRCOV,
+    TOOL_LIBINST,
+    TOOL_ODINCOV,
+    TOOL_ODINCOV_NOPRUNE,
+    TOOL_SANCOV,
+    deploy_odincov,
+    replay_cycles,
+)
+from repro.programs.registry import get_program
+
+
+def test_fig8_per_program_overhead(benchmark, overhead_summary):
+    # Benchmark the measured operation itself: one instrumented replay.
+    program = get_program("x509")
+    seeds = program.seeds()
+    setup = deploy_odincov(program, prune=True, seeds=seeds)
+    benchmark(replay_cycles, setup.executor, seeds)
+
+    table = format_fig8(overhead_summary)
+    tool_table = "\n".join(
+        [
+            "",
+            "Tools (paper §5 table):",
+            f"{'Tool':>16} | {'Framework':>10} | {'Type':>7} | Target",
+            "-" * 55,
+            f"{'OdinCov':>16} | {'Odin':>10} | {'Dynamic':>7} | Compiler",
+            f"{'SanitizerCoverage':>16} | {'LLVM':>10} | {'Static':>7} | Compiler",
+            f"{'DrCov':>16} | {'DynamoRIO':>10} | {'Dynamic':>7} | Binary",
+            f"{'libInst':>16} | {'DynInst':>10} | {'Static':>7} | Binary",
+        ]
+    )
+    write_result("fig8_per_program_overhead.txt", table + "\n" + tool_table)
+
+    for row in overhead_summary.rows:
+        odin = row.normalized(TOOL_ODINCOV)
+        sancov = row.normalized(TOOL_SANCOV)
+        noprune = row.normalized(TOOL_ODINCOV_NOPRUNE)
+        drcov = row.normalized(TOOL_DRCOV)
+        libinst = row.normalized(TOOL_LIBINST)
+        # Per-program orderings from the paper:
+        assert odin < sancov, f"{row.program}: OdinCov must beat SanCov"
+        assert odin < noprune, f"{row.program}: pruning must help"
+        assert sancov < noprune, f"{row.program}: late instr is cheaper"
+        assert libinst > drcov, f"{row.program}: static rewriting is the slowest"
+        assert libinst > 2.5, f"{row.program}: libInst slowdown is drastic"
+        assert odin < 1.10, f"{row.program}: OdinCov overhead must be tiny"

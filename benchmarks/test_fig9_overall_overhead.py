@@ -1,0 +1,71 @@
+"""Figure 9 + §5.1 headline claims: pooled overheads of all tools.
+
+Paper numbers: OdinCov median 3.48%, SanCov 15%, DrCov 63%, libInst
+1,920%; OdinCov beats SanCov 3x and DrCov 17x; OdinCov-NoPrune is ~23%
+slower than SanCov; pruning improves OdinCov over NoPrune by ~22%.
+
+Our model reproduces the ordering and the coarse factors (OdinCov lands
+at ~0% rather than 3.48% because the VM carries no residual bookkeeping
+cost once a probe is gone — see EXPERIMENTS.md).
+"""
+
+from conftest import write_result
+
+from repro.experiments.overhead import format_fig9
+from repro.experiments.runners import (
+    TOOL_DRCOV,
+    TOOL_LIBINST,
+    TOOL_ODINCOV,
+    TOOL_ODINCOV_NOPRUNE,
+    TOOL_SANCOV,
+    geometric_mean,
+)
+
+
+def summarize(overhead_summary):
+    return {
+        tool: overhead_summary.median_overhead(tool)
+        for tool in overhead_summary.tools
+    }
+
+
+def test_fig9_overall_overhead(benchmark, overhead_summary):
+    medians = benchmark(summarize, overhead_summary)
+
+    lines = [format_fig9(overhead_summary), ""]
+    lines.append("§5.1 headline comparisons (paper in parentheses):")
+    san_vs_odin = overhead_summary.mean_normalized(TOOL_SANCOV) - 1.0
+    noprune = overhead_summary.mean_normalized(TOOL_ODINCOV_NOPRUNE)
+    sancov = overhead_summary.mean_normalized(TOOL_SANCOV)
+    odincov = overhead_summary.mean_normalized(TOOL_ODINCOV)
+    lines.append(
+        f"  NoPrune / SanCov duration: {noprune/sancov:5.2f}x   (paper: ~1.23x)"
+    )
+    lines.append(
+        f"  NoPrune / OdinCov duration: {noprune/odincov:5.2f}x  (paper: ~1.22x gain from pruning)"
+    )
+    lines.append(
+        f"  medians: OdinCov {medians[TOOL_ODINCOV]*100:.2f}% (3.48%), "
+        f"SanCov {medians[TOOL_SANCOV]*100:.2f}% (15%), "
+        f"DrCov {medians[TOOL_DRCOV]*100:.2f}% (63%), "
+        f"libInst {medians[TOOL_LIBINST]*100:.0f}% (1,920%)"
+    )
+    write_result("fig9_overall_overhead.txt", "\n".join(lines))
+
+    # Ordering of median overheads matches the paper exactly.
+    assert (
+        medians[TOOL_ODINCOV]
+        < medians[TOOL_SANCOV]
+        < medians[TOOL_ODINCOV_NOPRUNE]
+    )
+    assert medians[TOOL_SANCOV] < medians[TOOL_DRCOV] < medians[TOOL_LIBINST]
+    # Bands: SanCov in the tens of percent, DrCov tens-to-hundred,
+    # libInst in the thousands (x10+ slowdowns), OdinCov near zero.
+    assert medians[TOOL_ODINCOV] < 0.05
+    assert 0.08 <= medians[TOOL_SANCOV] <= 0.35
+    assert 0.35 <= medians[TOOL_DRCOV] <= 1.2
+    assert medians[TOOL_LIBINST] > 8.0
+    # The 3x/17x-style gaps: SanCov and DrCov overheads are at least an
+    # order of magnitude above OdinCov's.
+    assert medians[TOOL_SANCOV] > 10 * max(medians[TOOL_ODINCOV], 0.005)
+    assert medians[TOOL_DRCOV] > 2 * medians[TOOL_SANCOV]

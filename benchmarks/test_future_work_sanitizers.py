@@ -1,0 +1,97 @@
+"""§7 future work: UBSan with on-demand probe removal, online ASAP.
+
+* UBSan: a false-positive-prone check would end the campaign on every
+  well-formed input; Odin removes the triggered probe with one on-the-fly
+  recompilation and fuzzing continues.
+* ASan-lite: hot checks are pruned online from runtime profiles (ASAP
+  without the separate profiling build), cutting sanitizer overhead.
+"""
+
+from conftest import write_result
+
+from repro.core.engine import Odin
+from repro.frontend.codegen import compile_source
+from repro.instrument.asan import ASanTool
+from repro.instrument.ubsan import UBSanTool
+from repro.programs.registry import get_program
+
+# A hash mixer whose *intentional* wraparound trips signed-overflow checks
+# on ordinary inputs — the classic UBSan false positive.
+UBSAN_TARGET = r"""
+int run_input(const char *data, long size) {
+    int h = 0x12345;
+    long i;
+    for (i = 0; i < size; i++) {
+        h = h * 31 + ((int)data[i] & 255);   // overflows routinely, by design
+    }
+    return h;
+}
+
+int main(void) { return 0; }
+"""
+
+
+def deploy_ubsan():
+    engine = Odin(compile_source(UBSAN_TARGET, "t"), preserve=("main", "run_input"))
+    tool = UBSanTool(engine)
+    tool.add_all_overflow_probes()
+    tool.build()
+    return tool
+
+
+def run_one(tool, data: bytes):
+    vm = tool.make_vm()
+    addr = vm.alloc(len(data) + 1)
+    vm.write_bytes(addr, data)
+    return vm.run("run_input", (addr, len(data)), reset=False)
+
+
+def test_future_work_sanitizers(benchmark):
+    # --- UBSan: remove-on-trigger keeps the campaign alive -----------------
+    tool = deploy_ubsan()
+    data = bytes(range(64)) * 2  # long enough to overflow the mixer
+
+    first = run_one(tool, data)
+    assert first.trap == "ubsan", "the false positive must fire first"
+
+    rebuild = benchmark.pedantic(
+        tool.remove_fired_probe, rounds=1, iterations=1
+    )
+    assert rebuild is not None
+
+    removals = 1
+    result = run_one(tool, data)
+    while result.trap == "ubsan" and removals < 20:
+        tool.remove_fired_probe()
+        removals += 1
+        result = run_one(tool, data)
+    assert result.trap is None, "campaign must continue after removals"
+
+    # --- ASan-lite: online hot-check pruning --------------------------------
+    program = get_program("lcms")
+    engine = Odin(program.compile(), preserve=("main", "run_input"))
+    asan = ASanTool(engine)
+    num_checks = asan.add_all_access_probes()
+    asan.build()
+
+    seeds = program.seeds()[:4]
+    for seed in seeds:
+        assert run_one(asan, seed).trap is None
+    before = sum(run_one(asan, s).cycles for s in seeds)
+    report = asan.prune_hot_checks(hot_fraction=0.3)
+    assert report is not None
+    after = sum(run_one(asan, s).cycles for s in seeds)
+    assert after < before, "removing hot checks must cut sanitizer cost"
+
+    lines = [
+        "§7 future work — sanitizers on demand",
+        "",
+        f"UBSan: probes removed until clean: {removals}",
+        f"UBSan: final run trap = {result.trap}",
+        "",
+        f"ASan-lite: checks instrumented: {num_checks}",
+        f"ASan-lite: replay cycles before hot-prune: {before}",
+        f"ASan-lite: replay cycles after hot-prune:  {after}"
+        f"  ({(1 - after/before)*100:.1f}% saved)",
+    ]
+    write_result("future_work_sanitizers.txt", "\n".join(lines))

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""CmpLog + input-to-state: smashing a magic-number roadblock (§2.1).
+
+The target hides a bug behind a 32-bit magic comparison that random
+mutation will essentially never satisfy.  The example runs the AFL++-style
+pipeline the paper describes:
+
+1. fuzz with coverage probes — the campaign stalls at the comparison;
+2. CmpLog probes record the comparison operands (which, because Odin
+   instruments *before* optimization, are direct copies of the input —
+   the input-to-state prerequisite);
+3. the RedQueen-style solver substitutes the wanted operand into the
+   input, unlocking the guarded branch;
+4. the solved comparison "is no longer a fuzzing roadblock", so its probe
+   is removed with one on-the-fly recompilation.
+
+Run:  python examples/cmplog_roadblock.py
+"""
+
+from repro.core import Odin
+from repro.frontend import compile_source
+from repro.fuzz import CmpLogFuzzer, OdinCovExecutor
+from repro.instrument import CmpLogRuntime, OdinCov, add_cmp_probes
+
+TARGET = r"""
+int run_input(const char *data, long size) {
+    int header;
+    if (size < 8) return 0;
+    header = ((int)data[0] & 255) | (((int)data[1] & 255) << 8)
+           | (((int)data[2] & 255) << 16) | (((int)data[3] & 255) << 24);
+    if (header == 0x0DEFACED) {
+        if (data[4] == 'B' && data[5] == 'U' && data[6] == 'G')
+            abort();                       // the hidden bug
+        return 2;
+    }
+    return 1;
+}
+
+int main(void) { return 0; }
+"""
+
+
+def main() -> None:
+    engine = Odin(compile_source(TARGET, "roadblock"),
+                  preserve=("main", "run_input"))
+    cov = OdinCov(engine, prune=False)
+    cov.add_all_block_probes()
+    cmp_probes = add_cmp_probes(engine, functions={"run_input"})
+    cov.build()
+    print(f"coverage probes: {len(cov.probes)}, cmp probes: {len(cmp_probes)}")
+
+    cmplog = CmpLogRuntime()
+    executor = OdinCovExecutor(cov, extra_runtime=cmplog)
+    fuzzer = CmpLogFuzzer(
+        executor,
+        seeds=[b"\x00" * 8],
+        cmplog_runtime=cmplog,
+        cmp_probes=cmp_probes,
+        seed=3,
+    )
+
+    # Phase 1: plain fuzzing stalls before the magic.
+    stats = fuzzer.run(500)
+    print(f"\nafter {stats.executions} random executions: "
+          f"corpus={stats.corpus_size} coverage={stats.coverage} "
+          f"crashes={stats.crashes}")
+
+    # Phase 2+: alternate solving and fuzzing — each round unlocks the
+    # next layer of comparisons (header, then the byte checks guarding
+    # the bug), and each solved probe is pruned with a recompilation.
+    unlocked = False
+    for round_no in range(1, 6):
+        solved = fuzzer.solve_roadblocks()
+        unlocked = unlocked or any(
+            e.data[:4] == (0x0DEFACED).to_bytes(4, "little")
+            for e in fuzzer.corpus.entries
+        )
+        print(f"round {round_no}: solved {solved} comparison(s), "
+              f"magic unlocked={unlocked}, rebuilds={fuzzer.stats.rebuilds}")
+        stats = fuzzer.run(400)
+        if stats.crashes:
+            break
+
+    print(f"\ncrashes: {stats.crashes}")
+    if stats.crash_inputs:
+        print(f"crashing input: {stats.crash_inputs[0][:16]!r}")
+    assert unlocked, "input-to-state must reconstruct the magic"
+    assert stats.crashes > 0, "the guarded bug must be reached"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""A coverage-guided fuzzing campaign with on-the-fly probe pruning.
+
+Fuzzes the `json` benchmark target with OdinCov.  Every 300 executions
+the fuzzer prunes covered probes and Odin recompiles the touched
+fragments — the §5.1 workflow that keeps steady-state overhead near zero.
+
+Run:  python examples/fuzzing_campaign.py
+"""
+
+from repro.core import Odin
+from repro.fuzz import Fuzzer, OdinCovExecutor, PlainExecutor
+from repro.instrument import OdinCov
+from repro.programs.registry import get_program
+from repro.toolchain import build_module
+
+EXECUTIONS = 1500
+PRUNE_EVERY = 300
+
+
+def main() -> None:
+    program = get_program("json")
+    seeds = program.seeds()
+
+    # Instrumented deployment.
+    engine = Odin(program.compile(), preserve=("main", "run_input"))
+    tool = OdinCov(engine)
+    probes = tool.add_all_block_probes()
+    tool.build()
+    executor = OdinCovExecutor(tool)
+
+    print(f"target: {program.name} — {program.description}")
+    print(f"probes: {probes}, fragments: {engine.num_fragments}, "
+          f"seeds: {len(seeds)}\n")
+
+    fuzzer = Fuzzer(executor, seeds, seed=7, prune_interval=PRUNE_EVERY)
+    stats = fuzzer.run(EXECUTIONS)
+
+    print(f"executions:      {stats.executions}")
+    print(f"corpus size:     {stats.corpus_size}")
+    print(f"coverage:        {stats.coverage} probes")
+    print(f"crashes:         {stats.crashes}")
+    print(f"on-the-fly rebuilds: {stats.rebuilds} "
+          f"(avg {stats.rebuild_ms / max(stats.rebuilds, 1):.1f} ms — "
+          f"paper reports 82 ms)")
+    print(f"probes remaining: {len(tool.probes)} of {probes}")
+
+    # How much did pruning save?  Replay the corpus on the pruned binary
+    # versus an uninstrumented baseline.
+    baseline = build_module(program.compile())
+    plain = PlainExecutor(baseline.executable)
+    corpus_inputs = [e.data for e in fuzzer.corpus.entries]
+    pruned_cycles = sum(
+        executor.execute(d).result.cycles for d in corpus_inputs
+    )
+    plain_cycles = sum(
+        plain.execute(d).result.cycles for d in corpus_inputs
+    )
+    overhead = pruned_cycles / plain_cycles - 1
+    print(f"\nsteady-state coverage overhead after pruning: "
+          f"{overhead * 100:.2f}%  (paper: 3.48% median)")
+
+
+if __name__ == "__main__":
+    main()

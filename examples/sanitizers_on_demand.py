@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""§7 future work: sanitizers that adapt during the campaign.
+
+Part 1 — UBSan with remove-on-trigger: a hash mixer overflows by design,
+so classic UBSan would kill every execution.  Odin removes the offending
+probe with one on-the-fly recompilation and fuzzing continues, while the
+*other* overflow checks stay armed.
+
+Part 2 — online ASAP for ASan-lite: hot memory checks (the ones fuzzing
+exercises millions of times but that rarely find bugs) are pruned from
+live profiles, no separate profiling build required.
+
+Run:  python examples/sanitizers_on_demand.py
+"""
+
+from repro.core import Odin
+from repro.frontend import compile_source
+from repro.instrument import ASanTool, UBSanTool
+from repro.programs.registry import get_program
+
+NOISY = r"""
+int run_input(const char *data, long size) {
+    int h = 0x1505;
+    long i;
+    for (i = 0; i < size; i++) {
+        h = h * 31 + ((int)data[i] & 255);    // overflow by design
+    }
+    return h;
+}
+
+int main(void) { return 0; }
+"""
+
+
+def run(tool, data: bytes):
+    vm = tool.make_vm()
+    addr = vm.alloc(len(data) + 1)
+    vm.write_bytes(addr, data)
+    return vm.run("run_input", (addr, len(data)), reset=False)
+
+
+def ubsan_demo() -> None:
+    print("== UBSan with on-demand probe removal ==")
+    engine = Odin(compile_source(NOISY, "noisy"), preserve=("main", "run_input"))
+    tool = UBSanTool(engine)
+    checks = tool.add_all_overflow_probes()
+    tool.build()
+    print(f"overflow checks installed: {checks}")
+
+    data = bytes(range(48))
+    removals = 0
+    result = run(tool, data)
+    while result.trap == "ubsan" and removals < 10:
+        report = tool.remove_fired_probe()
+        removals += 1
+        print(f"  check #{tool.removed[-1]} fired -> removed, "
+              f"recompiled {len(report.fragment_ids)} fragment(s) "
+              f"in {report.total_ms:.1f} ms")
+        result = run(tool, data)
+    print(f"campaign continues after {removals} removal(s): "
+          f"result={result.exit_code}, {len(tool.probes)} checks still armed\n")
+
+
+def asap_demo() -> None:
+    print("== ASan-lite with online hot-check pruning (ASAP) ==")
+    program = get_program("lcms")
+    engine = Odin(program.compile(), preserve=("main", "run_input"))
+    tool = ASanTool(engine)
+    checks = tool.add_all_access_probes()
+    tool.build()
+    seeds = program.seeds()[:5]
+    print(f"target: {program.name}, memory checks: {checks}")
+
+    before = sum(run(tool, s).cycles for s in seeds)
+    report = tool.prune_hot_checks(hot_fraction=0.25)
+    after = sum(run(tool, s).cycles for s in seeds)
+    print(f"replay cycles: {before} -> {after} "
+          f"({(1 - after / before) * 100:.1f}% saved) after pruning the "
+          f"hottest 25% of checks in {report.total_ms:.1f} ms")
+
+    # Cold checks still catch real bugs: a wild pointer read traps.
+    vm = tool.make_vm()
+    wild = vm.run("run_input", (0x3F0000, 32), reset=False)
+    print(f"wild-pointer probe still armed: trap={wild.trap}")
+
+
+if __name__ == "__main__":
+    ubsan_demo()
+    asap_demo()

@@ -1,0 +1,38 @@
+"""repro — a Python reproduction of "Odin: On-Demand Instrumentation with
+On-the-Fly Recompilation" (PLDI 2022).
+
+Quick tour::
+
+    from repro.frontend import compile_source
+    from repro.core import Odin
+    from repro.instrument import OdinCov
+
+    module = compile_source(C_SOURCE, "target")   # MiniC -> IR
+    engine = Odin(module, preserve=("main", "run_input"))
+    cov = OdinCov(engine)
+    cov.add_all_block_probes()
+    cov.build()                                   # partition + compile + link
+
+    vm = cov.make_vm()
+    ...                                           # run, observe coverage
+    cov.prune_covered()                           # on-the-fly recompilation
+
+Sub-packages: ``ir`` (SSA IR), ``frontend`` (MiniC), ``opt`` (O2 pipeline),
+``backend``/``linker``/``vm`` (codegen + execution substrate), ``core``
+(the Odin framework), ``instrument`` (probe schemes), ``baselines``
+(DrCov/libInst analogues), ``fuzz`` (fuzzing loop), ``programs`` (the 13
+benchmark targets), ``experiments`` (per-figure harness), ``buildsim``
+(Fig. 3 build-cost model).
+"""
+
+from repro.core.engine import Odin, RebuildReport
+from repro.errors import ReproError
+from repro.toolchain import BuildResult, build, build_module, compile_ir, run_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Odin", "RebuildReport", "ReproError",
+    "BuildResult", "build", "build_module", "compile_ir", "run_source",
+    "__version__",
+]

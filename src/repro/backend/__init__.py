@@ -1,0 +1,11 @@
+"""repro.backend — instruction selection, register costing, object files."""
+
+from repro.backend.costmodel import compile_cost_ms, frontend_cost_ms, link_cost_ms
+from repro.backend.isel import PROBE_RUNTIME_FUNCTIONS, lower_function, lower_module
+from repro.backend.machine import DataSymbol, MachineFunction, MachineInst, ObjectFile
+
+__all__ = [
+    "compile_cost_ms", "frontend_cost_ms", "link_cost_ms",
+    "lower_function", "lower_module", "PROBE_RUNTIME_FUNCTIONS",
+    "DataSymbol", "MachineFunction", "MachineInst", "ObjectFile",
+]

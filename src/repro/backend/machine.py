@@ -1,0 +1,153 @@
+"""Machine-level representation: instructions, functions, object files.
+
+One IR module lowers to one :class:`ObjectFile` ("the minimal translation
+unit of LLVM is a module.  It is lowered to an object file after code
+generation", §2.3).  Object files carry defined symbols, imported symbols
+and relocations, which is exactly the boundary Odin's fragments need: an
+exported symbol of one object can be imported and used by another.
+
+The machine is a register VM:
+
+* unbounded virtual registers per function (the register allocator ranks
+  them and bakes spill penalties into instruction cost)
+* byte-addressable little-endian memory
+* a static frame per call (spilled slots + alloca storage)
+
+Branch targets are indices into the function's flat instruction list,
+resolved at layout time.  ``bb`` marker instructions carry the function-
+local basic-block id; they cost nothing natively but are where dynamic
+binary instrumentation tools pay their per-block dispatch tax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import BackendError
+
+# Probe kinds understood by the VM's probe runtime.
+PROBE_COV = "cov"
+PROBE_CMPLOG = "cmplog"
+PROBE_ASAN = "asan"
+PROBE_UBSAN = "ubsan"
+
+
+@dataclass
+class MachineInst:
+    """One machine instruction.
+
+    ``op`` encodes the operation and, where relevant, the operand width,
+    e.g. ``bin.add.32`` or ``ld.8``.  ``dst`` and ``srcs`` are virtual
+    register numbers; ``imm`` is an integer immediate; ``sym`` a symbol
+    reference (resolved by the linker); ``targets`` are instruction
+    indices after layout.  ``cost`` is the cycle cost charged by the VM,
+    set during lowering (spill penalties included).
+    """
+
+    op: str
+    dst: int = -1
+    srcs: Tuple[int, ...] = ()
+    imm: int = 0
+    sym: Optional[str] = None
+    targets: Tuple[int, ...] = ()
+    table: Tuple[Tuple[int, int], ...] = ()  # switch: (value, target index)
+    cost: int = 1
+    # call/icall/probe argument registers
+    args: Tuple[int, ...] = ()
+    # probe bookkeeping
+    probe_kind: str = ""
+    probe_id: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op]
+        if self.dst >= 0:
+            parts.append(f"r{self.dst}")
+        parts.extend(f"r{s}" for s in self.srcs)
+        if self.sym is not None:
+            parts.append(f"@{self.sym}")
+        if self.targets:
+            parts.append(f"->{list(self.targets)}")
+        if self.op.endswith("i") or "imm" in self.op or self.imm:
+            parts.append(f"#{self.imm}")
+        return f"<{' '.join(parts)}>"
+
+
+@dataclass
+class MachineFunction:
+    """A lowered function: flat instruction list plus frame metadata."""
+
+    name: str
+    linkage: str
+    insts: List[MachineInst] = field(default_factory=list)
+    num_regs: int = 0
+    frame_size: int = 0
+    num_blocks: int = 0
+    # Map of function-local block id -> IR block name (probe mapping and
+    # coverage reports use this).
+    block_names: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def code_size(self) -> int:
+        return len(self.insts)
+
+
+@dataclass
+class DataSymbol:
+    """A global variable lowered to raw bytes."""
+
+    name: str
+    data: bytes
+    linkage: str
+    is_const: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class ObjectFile:
+    """Result of compiling one module (= one Odin fragment)."""
+
+    name: str
+    functions: Dict[str, MachineFunction] = field(default_factory=dict)
+    data: Dict[str, DataSymbol] = field(default_factory=dict)
+    # alias name -> (target symbol, linkage)
+    aliases: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    imports: List[str] = field(default_factory=list)
+    # Simulated compile duration (middle end + backend) in milliseconds.
+    compile_ms: float = 0.0
+
+    def defined_symbols(self) -> List[str]:
+        return (
+            list(self.functions.keys())
+            + list(self.data.keys())
+            + list(self.aliases.keys())
+        )
+
+    def exported_symbols(self) -> List[str]:
+        out = []
+        for name, fn in self.functions.items():
+            if fn.linkage != "internal":
+                out.append(name)
+        for name, sym in self.data.items():
+            if sym.linkage != "internal":
+                out.append(name)
+        for name in self.aliases:
+            out.append(name)
+        return out
+
+    def add_function(self, fn: MachineFunction) -> None:
+        if fn.name in self.functions:
+            raise BackendError(f"duplicate function {fn.name} in object {self.name}")
+        self.functions[fn.name] = fn
+
+    def add_data(self, sym: DataSymbol) -> None:
+        if sym.name in self.data:
+            raise BackendError(f"duplicate data symbol {sym.name} in object {self.name}")
+        self.data[sym.name] = sym
+
+    @property
+    def code_size(self) -> int:
+        return sum(f.code_size for f in self.functions.values())

@@ -1,0 +1,9 @@
+"""repro.baselines — binary-instrumentation comparators (DrCov, libInst)."""
+
+from repro.baselines.dbi import DBI_BLOCK_TAX, DBI_TRANSLATION_COST, DrCov
+from repro.baselines.rewriter import REWRITER_BLOCK_TAX, LibInst
+
+__all__ = [
+    "DrCov", "LibInst",
+    "DBI_BLOCK_TAX", "DBI_TRANSLATION_COST", "REWRITER_BLOCK_TAX",
+]

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the benchmark targets
+* ``run PROGRAM`` — compile and run a target's smoke test + seed corpus
+* ``partition PROGRAM`` — show the fragment definition (Figure 6 style)
+* ``fuzz PROGRAM`` — a coverage-guided campaign with on-the-fly pruning
+* ``experiment NAME`` — regenerate one of the paper's tables/figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.engine import Odin
+from repro.core.variants import VARIANT_LABELS
+from repro.fuzz.executor import OdinCovExecutor
+from repro.fuzz.fuzzer import Fuzzer
+from repro.instrument.coverage import OdinCov
+from repro.programs.registry import all_programs, get_program
+from repro.toolchain import build_module
+from repro.vm.interpreter import VM
+
+PRESERVED = ("main", "run_input")
+
+
+def cmd_list(_args) -> int:
+    for program in all_programs():
+        print(f"{program.name:>10}  {program.source_lines:>4} lines  "
+              f"{program.description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = get_program(args.program)
+    build = build_module(program.compile(), opt_level=args.opt)
+    vm = VM(build.executable)
+    smoke = vm.run("main")
+    print(f"main: exit={smoke.exit_code} stdout={smoke.stdout.decode().strip()!r} "
+          f"cycles={smoke.cycles}")
+    total = 0
+    for seed in program.seeds(args.seed):
+        vm.reset()
+        addr = vm.alloc(len(seed) + 1)
+        vm.write_bytes(addr, seed)
+        result = vm.run("run_input", (addr, len(seed)), reset=False)
+        total += result.cycles
+        status = result.trap or "ok"
+        print(f"  seed[{len(seed):>4}B] -> {result.exit_code:>12} ({status}, "
+              f"{result.cycles} cycles)")
+    print(f"total replay cycles: {total}")
+    return 0
+
+
+def cmd_partition(args) -> int:
+    program = get_program(args.program)
+    engine = Odin(program.compile(), strategy=args.strategy, preserve=PRESERVED)
+    print(f"{VARIANT_LABELS[args.strategy]} on {program.name}:")
+    print(engine.describe_partition())
+    report = engine.initial_build()
+    print(f"\ninitial build: {report.total_compile_ms:.1f} ms compile "
+          f"+ {report.link_ms:.1f} ms link across {len(report.fragment_ids)} fragments")
+    worst = max(report.fragment_compile_ms.items(), key=lambda kv: kv[1])
+    print(f"worst fragment: #{worst[0]} at {worst[1]:.1f} ms")
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    program = get_program(args.program)
+    engine = Odin(program.compile(), preserve=PRESERVED)
+    tool = OdinCov(engine)
+    probes = tool.add_all_block_probes()
+    tool.build()
+    executor = OdinCovExecutor(tool)
+    fuzzer = Fuzzer(
+        executor, program.seeds(args.seed), seed=args.seed,
+        prune_interval=args.prune_interval,
+    )
+    stats = fuzzer.run(args.executions)
+    print(f"target:      {program.name} ({probes} probes, "
+          f"{engine.num_fragments} fragments)")
+    print(f"executions:  {stats.executions}")
+    print(f"corpus:      {stats.corpus_size} entries, {stats.coverage} probes covered")
+    print(f"crashes:     {stats.crashes}")
+    print(f"rebuilds:    {stats.rebuilds} "
+          f"(avg {stats.rebuild_ms / max(stats.rebuilds, 1):.1f} ms)")
+    print(f"probes left: {len(tool.probes)}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    name = args.name
+    if name in ("fig8", "fig9"):
+        from repro.experiments.overhead import (
+            format_fig8,
+            format_fig9,
+            measure_overheads,
+        )
+
+        summary = measure_overheads(_selected(args))
+        print(format_fig8(summary) if name == "fig8" else format_fig9(summary))
+    elif name == "fig10":
+        from repro.experiments.partition import format_fig10, measure_partition_variants
+
+        print(format_fig10(measure_partition_variants(_selected(args))))
+    elif name in ("fig11", "fig12"):
+        from repro.experiments.recompile import (
+            format_fig11,
+            format_fig12,
+            measure_recompile_times,
+        )
+
+        summary = measure_recompile_times(_selected(args))
+        print(format_fig11(summary) if name == "fig11" else format_fig12(summary))
+    elif name == "fig3":
+        from repro.buildsim.buildcost import measure_build
+
+        program = get_program(args.programs[0] if args.programs else "libxml2")
+        breakdown = measure_build(program.name, program.source)
+        for stage, fraction in breakdown.fractions().items():
+            print(f"{stage:>16}: {fraction * 100:6.2f}%")
+        print(f"{'total':>16}: {breakdown.total_ms:8.1f} ms")
+    elif name == "headline":
+        from repro.experiments.recompile import measure_headline_recompile
+
+        result = measure_headline_recompile(_selected(args))
+        print(f"recompilations: {result.count}, mean {result.mean_ms:.1f} ms "
+              f"(paper: 82 ms)")
+    else:
+        print(f"unknown experiment {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _selected(args):
+    if getattr(args, "programs", None):
+        return [get_program(n) for n in args.programs]
+    return None
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Odin (PLDI 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark targets").set_defaults(fn=cmd_list)
+
+    p_run = sub.add_parser("run", help="compile and run a target")
+    p_run.add_argument("program")
+    p_run.add_argument("--opt", type=int, default=2, choices=(0, 2))
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_part = sub.add_parser("partition", help="show a target's fragments")
+    p_part.add_argument("program")
+    p_part.add_argument(
+        "--strategy", default="odin", choices=("odin", "one", "max")
+    )
+    p_part.set_defaults(fn=cmd_partition)
+
+    p_fuzz = sub.add_parser("fuzz", help="coverage-guided campaign")
+    p_fuzz.add_argument("program")
+    p_fuzz.add_argument("--executions", type=int, default=1000)
+    p_fuzz.add_argument("--prune-interval", type=int, default=250)
+    p_fuzz.add_argument("--seed", type=int, default=1)
+    p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper figure")
+    p_exp.add_argument(
+        "name",
+        choices=("fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "headline"),
+    )
+    p_exp.add_argument("programs", nargs="*", help="restrict to these targets")
+    p_exp.set_defaults(fn=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

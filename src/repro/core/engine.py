@@ -1,0 +1,196 @@
+"""The Odin engine: partition -> build -> (patch -> schedule -> rebuild)*.
+
+§3.1's four phases map to this module:
+
+1. **Partition** — at construction, over the *unoptimized* whole-program
+   IR (instrument-first is what guarantees correctness, §2.2).
+2. **Schedule** — ``PatchManager.schedule()`` (Algorithm 2).
+3. **Split** — ``Scheduler.rebuild()`` splits the instrumented temporary
+   IR back into per-fragment modules.
+4. **Generate code** — each fragment module is optimized with the full O2
+   pipeline *after* instrumentation, lowered to an object file, stored in
+   the machine-code cache, and the whole cache is relinked.
+
+The engine never mutates the original module: every rebuild works on
+extracted clones, which is how instrumentation changes are reverted — the
+paper's "functional approach" (§4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.backend.isel import lower_module
+from repro.backend.machine import ObjectFile
+from repro.core.manager import PatchManager
+from repro.core.partition import (
+    Fragment,
+    FragmentDefinition,
+    STRATEGY_ODIN,
+    apply_fragment_linkage,
+    partition,
+)
+from repro.errors import PartitionError
+from repro.ir.clone import extract_module
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.linker.linker import Executable, link
+from repro.opt.pipeline import optimize
+from repro.utils.clock import SimClock
+
+if False:  # pragma: no cover - typing only
+    from repro.core.scheduler import Scheduler
+
+
+@dataclass
+class RebuildReport:
+    """Timing and scope of one on-the-fly recompilation."""
+
+    fragment_ids: List[int] = field(default_factory=list)
+    fragment_compile_ms: Dict[int, float] = field(default_factory=dict)
+    link_ms: float = 0.0
+    probes_applied: int = 0
+    cache_reused: int = 0
+
+    @property
+    def total_compile_ms(self) -> float:
+        return sum(self.fragment_compile_ms.values())
+
+    @property
+    def worst_fragment_ms(self) -> float:
+        return max(self.fragment_compile_ms.values(), default=0.0)
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_compile_ms + self.link_ms
+
+
+class Odin:
+    """On-demand instrumentation engine over one target program."""
+
+    def __init__(
+        self,
+        module: Module,
+        *,
+        strategy: str = STRATEGY_ODIN,
+        preserve: Iterable[str] = ("main",),
+        opt_level: int = 2,
+        verify: bool = True,
+    ):
+        if verify:
+            verify_module(module)
+        self.module = module          # original, unoptimized whole-program IR
+        self.opt_level = opt_level
+        self.verify = verify
+        self.preserve = tuple(preserve)
+        self.fragdef: FragmentDefinition = partition(module, strategy, preserve)
+        self.manager = PatchManager(self)
+        self.cache: Dict[int, ObjectFile] = {}
+        self.executable: Optional[Executable] = None
+        self.clock = SimClock()
+        self.history: List[RebuildReport] = []
+
+    # -- builds -----------------------------------------------------------------
+
+    def initial_build(
+        self, patch: Optional[Callable[["Scheduler"], None]] = None
+    ) -> RebuildReport:
+        """Compile every fragment (with current probes) and link."""
+        self.manager._dirty_symbols.update(self.fragdef.owner.keys())
+        return self.rebuild(patch)
+
+    def rebuild(
+        self, patch: Optional[Callable[["Scheduler"], None]] = None
+    ) -> RebuildReport:
+        """Schedule, patch (default: apply scheduled probes), and rebuild."""
+        scheduler = self.manager.schedule()
+        if patch is not None:
+            patch(scheduler)
+        else:
+            scheduler.apply_probes()
+        return scheduler.rebuild()
+
+    def rebuild_if_needed(
+        self, patch: Optional[Callable[["Scheduler"], None]] = None
+    ) -> Optional[RebuildReport]:
+        """Rebuild only when probe state changed since the last build."""
+        if not self.manager.has_pending_changes:
+            return None
+        return self.rebuild(patch)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _rebuild_from(self, scheduler: "Scheduler") -> RebuildReport:
+        """Split the instrumented temporary IR, compile fragments, relink."""
+        report = RebuildReport(probes_applied=len(scheduler.active_probes))
+        temp = scheduler.temp_module
+
+        for fragment in scheduler.changed_fragments:
+            frag_module = self._split_fragment(temp, fragment)
+            obj = self._compile_fragment(frag_module)
+            self.cache[fragment.id] = obj
+            report.fragment_ids.append(fragment.id)
+            report.fragment_compile_ms[fragment.id] = obj.compile_ms
+            self.clock.advance(obj.compile_ms, "compile")
+
+        report.cache_reused = len(self.fragdef.fragments) - len(report.fragment_ids)
+        if len(self.cache) != len(self.fragdef.fragments):
+            missing = [
+                f.id for f in self.fragdef.fragments if f.id not in self.cache
+            ]
+            raise PartitionError(
+                f"cannot link: fragments {missing} were never compiled "
+                f"(run initial_build first)"
+            )
+
+        objects = [self.cache[f.id] for f in self.fragdef.fragments]
+        self.executable = link(objects)
+        report.link_ms = self.executable.link_ms
+        self.clock.advance(report.link_ms, "link")
+        self.history.append(report)
+        return report
+
+    def _split_fragment(self, temp: Module, fragment: Fragment) -> Module:
+        """Extract one fragment's (instrumented) module from the temp IR."""
+        frag_module = extract_module(
+            temp,
+            [s for s in fragment.symbols],
+            copy_on_use=self.fragdef.copy_on_use,
+            name=f"{self.module.name}.frag{fragment.id}",
+        )
+        apply_fragment_linkage(frag_module, self.fragdef)
+        return frag_module
+
+    def _compile_fragment(self, frag_module: Module) -> ObjectFile:
+        """Optimize (post-instrumentation) and lower one fragment."""
+        from repro.backend.costmodel import compile_cost_ms
+
+        # The middle end pays for the *unoptimized* input it receives.
+        pre_opt_cost = compile_cost_ms(frag_module)
+        optimize(frag_module, self.opt_level)
+        if self.verify:
+            verify_module(frag_module)
+        obj = lower_module(frag_module)
+        if self.verify:
+            verify_module(frag_module)  # lowering must not break the IR
+        obj.compile_ms = pre_opt_cost
+        return obj
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def num_fragments(self) -> int:
+        return self.fragdef.num_fragments
+
+    def describe_partition(self) -> str:
+        """Human-readable partition summary (Figure 6 style)."""
+        lines = [f"strategy={self.fragdef.strategy} fragments={self.num_fragments}"]
+        for fragment in self.fragdef.fragments:
+            syms = ", ".join(fragment.symbols)
+            lines.append(f"  #{fragment.id}: {syms}")
+        if self.fragdef.copy_on_use:
+            lines.append(f"  copy-on-use: {', '.join(sorted(self.fragdef.copy_on_use))}")
+        exported = sorted(self.fragdef.exported)
+        lines.append(f"  exported: {', '.join(exported) if exported else '(none)'}")
+        return "\n".join(lines)

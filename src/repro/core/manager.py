@@ -1,0 +1,113 @@
+"""PatchManager: dynamic probe add/remove/change (§4).
+
+    probe = manager.add(CovProbe(fn, block))   # probes can be added
+    manager.remove(probe)                      # probes can be removed
+    probe.payload = ...; manager.mark_changed(probe)  # and changed
+
+Every mutation records the probe as *dirty*; ``schedule()`` runs
+Algorithm 2 over the dirty set and returns a :class:`Scheduler` that the
+fuzzer's patch logic drives to rebuild the executable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, TypeVar
+
+from repro.core.probe import Probe
+from repro.errors import ScheduleError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import Odin
+    from repro.core.scheduler import Scheduler
+
+P = TypeVar("P", bound=Probe)
+
+
+class PatchManager:
+    """Owns all probes and tracks which changed since the last rebuild."""
+
+    def __init__(self, engine: "Odin"):
+        self.engine = engine
+        self._probes: Dict[int, Probe] = {}
+        self._next_id = 0
+        # Dirty tracking: probe ids and (for removed probes) their symbols.
+        self._dirty_probe_ids: set = set()
+        self._dirty_symbols: set = set()
+
+    # -- collection protocol ----------------------------------------------------
+
+    def __iter__(self) -> Iterator[Probe]:
+        return iter(list(self._probes.values()))
+
+    def __len__(self) -> int:
+        return len(self._probes)
+
+    def get_probe(self, probe_id: int) -> Probe:
+        try:
+            return self._probes[probe_id]
+        except KeyError:
+            raise ScheduleError(f"no probe with id {probe_id}") from None
+
+    def probes_for_symbol(self, symbol: str) -> List[Probe]:
+        return [p for p in self._probes.values() if p.target_symbol() == symbol]
+
+    # -- mutation ------------------------------------------------------------------
+
+    def add(self, probe: P) -> P:
+        """Register a probe; it will be applied on the next rebuild."""
+        if probe.id >= 0:
+            raise ScheduleError(f"probe {probe!r} is already registered")
+        probe.validate_target(self.engine.module)
+        probe.id = self._next_id
+        self._next_id += 1
+        self._probes[probe.id] = probe
+        self._mark(probe)
+        return probe
+
+    def remove(self, probe: Probe) -> None:
+        """Unregister a probe; its symbol is recompiled without it."""
+        if self._probes.pop(probe.id, None) is None:
+            raise ScheduleError(f"probe {probe!r} is not registered")
+        self._mark(probe)
+        probe.id = -1
+
+    def mark_changed(self, probe: Probe) -> None:
+        """Record that the probe's logic/state changed (§4: probes can be
+        queried and their logic changed)."""
+        if probe.id not in self._probes:
+            raise ScheduleError(f"probe {probe!r} is not registered")
+        self._mark(probe)
+
+    def disable(self, probe: Probe) -> None:
+        """Keep the probe object but stop instrumenting with it."""
+        if probe.enabled:
+            probe.enabled = False
+            self._mark(probe)
+
+    def enable(self, probe: Probe) -> None:
+        if not probe.enabled:
+            probe.enabled = True
+            self._mark(probe)
+
+    def _mark(self, probe: Probe) -> None:
+        self._dirty_probe_ids.add(probe.id)
+        self._dirty_symbols.add(probe.target_symbol())
+
+    # -- scheduling --------------------------------------------------------------------
+
+    @property
+    def has_pending_changes(self) -> bool:
+        return bool(self._dirty_symbols)
+
+    def dirty_symbols(self) -> set:
+        return set(self._dirty_symbols)
+
+    def schedule(self) -> "Scheduler":
+        """Run Algorithm 2 and return the scheduler for this rebuild."""
+        from repro.core.scheduler import Scheduler
+
+        return Scheduler(self.engine, self)
+
+    def clear_dirty(self) -> None:
+        self._dirty_probe_ids.clear()
+        self._dirty_symbols.clear()

@@ -1,0 +1,137 @@
+"""Probes: the unit of on-demand instrumentation (§4).
+
+A probe targets one symbol of the *original* (unoptimized) IR and knows
+how to instrument the temporary IR the scheduler hands out.  Probes are
+plain Python objects, so "probe-specific information can be stored here
+freely" (§4) — hit counts, solved flags, pointers back into the IR,
+whatever the fuzzing algorithm wants to annotate.
+
+Lifecycle: ``PatchManager.add`` / ``remove`` / ``mark_changed`` record the
+probe as *dirty*; the next ``schedule()`` figures out the minimal set of
+fragments to recompile (Algorithm 2) and every probe that must be
+(re)applied to them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ScheduleError
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Instruction, PhiInst
+from repro.ir.module import BasicBlock, Function
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.scheduler import Scheduler
+
+
+class Probe:
+    """Base probe.  Subclasses implement targeting and patch logic."""
+
+    def __init__(self):
+        self.id: int = -1          # assigned by the PatchManager
+        self.enabled: bool = True  # disabled probes are not applied
+
+    def target_symbol(self) -> str:
+        """Name of the (original-IR) function this probe patches."""
+        raise NotImplementedError
+
+    def validate_target(self, module) -> None:
+        """Raise :class:`ScheduleError` unless the probe targets *module*.
+
+        The base check is by name; anchored probes also verify object
+        identity so a probe built against a *different* module instance
+        (whose clones the scheduler could never map) is rejected early.
+        """
+        name = self.target_symbol()
+        if name not in module.symbols:
+            raise ScheduleError(f"probe targets unknown symbol @{name}")
+
+    def apply(self, sched: "Scheduler") -> None:
+        """Instrument the scheduler's temporary IR for this probe.
+
+        Called only when the probe is enabled and its fragment is being
+        recompiled.  Use ``sched.map(...)`` to translate original-IR
+        objects into the temporary IR, then emit code with
+        :class:`~repro.ir.builder.IRBuilder` as in static instrumentation.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "on" if self.enabled else "off"
+        return f"<{type(self).__name__} #{self.id} @{self.target_symbol()} {state}>"
+
+
+class BlockProbe(Probe):
+    """A probe anchored at the head of one basic block.
+
+    The workhorse for coverage instrumentation: ``instrument`` is called
+    with a builder positioned before the block's first non-phi
+    instruction in the temporary IR.
+    """
+
+    def __init__(self, function: Function, block: BasicBlock):
+        super().__init__()
+        if block.parent is not function:
+            raise ScheduleError(
+                f"block {block.name} does not belong to @{function.name}"
+            )
+        self.function = function
+        self.block = block
+
+    def target_symbol(self) -> str:
+        return self.function.name
+
+    def validate_target(self, module) -> None:
+        super().validate_target(module)
+        if module.get_or_none(self.function.name) is not self.function:
+            raise ScheduleError(
+                f"probe targets unknown symbol: @{self.function.name} belongs "
+                f"to a different module instance"
+            )
+
+    def apply(self, sched: "Scheduler") -> None:
+        block = sched.map_block(self.block)
+        anchor = self._first_non_phi(block)
+        builder = IRBuilder.before(anchor)
+        self.instrument(builder, sched)
+
+    def instrument(self, builder: IRBuilder, sched: "Scheduler") -> None:
+        raise NotImplementedError
+
+    @staticmethod
+    def _first_non_phi(block: BasicBlock) -> Instruction:
+        for inst in block.instructions:
+            if not isinstance(inst, PhiInst):
+                return inst
+        raise ScheduleError(f"block {block.name} has no instructions")
+
+
+class InstructionProbe(Probe):
+    """A probe anchored before one instruction (e.g. a comparison)."""
+
+    def __init__(self, instruction: Instruction):
+        super().__init__()
+        if instruction.function is None:
+            raise ScheduleError("instruction probe target is detached")
+        self.instruction = instruction
+
+    def target_symbol(self) -> str:
+        return self.instruction.function.name
+
+    def validate_target(self, module) -> None:
+        super().validate_target(module)
+        fn = self.instruction.function
+        if module.get_or_none(fn.name) is not fn:
+            raise ScheduleError(
+                f"probe targets unknown symbol: @{fn.name} belongs to a "
+                f"different module instance"
+            )
+
+    def apply(self, sched: "Scheduler") -> None:
+        inst = sched.map(self.instruction)
+        builder = IRBuilder.before(inst)
+        self.instrument(builder, inst, sched)
+
+    def instrument(self, builder: IRBuilder, mapped: Instruction, sched: "Scheduler") -> None:
+        raise NotImplementedError

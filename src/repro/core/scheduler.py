@@ -1,0 +1,121 @@
+"""Scheduling recompilation (§3.3, Algorithm 2, Figure 7).
+
+Three-stage propagation:
+
+1. *probes -> symbols*: every dirty probe marks its target symbol changed;
+2. *symbols -> fragments*: a fragment containing any changed symbol is
+   recompiled whole, so all of its symbols join the changed set;
+3. *fragments -> probes* (back propagation): recompiling a fragment wipes
+   its previous instrumentation, so every **active** probe targeting any
+   symbol in it must be re-applied — not only the dirty ones.  This runs
+   once, not to convergence: it only adds unchanged probes whose
+   fragments' caches are still valid for reuse.
+
+Then a temporary IR is extracted that defines every changed symbol;
+after the user's patch logic instruments it (``apply_probes`` or manual
+iteration over ``active_probes`` with ``map()``), ``rebuild()`` splits it
+back into per-fragment modules, optimizes, lowers, and relinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from repro.core.partition import Fragment, apply_fragment_linkage
+from repro.core.probe import Probe
+from repro.errors import ScheduleError
+from repro.ir.clone import extract_module_ex
+from repro.ir.instructions import Instruction
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.types import FunctionType
+from repro.ir.values import Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import Odin, RebuildReport
+    from repro.core.manager import PatchManager
+
+
+class Scheduler:
+    """One scheduled recompilation: temporary IR + the probes to apply."""
+
+    def __init__(self, engine: "Odin", manager: "PatchManager"):
+        self.engine = engine
+        self.manager = manager
+
+        fragdef = engine.fragdef
+        # Stage 1: probes -> symbols.
+        changed_symbols: Set[str] = manager.dirty_symbols()
+
+        # Stage 2: symbols -> fragments.
+        self.changed_fragments: List[Fragment] = []
+        for fragment in fragdef.fragments:
+            if any(s in changed_symbols for s in fragment.symbols):
+                self.changed_fragments.append(fragment)
+                changed_symbols.update(fragment.symbols)
+        self.changed_symbols = changed_symbols
+
+        # Stage 3: fragments -> probes (back propagation).
+        self.active_probes: List[Probe] = [
+            p
+            for p in manager
+            if p.enabled and p.target_symbol() in changed_symbols
+        ]
+
+        # Temporary IR covering all changed symbols (Figure 7).
+        if changed_symbols:
+            self._temp, self._vmap = extract_module_ex(
+                engine.module,
+                sorted(changed_symbols),
+                copy_on_use=fragdef.copy_on_use,
+                name=f"{engine.module.name}.patch",
+            )
+        else:
+            self._temp, self._vmap = Module(f"{engine.module.name}.patch"), None
+        self._rebuilt = False
+
+    # -- the user-facing mapping API (§4) ------------------------------------------
+
+    @property
+    def temp_module(self) -> Module:
+        """The temporary IR the patch logic instruments."""
+        return self._temp
+
+    def map(self, original: Value) -> Value:
+        """Translate an original-IR value into the temporary IR."""
+        if self._vmap is None:
+            raise ScheduleError("nothing was scheduled; the mapping is empty")
+        return self._vmap.get(original)
+
+    def map_block(self, original: BasicBlock) -> BasicBlock:
+        if self._vmap is None:
+            raise ScheduleError("nothing was scheduled; the mapping is empty")
+        return self._vmap.get_block(original)
+
+    def lookup_function(self, name: str) -> Function:
+        """Find a function in the temporary IR by name (runtime hooks)."""
+        symbol = self._temp.get(name)
+        if not isinstance(symbol, Function):
+            raise ScheduleError(f"@{name} is not a function")
+        return symbol
+
+    def declare_runtime(self, name: str, function_type: FunctionType) -> Function:
+        """Get-or-declare an external runtime function in the temporary IR."""
+        return self._temp.declare_function(name, function_type)
+
+    # -- driving the rebuild ---------------------------------------------------------
+
+    def apply_probes(self) -> int:
+        """Apply every scheduled probe to the temporary IR; returns count."""
+        for probe in self.active_probes:
+            probe.apply(self)
+        return len(self.active_probes)
+
+    def rebuild(self) -> "RebuildReport":
+        """Split, optimize, codegen and relink (Figure 7 right half)."""
+        if self._rebuilt:
+            raise ScheduleError("this scheduler has already been rebuilt")
+        self._rebuilt = True
+        report = self.engine._rebuild_from(self)
+        self.manager.clear_dirty()
+        return report

@@ -1,0 +1,42 @@
+"""repro.experiments — the evaluation harness (one module per figure)."""
+
+from repro.experiments.overhead import (
+    OverheadSummary,
+    ProgramOverheads,
+    format_fig8,
+    format_fig9,
+    measure_overheads,
+)
+from repro.experiments.partition import (
+    PartitionSummary,
+    format_fig10,
+    format_table1,
+    measure_partition_variants,
+)
+from repro.experiments.recompile import (
+    HeadlineResult,
+    RecompileSummary,
+    format_fig11,
+    format_fig12,
+    measure_headline_recompile,
+    measure_recompile_times,
+)
+from repro.experiments.runners import (
+    ALL_TOOLS,
+    TOOL_DRCOV,
+    TOOL_LIBINST,
+    TOOL_ODINCOV,
+    TOOL_ODINCOV_NOPRUNE,
+    TOOL_SANCOV,
+)
+
+__all__ = [
+    "measure_overheads", "OverheadSummary", "ProgramOverheads",
+    "format_fig8", "format_fig9",
+    "measure_partition_variants", "PartitionSummary", "format_fig10",
+    "format_table1",
+    "measure_recompile_times", "RecompileSummary", "format_fig11",
+    "format_fig12", "measure_headline_recompile", "HeadlineResult",
+    "ALL_TOOLS", "TOOL_ODINCOV", "TOOL_SANCOV", "TOOL_ODINCOV_NOPRUNE",
+    "TOOL_DRCOV", "TOOL_LIBINST",
+]

@@ -1,0 +1,26 @@
+"""repro.frontend — MiniC (a C subset) compiled to the repro IR."""
+
+from repro.frontend.codegen import compile_source, compile_unit
+from repro.frontend.ctypes import (
+    CArray,
+    CFunction,
+    CInt,
+    CPointer,
+    CType,
+    CVoid,
+    CHAR,
+    INT,
+    LONG,
+    UCHAR,
+    UINT,
+    ULONG,
+    VOID_T,
+)
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.parser import parse
+
+__all__ = [
+    "compile_source", "compile_unit", "parse", "tokenize", "Token",
+    "CArray", "CFunction", "CInt", "CPointer", "CType", "CVoid",
+    "CHAR", "INT", "LONG", "UCHAR", "UINT", "ULONG", "VOID_T",
+]

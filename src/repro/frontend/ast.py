@@ -1,0 +1,214 @@
+"""Abstract syntax tree for MiniC.
+
+Plain dataclasses; semantic analysis and IR generation live in
+:mod:`repro.frontend.codegen`.  Every node carries a source line for
+diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.frontend.ctypes import CFunction, CType
+
+
+# -- expressions ----------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+    suffix: str = ""  # '', 'u', 'l', 'ul'...
+
+
+@dataclass
+class StringLit(Expr):
+    data: bytes = b""
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # - ! ~ * & ++ --
+    operand: Optional[Expr] = None
+    postfix: bool = False  # for ++/--
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="  # = += -= *= /= %= &= |= ^= <<= >>=
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Optional[Expr] = None
+    if_true: Optional[Expr] = None
+    if_false: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    callee: Optional[Expr] = None
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Cast(Expr):
+    ctype: Optional[CType] = None
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class SizeofType(Expr):
+    ctype: Optional[CType] = None
+
+
+# -- statements ----------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Declarator:
+    name: str = ""
+    ctype: Optional[CType] = None
+    init: Optional[Expr] = None
+    init_list: Optional[List[Expr]] = None  # array initializer { ... }
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decls: List[Declarator] = field(default_factory=list)
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    orelse: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None  # DeclStmt or ExprStmt or None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class SwitchCase:
+    values: List[int] = field(default_factory=list)  # empty => default
+    stmts: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Switch(Stmt):
+    scrutinee: Optional[Expr] = None
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+# -- top level --------------------------------------------------------------
+
+
+@dataclass
+class TopLevel:
+    line: int = 0
+
+
+@dataclass
+class FuncDef(TopLevel):
+    name: str = ""
+    ctype: Optional[CFunction] = None
+    param_names: List[str] = field(default_factory=list)
+    body: Optional[Block] = None
+    static: bool = False
+
+
+@dataclass
+class FuncDecl(TopLevel):
+    name: str = ""
+    ctype: Optional[CFunction] = None
+    static: bool = False
+
+
+@dataclass
+class GlobalDecl(TopLevel):
+    name: str = ""
+    ctype: Optional[CType] = None
+    init: Optional[Expr] = None
+    init_list: Optional[List[Expr]] = None
+    static: bool = False
+    const: bool = False
+
+
+@dataclass
+class TranslationUnit:
+    items: List[TopLevel] = field(default_factory=list)
+    name: str = "unit"

@@ -1,0 +1,926 @@
+"""IR generation for MiniC.
+
+Produces clang -O0 style IR: every local variable is an ``alloca`` in the
+entry block with explicit loads/stores, so ``mem2reg`` (the first O2 pass)
+has real work to do and the O0/O2 differential tests exercise the whole
+pipeline.
+
+Design notes:
+
+* Expression results are (CType, ir.Value) pairs; comparisons produce
+  ``i1`` transiently and are widened only when used as integers.
+* ``char *p = "str"`` style pointer globals are not supported because
+  global initializers are pure data (no data relocations in the linker);
+  target programs use char arrays instead.
+* Direct calls require a visible prototype; indirect calls go through
+  values of function-pointer type.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FrontendError
+from repro.frontend import ast
+from repro.frontend.ctypes import (
+    CArray,
+    CFunction,
+    CInt,
+    CPointer,
+    CType,
+    INT,
+    LONG,
+    ULONG,
+    VOID_T,
+    integer_promote,
+    usual_arithmetic_conversion,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import AllocaInst
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.types import FunctionType, I1, I32, I64, I8, IntType, PTR
+from repro.ir.values import (
+    ConstantArray,
+    ConstantData,
+    ConstantInt,
+    GlobalVariable,
+    NullPtr,
+    UndefValue,
+    Value,
+)
+
+TypedValue = Tuple[CType, Value]
+
+_ARITH_ASSIGN = {
+    "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+    "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+
+def compile_unit(unit: ast.TranslationUnit) -> Module:
+    """Compile a parsed translation unit to an IR module."""
+    return _CodeGen(unit).generate()
+
+
+def compile_source(source: str, name: str = "unit") -> Module:
+    """Convenience: parse and compile MiniC source."""
+    from repro.frontend.parser import parse
+
+    return compile_unit(parse(source, name))
+
+
+class _Scope:
+    """Lexical scope mapping names to (ctype, address) pairs."""
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.vars: Dict[str, Tuple[CType, Value]] = {}
+
+    def lookup(self, name: str) -> Optional[Tuple[CType, Value]]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+    def define(self, name: str, ctype: CType, address: Value) -> None:
+        if name in self.vars:
+            raise FrontendError(f"redefinition of {name!r}")
+        self.vars[name] = (ctype, address)
+
+
+class _CodeGen:
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self.module = Module(unit.name)
+        self.global_types: Dict[str, CType] = {}
+        self.func_types: Dict[str, CFunction] = {}
+        self._string_cache: Dict[bytes, GlobalVariable] = {}
+        self._string_counter = 0
+        # Per-function state.
+        self.fn: Optional[Function] = None
+        self.builder: Optional[IRBuilder] = None
+        self.scope: Optional[_Scope] = None
+        self.return_ctype: CType = VOID_T
+        self._alloca_count = 0
+        self._break_targets: List[BasicBlock] = []
+        self._continue_targets: List[BasicBlock] = []
+
+    # ================= top level =================
+
+    def generate(self) -> Module:
+        # Pass 1: declare every function and global so order doesn't matter.
+        for item in self.unit.items:
+            if isinstance(item, (ast.FuncDef, ast.FuncDecl)):
+                self._declare_function(item)
+            elif isinstance(item, ast.GlobalDecl):
+                self._declare_global(item)
+        # Pass 2: generate bodies.
+        for item in self.unit.items:
+            if isinstance(item, ast.FuncDef):
+                self._gen_function(item)
+        return self.module
+
+    def _declare_function(self, item) -> None:
+        existing = self.func_types.get(item.name)
+        if existing is not None:
+            if existing != item.ctype:
+                raise FrontendError(
+                    f"conflicting declaration of {item.name!r}", item.line
+                )
+            return
+        self.func_types[item.name] = item.ctype
+        linkage = "internal" if item.static else "external"
+        names = item.param_names if isinstance(item, ast.FuncDef) else ()
+        self.module.add(
+            Function(item.name, item.ctype.ir_type(), names, linkage)
+        )
+
+    def _declare_global(self, item: ast.GlobalDecl) -> None:
+        if item.name in self.global_types:
+            raise FrontendError(f"redefinition of global {item.name!r}", item.line)
+        ctype = item.ctype
+        init = self._global_initializer(item)
+        self.global_types[item.name] = ctype
+        self.module.add(
+            GlobalVariable(
+                item.name,
+                ctype.ir_type(),
+                init,
+                is_const=item.const,
+                linkage="internal" if item.static else "external",
+            )
+        )
+
+    def _global_initializer(self, item: ast.GlobalDecl):
+        ctype = item.ctype
+        if item.init_list is not None:
+            if not isinstance(ctype, CArray) or not ctype.element.is_integer():
+                raise FrontendError(
+                    f"array initializer for non-array {item.name!r}", item.line
+                )
+            values = [self._const_int_expr(e) for e in item.init_list]
+            if len(values) > ctype.count:
+                raise FrontendError(f"too many initializers for {item.name!r}", item.line)
+            values += [0] * (ctype.count - len(values))
+            return ConstantArray(ctype.element.ir_type(), values)
+        if item.init is not None:
+            if isinstance(item.init, ast.StringLit):
+                if not (isinstance(ctype, CArray) and ctype.element.is_integer()
+                        and ctype.element.bits == 8):
+                    raise FrontendError(
+                        f"string initializer needs char array for {item.name!r}",
+                        item.line,
+                    )
+                data = item.init.data
+                if len(data) > ctype.count:
+                    raise FrontendError(
+                        f"string too long for {item.name!r}", item.line
+                    )
+                return ConstantData(data + b"\x00" * (ctype.count - len(data)))
+            if ctype.is_integer():
+                return ConstantInt(ctype.ir_type(), self._const_int_expr(item.init))
+            if ctype.is_pointer():
+                value = self._const_int_expr(item.init)
+                if value != 0:
+                    raise FrontendError(
+                        f"pointer global {item.name!r} may only be null", item.line
+                    )
+                return NullPtr()
+            raise FrontendError(f"bad initializer for {item.name!r}", item.line)
+        # Zero-initialize definitions (tentative definitions are definitions).
+        if ctype.is_integer():
+            return ConstantInt(ctype.ir_type(), 0)
+        if ctype.is_pointer():
+            return NullPtr()
+        if isinstance(ctype, CArray):
+            # Zero fill regardless of element type/rank (raw bytes).
+            return ConstantData(b"\x00" * ctype.size)
+        raise FrontendError(f"cannot zero-initialize {item.name!r}", item.line)
+
+    def _const_int_expr(self, expr: ast.Expr) -> int:
+        """Evaluate a constant integer expression for an initializer."""
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            return -self._const_int_expr(expr.operand)
+        if isinstance(expr, ast.Unary) and expr.op == "~":
+            return ~self._const_int_expr(expr.operand)
+        if isinstance(expr, ast.Binary):
+            a = self._const_int_expr(expr.lhs)
+            b = self._const_int_expr(expr.rhs)
+            ops = {
+                "+": lambda: a + b, "-": lambda: a - b, "*": lambda: a * b,
+                "/": lambda: a // b if b else 0, "%": lambda: a % b if b else 0,
+                "<<": lambda: a << b, ">>": lambda: a >> b,
+                "&": lambda: a & b, "|": lambda: a | b, "^": lambda: a ^ b,
+            }
+            if expr.op in ops:
+                return ops[expr.op]()
+        if isinstance(expr, ast.SizeofType):
+            return expr.ctype.size
+        raise FrontendError("initializer is not a constant expression", expr.line)
+
+    # ================== functions ==================
+
+    def _gen_function(self, item: ast.FuncDef) -> None:
+        fn = self.module.get(item.name)
+        assert isinstance(fn, Function)
+        self.fn = fn
+        self.return_ctype = item.ctype.ret
+        self._alloca_count = 0
+        self._break_targets = []
+        self._continue_targets = []
+        entry = fn.add_block("entry")
+        self.builder = IRBuilder.at_end(entry)
+        self.scope = _Scope()
+
+        # Spill parameters to stack slots (clang -O0 style).
+        for arg, pname, ptype in zip(fn.args, item.param_names, item.ctype.params):
+            slot = self._new_alloca(ptype, pname)
+            self.builder.store(arg, slot)
+            self.scope.define(pname, ptype, slot)
+
+        self._gen_block(item.body)
+
+        # Implicit return.
+        if self._current_block().terminator is None:
+            if self.return_ctype.is_void():
+                self.builder.ret()
+            elif self.return_ctype.is_integer():
+                self.builder.ret(ConstantInt(self.return_ctype.ir_type(), 0))
+            else:
+                self.builder.ret(NullPtr())
+
+    def _current_block(self) -> BasicBlock:
+        return self.builder.block
+
+    def _ensure_open_block(self) -> None:
+        """After a terminator, route further code into a fresh dead block."""
+        if self._current_block().terminator is not None:
+            self.builder.position_at_end(self.fn.add_block("dead"))
+
+    def _new_alloca(self, ctype: CType, name: str) -> Value:
+        inst = AllocaInst(ctype.ir_type() if not ctype.is_array() else ctype.ir_type())
+        entry = self.fn.entry
+        inst.parent = entry
+        inst.name = self.fn.uniquify_value_name(name or "slot")
+        entry.instructions.insert(self._alloca_count, inst)
+        self._alloca_count += 1
+        return inst
+
+    # ================== statements ==================
+
+    def _gen_statement(self, stmt: ast.Stmt) -> None:
+        self._ensure_open_block()
+        if isinstance(stmt, ast.Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._gen_expr(stmt.expr)
+        elif isinstance(stmt, ast.DeclStmt):
+            self._gen_decl(stmt)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._gen_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._gen_switch(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._gen_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self._break_targets:
+                raise FrontendError("break outside loop/switch", stmt.line)
+            self.builder.br(self._break_targets[-1])
+        elif isinstance(stmt, ast.Continue):
+            if not self._continue_targets:
+                raise FrontendError("continue outside loop", stmt.line)
+            self.builder.br(self._continue_targets[-1])
+        else:  # pragma: no cover
+            raise FrontendError(f"unhandled statement {type(stmt).__name__}", stmt.line)
+
+    def _gen_block(self, block: ast.Block) -> None:
+        self.scope = _Scope(self.scope)
+        for stmt in block.stmts:
+            self._gen_statement(stmt)
+        self.scope = self.scope.parent
+
+    def _gen_decl(self, stmt: ast.DeclStmt) -> None:
+        for decl in stmt.decls:
+            slot = self._new_alloca(decl.ctype, decl.name)
+            self.scope.define(decl.name, decl.ctype, slot)
+            if decl.init is not None:
+                if isinstance(decl.init, ast.StringLit) and decl.ctype.is_array():
+                    self._store_string_into_array(decl, slot, stmt.line)
+                    continue
+                ctype, value = self._gen_expr(decl.init)
+                value = self._convert(ctype, value, decl.ctype, stmt.line)
+                self.builder.store(value, slot)
+            elif decl.init_list is not None:
+                if not isinstance(decl.ctype, CArray):
+                    raise FrontendError(
+                        f"initializer list for non-array {decl.name!r}", stmt.line
+                    )
+                elem = decl.ctype.element
+                for i, expr in enumerate(decl.init_list):
+                    ctype, value = self._gen_expr(expr)
+                    value = self._convert(ctype, value, elem, stmt.line)
+                    ptr = self.builder.gep(
+                        elem.ir_type(), slot, ConstantInt(I64, i)
+                    )
+                    self.builder.store(value, ptr)
+
+    def _store_string_into_array(self, decl, slot: Value, line: int) -> None:
+        data = decl.init.data
+        ctype = decl.ctype
+        if not (ctype.element.is_integer() and ctype.element.bits == 8):
+            raise FrontendError("string initializer needs a char array", line)
+        if len(data) > ctype.count:
+            raise FrontendError("string too long for array", line)
+        for i, byte in enumerate(data):
+            ptr = self.builder.gep(I8, slot, ConstantInt(I64, i))
+            self.builder.store(ConstantInt(I8, byte), ptr)
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        cond = self._gen_condition(stmt.cond)
+        then_block = self.fn.add_block("if.then")
+        end_block = self.fn.add_block("if.end")
+        else_block = self.fn.add_block("if.else") if stmt.orelse else end_block
+        self.builder.condbr(cond, then_block, else_block)
+
+        self.builder.position_at_end(then_block)
+        self._gen_statement(stmt.then)
+        if self._current_block().terminator is None:
+            self.builder.br(end_block)
+
+        if stmt.orelse is not None:
+            self.builder.position_at_end(else_block)
+            self._gen_statement(stmt.orelse)
+            if self._current_block().terminator is None:
+                self.builder.br(end_block)
+        self.builder.position_at_end(end_block)
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        header = self.fn.add_block("while.cond")
+        body = self.fn.add_block("while.body")
+        end = self.fn.add_block("while.end")
+        self.builder.br(header)
+        self.builder.position_at_end(header)
+        cond = self._gen_condition(stmt.cond)
+        self.builder.condbr(cond, body, end)
+        self.builder.position_at_end(body)
+        self._push_loop(end, header)
+        self._gen_statement(stmt.body)
+        self._pop_loop()
+        if self._current_block().terminator is None:
+            self.builder.br(header)
+        self.builder.position_at_end(end)
+
+    def _gen_do_while(self, stmt: ast.DoWhile) -> None:
+        body = self.fn.add_block("do.body")
+        cond_block = self.fn.add_block("do.cond")
+        end = self.fn.add_block("do.end")
+        self.builder.br(body)
+        self.builder.position_at_end(body)
+        self._push_loop(end, cond_block)
+        self._gen_statement(stmt.body)
+        self._pop_loop()
+        if self._current_block().terminator is None:
+            self.builder.br(cond_block)
+        self.builder.position_at_end(cond_block)
+        cond = self._gen_condition(stmt.cond)
+        self.builder.condbr(cond, body, end)
+        self.builder.position_at_end(end)
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        self.scope = _Scope(self.scope)
+        if stmt.init is not None:
+            self._gen_statement(stmt.init)
+        header = self.fn.add_block("for.cond")
+        body = self.fn.add_block("for.body")
+        step_block = self.fn.add_block("for.step")
+        end = self.fn.add_block("for.end")
+        self.builder.br(header)
+        self.builder.position_at_end(header)
+        if stmt.cond is not None:
+            cond = self._gen_condition(stmt.cond)
+            self.builder.condbr(cond, body, end)
+        else:
+            self.builder.br(body)
+        self.builder.position_at_end(body)
+        self._push_loop(end, step_block)
+        self._gen_statement(stmt.body)
+        self._pop_loop()
+        if self._current_block().terminator is None:
+            self.builder.br(step_block)
+        self.builder.position_at_end(step_block)
+        if stmt.step is not None:
+            self._gen_expr(stmt.step)
+        self.builder.br(header)
+        self.builder.position_at_end(end)
+        self.scope = self.scope.parent
+
+    def _gen_switch(self, stmt: ast.Switch) -> None:
+        ctype, scrutinee = self._gen_expr(stmt.scrutinee)
+        if not ctype.is_integer():
+            raise FrontendError("switch needs an integer expression", stmt.line)
+        ctype_p = integer_promote(ctype)
+        scrutinee = self._convert(ctype, scrutinee, ctype_p, stmt.line)
+        end = self.fn.add_block("switch.end")
+
+        case_blocks: List[BasicBlock] = [
+            self.fn.add_block(f"switch.case{i}") for i in range(len(stmt.cases))
+        ]
+        default_block = end
+        for case, block in zip(stmt.cases, case_blocks):
+            if not case.values:
+                default_block = block
+
+        switch_inst = self.builder.switch(scrutinee, default_block)
+        ir_type: IntType = ctype_p.ir_type()
+        for case, block in zip(stmt.cases, case_blocks):
+            for value in case.values:
+                switch_inst.add_case(ConstantInt(ir_type, value), block)
+
+        self._break_targets.append(end)
+        for i, (case, block) in enumerate(zip(stmt.cases, case_blocks)):
+            self.builder.position_at_end(block)
+            for sub in case.stmts:
+                self._gen_statement(sub)
+            if self._current_block().terminator is None:
+                # Fall through to the next case body, or exit.
+                target = case_blocks[i + 1] if i + 1 < len(case_blocks) else end
+                self.builder.br(target)
+        self._break_targets.pop()
+        self.builder.position_at_end(end)
+
+    def _gen_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            if not self.return_ctype.is_void():
+                raise FrontendError("non-void function must return a value", stmt.line)
+            self.builder.ret()
+            return
+        ctype, value = self._gen_expr(stmt.value)
+        value = self._convert(ctype, value, self.return_ctype, stmt.line)
+        self.builder.ret(value)
+
+    def _push_loop(self, break_target: BasicBlock, continue_target: BasicBlock) -> None:
+        self._break_targets.append(break_target)
+        self._continue_targets.append(continue_target)
+
+    def _pop_loop(self) -> None:
+        self._break_targets.pop()
+        self._continue_targets.pop()
+
+    # ================== expressions ==================
+
+    def _gen_expr(self, expr: ast.Expr) -> TypedValue:
+        """Generate an rvalue."""
+        if isinstance(expr, ast.IntLit):
+            return self._gen_int_literal(expr)
+        if isinstance(expr, ast.StringLit):
+            return CPointer(CInt(8)), self._string_global(expr.data)
+        if isinstance(expr, ast.Ident):
+            return self._gen_ident_rvalue(expr)
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("&&", "||"):
+                return INT, self.builder.zext(self._gen_condition(expr), I32)
+            if expr.op in ("==", "!=", "<", "<=", ">", ">="):
+                return INT, self.builder.zext(self._gen_condition(expr), I32)
+            return self._gen_arith(expr)
+        if isinstance(expr, ast.Assign):
+            return self._gen_assign(expr)
+        if isinstance(expr, ast.Ternary):
+            return self._gen_ternary(expr)
+        if isinstance(expr, ast.Call):
+            return self._gen_call(expr)
+        if isinstance(expr, ast.Index):
+            ctype, addr = self._gen_lvalue(expr)
+            return self._load(ctype, addr)
+        if isinstance(expr, ast.Cast):
+            ctype, value = self._gen_expr(expr.operand)
+            return expr.ctype, self._convert(ctype, value, expr.ctype, expr.line)
+        if isinstance(expr, ast.SizeofType):
+            return ULONG, ConstantInt(I64, expr.ctype.size)
+        raise FrontendError(f"unhandled expression {type(expr).__name__}", expr.line)
+
+    def _gen_int_literal(self, expr: ast.IntLit) -> TypedValue:
+        suffix = expr.suffix
+        unsigned = "u" in suffix
+        long_ = "l" in suffix or not (-(2**31) <= expr.value < 2**31)
+        bits = 64 if long_ else 32
+        ctype = CInt(bits, not unsigned)
+        return ctype, ConstantInt(ctype.ir_type(), expr.value)
+
+    def _gen_ident_rvalue(self, expr: ast.Ident) -> TypedValue:
+        fn = self.module.get_or_none(expr.name)
+        if expr.name in self.func_types and isinstance(fn, Function):
+            return CPointer(self.func_types[expr.name]), fn
+        ctype, addr = self._gen_lvalue(expr)
+        if isinstance(ctype, CArray):
+            return ctype.decay(), addr  # arrays decay to pointers
+        return self._load(ctype, addr)
+
+    def _load(self, ctype: CType, addr: Value) -> TypedValue:
+        if isinstance(ctype, CArray):
+            return ctype.decay(), addr
+        return ctype, self.builder.load(ctype.ir_type(), addr)
+
+    def _gen_lvalue(self, expr: ast.Expr) -> TypedValue:
+        """Generate the address of an lvalue; returns (value ctype, address)."""
+        if isinstance(expr, ast.Ident):
+            hit = self.scope.lookup(expr.name)
+            if hit is not None:
+                return hit
+            if expr.name in self.global_types:
+                return self.global_types[expr.name], self.module.get(expr.name)
+            raise FrontendError(f"use of undeclared identifier {expr.name!r}", expr.line)
+        if isinstance(expr, ast.Index):
+            base_ctype, base = self._gen_expr(expr.base)
+            if isinstance(base_ctype, CArray):
+                base_ctype = base_ctype.decay()
+            if not isinstance(base_ctype, CPointer):
+                raise FrontendError("subscripted value is not a pointer", expr.line)
+            ictype, index = self._gen_expr(expr.index)
+            if not ictype.is_integer():
+                raise FrontendError("array index must be an integer", expr.line)
+            index = self.builder.int_cast(index, I64, ictype.signed)
+            elem = base_ctype.pointee
+            addr = self.builder.gep(elem.ir_type(), base, index)
+            return elem, addr
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            ctype, value = self._gen_expr(expr.operand)
+            if isinstance(ctype, CArray):
+                ctype = ctype.decay()
+            if not isinstance(ctype, CPointer):
+                raise FrontendError("cannot dereference a non-pointer", expr.line)
+            return ctype.pointee, value
+        raise FrontendError("expression is not an lvalue", expr.line)
+
+    # -- unary -----------------------------------------------------------------
+
+    def _gen_unary(self, expr: ast.Unary) -> TypedValue:
+        op = expr.op
+        if op == "&":
+            ctype, addr = self._gen_lvalue(expr.operand)
+            return CPointer(ctype), addr
+        if op == "*":
+            ctype, addr = self._gen_lvalue(expr)
+            return self._load(ctype, addr)
+        if op == "!":
+            cond = self._gen_condition(expr.operand)
+            inverted = self.builder.xor(cond, ConstantInt(I1, 1))
+            return INT, self.builder.zext(inverted, I32)
+        if op in ("++", "--"):
+            return self._gen_incdec(expr)
+        ctype, value = self._gen_expr(expr.operand)
+        if not ctype.is_integer():
+            raise FrontendError(f"unary {op} needs an integer", expr.line)
+        ctype = integer_promote(ctype)
+        value = self._convert_int(value, ctype)
+        ir_type = ctype.ir_type()
+        if op == "-":
+            return ctype, self.builder.sub(ConstantInt(ir_type, 0), value)
+        if op == "~":
+            return ctype, self.builder.xor(value, ConstantInt(ir_type, -1))
+        raise FrontendError(f"unhandled unary {op}", expr.line)
+
+    def _gen_incdec(self, expr: ast.Unary) -> TypedValue:
+        ctype, addr = self._gen_lvalue(expr.operand)
+        _, old = self._load(ctype, addr)
+        if ctype.is_integer():
+            one = ConstantInt(ctype.ir_type(), 1)
+            new = (
+                self.builder.add(old, one)
+                if expr.op == "++"
+                else self.builder.sub(old, one)
+            )
+        elif isinstance(ctype, CPointer):
+            delta = 1 if expr.op == "++" else -1
+            new = self.builder.gep(
+                ctype.pointee.ir_type(), old, ConstantInt(I64, delta)
+            )
+        else:
+            raise FrontendError(f"cannot {expr.op} this type", expr.line)
+        self.builder.store(new, addr)
+        return ctype, old if expr.postfix else new
+
+    # -- binary arithmetic -----------------------------------------------------------
+
+    def _gen_arith(self, expr: ast.Binary) -> TypedValue:
+        lct, lhs = self._gen_expr(expr.lhs)
+        rct, rhs = self._gen_expr(expr.rhs)
+        op = expr.op
+
+        if isinstance(lct, CArray):
+            lct = lct.decay()
+        if isinstance(rct, CArray):
+            rct = rct.decay()
+
+        # Pointer arithmetic.
+        if isinstance(lct, CPointer) and rct.is_integer() and op in ("+", "-"):
+            index = self.builder.int_cast(rhs, I64, rct.signed)
+            if op == "-":
+                index = self.builder.sub(ConstantInt(I64, 0), index)
+            return lct, self.builder.gep(lct.pointee.ir_type(), lhs, index)
+        if lct.is_integer() and isinstance(rct, CPointer) and op == "+":
+            index = self.builder.int_cast(lhs, I64, lct.signed)
+            return rct, self.builder.gep(rct.pointee.ir_type(), rhs, index)
+        if isinstance(lct, CPointer) and isinstance(rct, CPointer) and op == "-":
+            li = self.builder.ptrtoint(lhs, I64)
+            ri = self.builder.ptrtoint(rhs, I64)
+            diff = self.builder.sub(li, ri)
+            size = lct.pointee.size
+            if size > 1:
+                diff = self.builder.sdiv(diff, ConstantInt(I64, size))
+            return LONG, diff
+
+        if not (lct.is_integer() and rct.is_integer()):
+            raise FrontendError(f"invalid operands to {op}", expr.line)
+
+        common = usual_arithmetic_conversion(lct, rct)
+        lhs = self._convert(lct, lhs, common, expr.line)
+        rhs = self._convert(rct, rhs, common, expr.line)
+        opcode = {
+            "+": "add", "-": "sub", "*": "mul",
+            "/": "sdiv" if common.signed else "udiv",
+            "%": "srem" if common.signed else "urem",
+            "&": "and", "|": "or", "^": "xor",
+            "<<": "shl",
+            ">>": "ashr" if common.signed else "lshr",
+        }[op]
+        return common, self.builder.binop(opcode, lhs, rhs)
+
+    # -- assignment ---------------------------------------------------------------------
+
+    def _gen_assign(self, expr: ast.Assign) -> TypedValue:
+        if expr.op == "=":
+            ctype, addr = self._gen_lvalue(expr.target)
+            vct, value = self._gen_expr(expr.value)
+            value = self._convert(vct, value, ctype, expr.line)
+            self.builder.store(value, addr)
+            return ctype, value
+        # Compound assignment: evaluate address once.
+        base_op = _ARITH_ASSIGN[expr.op]
+        ctype, addr = self._gen_lvalue(expr.target)
+        _, old = self._load(ctype, addr)
+        vct, rhs = self._gen_expr(expr.value)
+        if isinstance(ctype, CPointer) and base_op in ("+", "-") and vct.is_integer():
+            index = self.builder.int_cast(rhs, I64, vct.signed)
+            if base_op == "-":
+                index = self.builder.sub(ConstantInt(I64, 0), index)
+            new = self.builder.gep(ctype.pointee.ir_type(), old, index)
+        else:
+            if not (ctype.is_integer() and vct.is_integer()):
+                raise FrontendError(f"invalid compound assignment {expr.op}", expr.line)
+            common = usual_arithmetic_conversion(ctype, vct)
+            a = self._convert(ctype, old, common, expr.line)
+            b = self._convert(vct, rhs, common, expr.line)
+            opcode = {
+                "+": "add", "-": "sub", "*": "mul",
+                "/": "sdiv" if common.signed else "udiv",
+                "%": "srem" if common.signed else "urem",
+                "&": "and", "|": "or", "^": "xor",
+                "<<": "shl",
+                ">>": "ashr" if common.signed else "lshr",
+            }[base_op]
+            result = self.builder.binop(opcode, a, b)
+            new = self._convert(common, result, ctype, expr.line)
+        self.builder.store(new, addr)
+        return ctype, new
+
+    # -- ternary -----------------------------------------------------------------------------
+
+    def _gen_ternary(self, expr: ast.Ternary) -> TypedValue:
+        cond = self._gen_condition(expr.cond)
+        then_block = self.fn.add_block("cond.then")
+        else_block = self.fn.add_block("cond.else")
+        end_block = self.fn.add_block("cond.end")
+        self.builder.condbr(cond, then_block, else_block)
+
+        self.builder.position_at_end(then_block)
+        tct, tval = self._gen_expr(expr.if_true)
+        then_exit = self._current_block()
+
+        self.builder.position_at_end(else_block)
+        ect, eval_ = self._gen_expr(expr.if_false)
+        else_exit = self._current_block()
+
+        # Unify the arm types.
+        if tct.is_integer() and ect.is_integer():
+            common: CType = usual_arithmetic_conversion(tct, ect)
+        elif isinstance(tct, CArray):
+            common = tct.decay()
+        elif tct.is_pointer() or ect.is_pointer():
+            common = tct if tct.is_pointer() else ect
+        elif tct.is_void() and ect.is_void():
+            common = VOID_T
+        else:
+            common = tct
+
+        self.builder.position_at_end(then_exit)
+        if not common.is_void():
+            tval = self._convert(tct, tval, common, expr.line)
+        self.builder.br(end_block)
+        self.builder.position_at_end(else_exit)
+        if not common.is_void():
+            eval_ = self._convert(ect, eval_, common, expr.line)
+        self.builder.br(end_block)
+
+        self.builder.position_at_end(end_block)
+        if common.is_void():
+            return VOID_T, UndefValue(I32)
+        phi = self.builder.phi(common.ir_type())
+        phi.add_incoming(tval, then_exit)
+        phi.add_incoming(eval_, else_exit)
+        return common, phi
+
+    # -- calls ------------------------------------------------------------------------------------
+
+    def _gen_call(self, expr: ast.Call) -> TypedValue:
+        callee_expr = expr.callee
+        if isinstance(callee_expr, ast.Ident) and callee_expr.name in self.func_types:
+            ftype = self.func_types[callee_expr.name]
+            callee = self.module.get(callee_expr.name)
+        elif isinstance(callee_expr, ast.Ident) and callee_expr.name in _BUILTINS:
+            ftype = _BUILTINS[callee_expr.name]
+            self.func_types[callee_expr.name] = ftype
+            existing = self.module.get_or_none(callee_expr.name)
+            callee = existing or self.module.add(
+                Function(callee_expr.name, ftype.ir_type())
+            )
+        else:
+            cct, callee = self._gen_expr(callee_expr)
+            if not (isinstance(cct, CPointer) and isinstance(cct.pointee, CFunction)):
+                raise FrontendError("called object is not a function", expr.line)
+            ftype = cct.pointee
+
+        fixed = len(ftype.params)
+        if len(expr.args) < fixed or (len(expr.args) > fixed and not ftype.vararg):
+            raise FrontendError(
+                f"wrong number of arguments ({len(expr.args)} for {fixed})", expr.line
+            )
+        args: List[Value] = []
+        for i, arg_expr in enumerate(expr.args):
+            act, value = self._gen_expr(arg_expr)
+            if i < fixed:
+                value = self._convert(act, value, ftype.params[i], expr.line)
+            else:
+                # Vararg promotion: integers widen to 64 bits (sign-aware),
+                # so printf-style consumers see one well-defined width.
+                if isinstance(act, CArray):
+                    act = act.decay()
+                if act.is_integer():
+                    promoted = CInt(64, act.signed)
+                    value = self._convert(act, value, promoted, expr.line)
+            args.append(value)
+        result = self.builder.call(callee, args, ftype.ir_type())
+        return ftype.ret, result
+
+    # -- conditions -----------------------------------------------------------------------------------
+
+    def _gen_condition(self, expr: ast.Expr) -> Value:
+        """Generate an i1 for a branch condition."""
+        if isinstance(expr, ast.Binary) and expr.op in ("==", "!=", "<", "<=", ">", ">="):
+            return self._gen_comparison(expr)
+        if isinstance(expr, ast.Binary) and expr.op in ("&&", "||"):
+            return self._gen_logical(expr)
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            cond = self._gen_condition(expr.operand)
+            return self.builder.xor(cond, ConstantInt(I1, 1))
+        ctype, value = self._gen_expr(expr)
+        return self._truthy(ctype, value, expr.line)
+
+    def _gen_comparison(self, expr: ast.Binary) -> Value:
+        lct, lhs = self._gen_expr(expr.lhs)
+        rct, rhs = self._gen_expr(expr.rhs)
+        if isinstance(lct, CArray):
+            lct = lct.decay()
+        if isinstance(rct, CArray):
+            rct = rct.decay()
+        if lct.is_pointer() and rct.is_pointer():
+            signed = False
+        elif lct.is_pointer() and rct.is_integer():
+            rhs = NullPtr() if isinstance(rhs, ConstantInt) and rhs.value == 0 else \
+                self.builder.inttoptr(rhs, PTR)
+            signed = False
+        elif lct.is_integer() and rct.is_pointer():
+            lhs = NullPtr() if isinstance(lhs, ConstantInt) and lhs.value == 0 else \
+                self.builder.inttoptr(lhs, PTR)
+            signed = False
+        elif lct.is_integer() and rct.is_integer():
+            common = usual_arithmetic_conversion(lct, rct)
+            lhs = self._convert(lct, lhs, common, expr.line)
+            rhs = self._convert(rct, rhs, common, expr.line)
+            signed = common.signed
+        else:
+            raise FrontendError(f"invalid comparison operands", expr.line)
+        pred = {
+            "==": "eq", "!=": "ne",
+            "<": "slt" if signed else "ult",
+            "<=": "sle" if signed else "ule",
+            ">": "sgt" if signed else "ugt",
+            ">=": "sge" if signed else "uge",
+        }[expr.op]
+        return self.builder.icmp(pred, lhs, rhs)
+
+    def _gen_logical(self, expr: ast.Binary) -> Value:
+        """Short-circuit && / ||."""
+        rhs_block = self.fn.add_block("land.rhs" if expr.op == "&&" else "lor.rhs")
+        end_block = self.fn.add_block("land.end" if expr.op == "&&" else "lor.end")
+        lhs = self._gen_condition(expr.lhs)
+        lhs_exit = self._current_block()
+        if expr.op == "&&":
+            self.builder.condbr(lhs, rhs_block, end_block)
+            short_value = ConstantInt(I1, 0)
+        else:
+            self.builder.condbr(lhs, end_block, rhs_block)
+            short_value = ConstantInt(I1, 1)
+        self.builder.position_at_end(rhs_block)
+        rhs = self._gen_condition(expr.rhs)
+        rhs_exit = self._current_block()
+        self.builder.br(end_block)
+        self.builder.position_at_end(end_block)
+        phi = self.builder.phi(I1)
+        phi.add_incoming(short_value, lhs_exit)
+        phi.add_incoming(rhs, rhs_exit)
+        return phi
+
+    def _truthy(self, ctype: CType, value: Value, line: int) -> Value:
+        if ctype.is_integer():
+            return self.builder.icmp(
+                "ne", value, ConstantInt(ctype.ir_type(), 0)
+            )
+        if ctype.is_pointer() or isinstance(ctype, CArray):
+            if isinstance(ctype, CArray):
+                return ConstantInt(I1, 1)
+            return self.builder.icmp("ne", value, NullPtr())
+        raise FrontendError("expression is not convertible to bool", line)
+
+    # -- conversions -------------------------------------------------------------------------------------
+
+    def _convert(self, from_ct: CType, value: Value, to_ct: CType, line: int) -> Value:
+        if isinstance(from_ct, CArray):
+            from_ct = from_ct.decay()
+        if from_ct == to_ct:
+            return value
+        if from_ct.is_integer() and to_ct.is_integer():
+            return self.builder.int_cast(value, to_ct.ir_type(), from_ct.signed)
+        if from_ct.is_pointer() and to_ct.is_pointer():
+            return value  # all pointers are opaque
+        if from_ct.is_integer() and to_ct.is_pointer():
+            if isinstance(value, ConstantInt) and value.value == 0:
+                return NullPtr()
+            wide = self.builder.int_cast(value, I64, from_ct.signed)
+            return self.builder.inttoptr(wide, PTR)
+        if from_ct.is_pointer() and to_ct.is_integer():
+            wide = self.builder.ptrtoint(value, I64)
+            return self.builder.int_cast(wide, to_ct.ir_type(), False)
+        if to_ct.is_void():
+            return value
+        raise FrontendError(f"cannot convert {from_ct} to {to_ct}", line)
+
+    def _convert_int(self, value: Value, ctype: CInt) -> Value:
+        if value.type is ctype.ir_type():
+            return value
+        return self.builder.int_cast(value, ctype.ir_type(), True)
+
+    # -- string literals ------------------------------------------------------------------------------------
+
+    def _string_global(self, data: bytes) -> GlobalVariable:
+        cached = self._string_cache.get(data)
+        if cached is not None:
+            return cached
+        name = f".str.{self._string_counter}"
+        self._string_counter += 1
+        gv = self.module.add(
+            GlobalVariable(
+                name, ConstantData(data).type, ConstantData(data),
+                is_const=True, linkage="internal",
+            )
+        )
+        self._string_cache[data] = gv
+        return gv
+
+
+# Functions callable without a prototype; these resolve to VM runtime
+# builtins at link time.
+_BUILTINS: Dict[str, CFunction] = {
+    "printf": CFunction(INT, (CPointer(CInt(8)),), vararg=True),
+    "puts": CFunction(INT, (CPointer(CInt(8)),)),
+    "putchar": CFunction(INT, (INT,)),
+    "malloc": CFunction(CPointer(CInt(8)), (LONG,)),
+    "free": CFunction(VOID_T, (CPointer(CInt(8)),)),
+    "memcpy": CFunction(CPointer(CInt(8)), (CPointer(CInt(8)), CPointer(CInt(8)), LONG)),
+    "memset": CFunction(CPointer(CInt(8)), (CPointer(CInt(8)), INT, LONG)),
+    "strlen": CFunction(LONG, (CPointer(CInt(8)),)),
+    "strcmp": CFunction(INT, (CPointer(CInt(8)), CPointer(CInt(8)))),
+    "abort": CFunction(VOID_T, ()),
+    "exit": CFunction(VOID_T, (INT,)),
+}

@@ -1,0 +1,166 @@
+"""MiniC lexer.
+
+Token kinds: keywords, identifiers, integer/char constants, string
+literals, punctuation/operators.  Comments (``//`` and ``/* */``) are
+skipped.  Each token carries line/column for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import FrontendError
+
+KEYWORDS = {
+    "void", "char", "short", "int", "long", "unsigned", "signed",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "switch", "case", "default", "static", "extern", "const", "sizeof",
+}
+
+# Multi-character operators first (longest match wins).
+OPERATORS = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+    "a": 7, "b": 8, "f": 12, "v": 11,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' | 'ident' | 'number' | 'char' | 'string' | 'op' | 'eof'
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> FrontendError:
+        return FrontendError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        # Whitespace.
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # Comments.
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            for c in source[i : end + 2]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        # Identifiers / keywords.
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line, col))
+            col += i - start
+            continue
+        # Numbers (decimal and hex).
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                value = int(source[start:i], 16)
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                value = int(source[start:i])
+            # Optional suffixes (u, l, ul, lu) — parsed, type handled in sema.
+            suffix_start = i
+            while i < n and source[i] in "uUlL":
+                i += 1
+            suffix = source[suffix_start:i].lower()
+            tokens.append(Token("number", (value, suffix), line, col))
+            col += i - start
+            continue
+        # Character constants.
+        if ch == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                if j + 1 >= n or source[j + 1] not in _ESCAPES:
+                    raise error("bad escape in character constant")
+                value = _ESCAPES[source[j + 1]]
+                j += 2
+            elif j < n:
+                value = ord(source[j])
+                j += 1
+            else:
+                raise error("unterminated character constant")
+            if j >= n or source[j] != "'":
+                raise error("unterminated character constant")
+            tokens.append(Token("char", value, line, col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # String literals.
+        if ch == '"':
+            j = i + 1
+            data = bytearray()
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    if j + 1 >= n or source[j + 1] not in _ESCAPES:
+                        raise error("bad escape in string literal")
+                    data.append(_ESCAPES[source[j + 1]])
+                    j += 2
+                elif source[j] == "\n":
+                    raise error("newline in string literal")
+                else:
+                    data.append(ord(source[j]))
+                    j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            tokens.append(Token("string", bytes(data), line, col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # Operators / punctuation.
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", None, line, col))
+    return tokens

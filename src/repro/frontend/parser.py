@@ -1,0 +1,498 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar summary (subset of C):
+
+    unit        := (funcdef | funcdecl | globaldecl)*
+    type        := ['static'] ['const'] ['unsigned'|'signed']
+                   ('void'|'char'|'short'|'int'|'long') '*'*
+    funcdef     := type ident '(' params ')' block
+    globaldecl  := type declarator (',' declarator)* ';'
+    statements  := if | while | do-while | for | switch | return | break
+                 | continue | block | decl | expr ';'
+    expressions := full C operator set minus comma operator and struct access
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import FrontendError
+from repro.frontend import ast
+from repro.frontend.ctypes import (
+    CArray,
+    CFunction,
+    CInt,
+    CPointer,
+    CType,
+    CVoid,
+    INT,
+    VOID_T,
+)
+from repro.frontend.lexer import Token, tokenize
+
+_TYPE_KEYWORDS = {"void", "char", "short", "int", "long", "unsigned", "signed", "const"}
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+def parse(source: str, name: str = "unit") -> ast.TranslationUnit:
+    """Parse MiniC source into a translation unit."""
+    return _Parser(tokenize(source)).parse_unit(name)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, value: object, kind: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.value == value and (kind is None or tok.kind == kind)
+
+    def accept(self, value: object) -> bool:
+        if self.at(value):
+            self.next()
+            return True
+        return False
+
+    def expect(self, value: object) -> Token:
+        tok = self.next()
+        if tok.value != value:
+            raise FrontendError(f"expected {value!r}, got {tok.value!r}", tok.line, tok.column)
+        return tok
+
+    def expect_ident(self) -> str:
+        tok = self.next()
+        if tok.kind != "ident":
+            raise FrontendError(f"expected identifier, got {tok.value!r}", tok.line, tok.column)
+        return tok.value
+
+    def error(self, message: str) -> FrontendError:
+        tok = self.peek()
+        return FrontendError(message, tok.line, tok.column)
+
+    # -- types ---------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        tok = self.peek()
+        return tok.kind == "keyword" and tok.value in _TYPE_KEYWORDS | {"static", "extern"}
+
+    def parse_type_prefix(self) -> Tuple[CType, bool, bool]:
+        """Parse storage class + base type + pointers.
+
+        Returns (type, static, const).
+        """
+        static = False
+        const = False
+        while True:
+            if self.accept("static"):
+                static = True
+            elif self.accept("extern"):
+                pass  # extern is the default storage for our purposes
+            elif self.accept("const"):
+                const = True
+            else:
+                break
+        signed: Optional[bool] = None
+        if self.accept("unsigned"):
+            signed = False
+        elif self.accept("signed"):
+            signed = True
+        base: CType
+        if self.accept("void"):
+            base = VOID_T
+        elif self.accept("char"):
+            base = CInt(8, signed if signed is not None else True)
+        elif self.accept("short"):
+            base = CInt(16, signed if signed is not None else True)
+        elif self.accept("long"):
+            base = CInt(64, signed if signed is not None else True)
+        elif self.accept("int"):
+            base = CInt(32, signed if signed is not None else True)
+        elif signed is not None:
+            base = CInt(32, signed)  # bare 'unsigned'
+        else:
+            raise self.error("expected a type name")
+        if self.accept("const"):
+            const = True
+        # `const char *p` is a pointer to const — the pointer itself is
+        # mutable.  Only a trailing const after the last `*` makes the
+        # declared object const.
+        pointer_const = False
+        has_pointer = False
+        while self.accept("*"):
+            has_pointer = True
+            base = CPointer(base)
+            pointer_const = self.accept("const")
+        if has_pointer:
+            const = pointer_const
+        return base, static, const
+
+    # -- top level --------------------------------------------------------------
+
+    def parse_unit(self, name: str) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(name=name)
+        while self.peek().kind != "eof":
+            unit.items.extend(self.parse_top_level())
+        return unit
+
+    def parse_top_level(self) -> List[ast.TopLevel]:
+        line = self.peek().line
+        base, static, const = self.parse_type_prefix()
+        name = self.expect_ident()
+
+        if self.at("("):
+            ctype, param_names = self.parse_function_signature(base)
+            if self.accept(";"):
+                return [ast.FuncDecl(line=line, name=name, ctype=ctype, static=static)]
+            body = self.parse_block()
+            return [
+                ast.FuncDef(
+                    line=line, name=name, ctype=ctype,
+                    param_names=param_names, body=body, static=static,
+                )
+            ]
+
+        # Global variable declaration(s).
+        items: List[ast.TopLevel] = []
+        while True:
+            ctype = self.parse_array_suffix(base)
+            init: Optional[ast.Expr] = None
+            init_list: Optional[List[ast.Expr]] = None
+            if self.accept("="):
+                if self.at("{"):
+                    init_list = self.parse_init_list()
+                else:
+                    init = self.parse_assignment()
+            items.append(
+                ast.GlobalDecl(
+                    line=line, name=name, ctype=ctype, init=init,
+                    init_list=init_list, static=static, const=const,
+                )
+            )
+            if self.accept(","):
+                name = self.expect_ident()
+                continue
+            self.expect(";")
+            break
+        return items
+
+    def parse_function_signature(self, ret: CType) -> Tuple[CFunction, List[str]]:
+        self.expect("(")
+        params: List[CType] = []
+        names: List[str] = []
+        vararg = False
+        if self.accept(")"):
+            return CFunction(ret, tuple(params)), names
+        if self.at("void") and self.peek(1).value == ")":
+            self.next()
+            self.expect(")")
+            return CFunction(ret, tuple(params)), names
+        while True:
+            if self.accept("..."):
+                vararg = True
+                break
+            ptype, _, _ = self.parse_type_prefix()
+            pname = ""
+            if self.peek().kind == "ident":
+                pname = self.expect_ident()
+            # Array parameters decay to pointers.
+            while self.accept("["):
+                if self.peek().kind == "number":
+                    self.next()
+                self.expect("]")
+                ptype = CPointer(ptype)
+            params.append(ptype)
+            names.append(pname or f"arg{len(params) - 1}")
+            if not self.accept(","):
+                break
+        self.expect(")")
+        return CFunction(ret, tuple(params), vararg), names
+
+    def parse_array_suffix(self, base: CType) -> CType:
+        dims: List[int] = []
+        while self.accept("["):
+            tok = self.next()
+            if tok.kind != "number":
+                raise FrontendError("array size must be a constant", tok.line, tok.column)
+            dims.append(tok.value[0])
+            self.expect("]")
+        for dim in reversed(dims):
+            base = CArray(base, dim)
+        return base
+
+    def parse_init_list(self) -> List[ast.Expr]:
+        self.expect("{")
+        items: List[ast.Expr] = []
+        while not self.accept("}"):
+            if items:
+                self.expect(",")
+                if self.accept("}"):
+                    break
+            items.append(self.parse_assignment())
+        return items
+
+    # -- statements -----------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        line = self.peek().line
+        self.expect("{")
+        block = ast.Block(line=line)
+        while not self.accept("}"):
+            block.stmts.append(self.parse_statement())
+        return block
+
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.peek()
+        line = tok.line
+        if self.at("{"):
+            return self.parse_block()
+        if self.at_type():
+            return self.parse_decl_statement()
+        if self.accept("if"):
+            self.expect("(")
+            cond = self.parse_expression()
+            self.expect(")")
+            then = self.parse_statement()
+            orelse = self.parse_statement() if self.accept("else") else None
+            return ast.If(line=line, cond=cond, then=then, orelse=orelse)
+        if self.accept("while"):
+            self.expect("(")
+            cond = self.parse_expression()
+            self.expect(")")
+            return ast.While(line=line, cond=cond, body=self.parse_statement())
+        if self.accept("do"):
+            body = self.parse_statement()
+            self.expect("while")
+            self.expect("(")
+            cond = self.parse_expression()
+            self.expect(")")
+            self.expect(";")
+            return ast.DoWhile(line=line, body=body, cond=cond)
+        if self.accept("for"):
+            self.expect("(")
+            init: Optional[ast.Stmt] = None
+            if not self.accept(";"):
+                if self.at_type():
+                    init = self.parse_decl_statement()
+                else:
+                    init = ast.ExprStmt(line=line, expr=self.parse_expression())
+                    self.expect(";")
+            cond = None if self.at(";") else self.parse_expression()
+            self.expect(";")
+            step = None if self.at(")") else self.parse_expression()
+            self.expect(")")
+            return ast.For(line=line, init=init, cond=cond, step=step,
+                           body=self.parse_statement())
+        if self.accept("switch"):
+            return self.parse_switch(line)
+        if self.accept("return"):
+            value = None if self.at(";") else self.parse_expression()
+            self.expect(";")
+            return ast.Return(line=line, value=value)
+        if self.accept("break"):
+            self.expect(";")
+            return ast.Break(line=line)
+        if self.accept("continue"):
+            self.expect(";")
+            return ast.Continue(line=line)
+        if self.accept(";"):
+            return ast.Block(line=line)  # empty statement
+        expr = self.parse_expression()
+        self.expect(";")
+        return ast.ExprStmt(line=line, expr=expr)
+
+    def parse_decl_statement(self) -> ast.DeclStmt:
+        line = self.peek().line
+        base, _static, _const = self.parse_type_prefix()
+        stmt = ast.DeclStmt(line=line)
+        while True:
+            name = self.expect_ident()
+            ctype = self.parse_array_suffix(base)
+            decl = ast.Declarator(name=name, ctype=ctype)
+            if self.accept("="):
+                if self.at("{"):
+                    decl.init_list = self.parse_init_list()
+                else:
+                    decl.init = self.parse_assignment()
+            stmt.decls.append(decl)
+            if not self.accept(","):
+                break
+        self.expect(";")
+        return stmt
+
+    def parse_switch(self, line: int) -> ast.Switch:
+        self.expect("(")
+        scrutinee = self.parse_expression()
+        self.expect(")")
+        self.expect("{")
+        switch = ast.Switch(line=line, scrutinee=scrutinee)
+        current: Optional[ast.SwitchCase] = None
+        while not self.accept("}"):
+            tok = self.peek()
+            if self.accept("case"):
+                values = [self.parse_constant_int()]
+                self.expect(":")
+                # Collapse consecutive case labels onto one case body.
+                while self.at("case"):
+                    self.next()
+                    values.append(self.parse_constant_int())
+                    self.expect(":")
+                current = ast.SwitchCase(values=values, line=tok.line)
+                switch.cases.append(current)
+                continue
+            if self.accept("default"):
+                self.expect(":")
+                current = ast.SwitchCase(values=[], line=tok.line)
+                switch.cases.append(current)
+                continue
+            if current is None:
+                raise self.error("statement before first case label")
+            current.stmts.append(self.parse_statement())
+        return switch
+
+    def parse_constant_int(self) -> int:
+        negative = self.accept("-")
+        tok = self.next()
+        if tok.kind == "number":
+            value = tok.value[0]
+        elif tok.kind == "char":
+            value = tok.value
+        else:
+            raise FrontendError("expected integer constant", tok.line, tok.column)
+        return -value if negative else value
+
+    # -- expressions ------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> ast.Expr:
+        lhs = self.parse_ternary()
+        tok = self.peek()
+        if tok.kind == "op" and tok.value in _ASSIGN_OPS:
+            self.next()
+            rhs = self.parse_assignment()
+            return ast.Assign(line=tok.line, op=tok.value, target=lhs, value=rhs)
+        return lhs
+
+    def parse_ternary(self) -> ast.Expr:
+        cond = self.parse_binary(1)
+        if self.at("?"):
+            tok = self.next()
+            if_true = self.parse_expression()
+            self.expect(":")
+            if_false = self.parse_ternary()
+            return ast.Ternary(line=tok.line, cond=cond, if_true=if_true, if_false=if_false)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self.parse_unary()
+        while True:
+            tok = self.peek()
+            prec = _PRECEDENCE.get(tok.value) if tok.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return lhs
+            self.next()
+            rhs = self.parse_binary(prec + 1)
+            lhs = ast.Binary(line=tok.line, op=tok.value, lhs=lhs, rhs=rhs)
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.value in ("-", "!", "~", "*", "&"):
+            self.next()
+            return ast.Unary(line=tok.line, op=tok.value, operand=self.parse_unary())
+        if tok.kind == "op" and tok.value in ("++", "--"):
+            self.next()
+            return ast.Unary(line=tok.line, op=tok.value, operand=self.parse_unary())
+        if tok.value == "sizeof" and tok.kind == "keyword":
+            self.next()
+            self.expect("(")
+            if self.at_type():
+                ctype, _, _ = self.parse_type_prefix()
+                ctype = self.parse_array_suffix(ctype)
+                self.expect(")")
+                return ast.SizeofType(line=tok.line, ctype=ctype)
+            expr = self.parse_expression()
+            self.expect(")")
+            # sizeof(expr) is resolved in codegen from the expression type.
+            return ast.SizeofType(line=tok.line, ctype=None) if expr is None else \
+                ast.SizeofType(line=tok.line, ctype=self._sizeof_placeholder(expr))
+        # Cast: '(' type ')' unary
+        if tok.value == "(" and self._is_cast():
+            self.next()
+            ctype, _, _ = self.parse_type_prefix()
+            self.expect(")")
+            return ast.Cast(line=tok.line, ctype=ctype, operand=self.parse_unary())
+        return self.parse_postfix()
+
+    def _sizeof_placeholder(self, expr: ast.Expr) -> Optional[CType]:
+        # Only sizeof(type) is supported; sizeof(expr) would need sema here.
+        raise self.error("sizeof(expression) is not supported; use sizeof(type)")
+
+    def _is_cast(self) -> bool:
+        tok = self.peek(1)
+        return tok.kind == "keyword" and tok.value in _TYPE_KEYWORDS
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.peek()
+            if self.accept("["):
+                index = self.parse_expression()
+                self.expect("]")
+                expr = ast.Index(line=tok.line, base=expr, index=index)
+            elif self.accept("("):
+                args: List[ast.Expr] = []
+                while not self.accept(")"):
+                    if args:
+                        self.expect(",")
+                    args.append(self.parse_assignment())
+                expr = ast.Call(line=tok.line, callee=expr, args=args)
+            elif tok.kind == "op" and tok.value in ("++", "--"):
+                self.next()
+                expr = ast.Unary(line=tok.line, op=tok.value, operand=expr, postfix=True)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.next()
+        if tok.kind == "number":
+            value, suffix = tok.value
+            return ast.IntLit(line=tok.line, value=value, suffix=suffix)
+        if tok.kind == "char":
+            return ast.IntLit(line=tok.line, value=tok.value, suffix="")
+        if tok.kind == "string":
+            return ast.StringLit(line=tok.line, data=tok.value + b"\x00")
+        if tok.kind == "ident":
+            return ast.Ident(line=tok.line, name=tok.value)
+        if tok.value == "(":
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        raise FrontendError(f"unexpected token {tok.value!r}", tok.line, tok.column)

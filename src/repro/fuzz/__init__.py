@@ -1,0 +1,23 @@
+"""repro.fuzz — coverage-guided fuzzing substrate (AFL++-style)."""
+
+from repro.fuzz.corpus import Corpus, CorpusEntry
+from repro.fuzz.executor import (
+    DrCovExecutor,
+    ExecOutcome,
+    Executor,
+    LibInstExecutor,
+    OdinCovExecutor,
+    PlainExecutor,
+    SanCovExecutor,
+)
+from repro.fuzz.fuzzer import CmpLogFuzzer, Fuzzer, FuzzStats
+from repro.fuzz.i2s import solve_comparisons, substitution_candidates
+from repro.fuzz.mutator import Mutator
+
+__all__ = [
+    "Corpus", "CorpusEntry", "Mutator",
+    "ExecOutcome", "Executor", "PlainExecutor", "OdinCovExecutor",
+    "SanCovExecutor", "DrCovExecutor", "LibInstExecutor",
+    "Fuzzer", "CmpLogFuzzer", "FuzzStats",
+    "solve_comparisons", "substitution_candidates",
+]

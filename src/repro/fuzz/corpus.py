@@ -1,0 +1,78 @@
+"""Corpus management for coverage-guided fuzzing.
+
+A corpus entry keeps the input bytes plus bookkeeping (which probe ids it
+covers, discovery time, energy).  The corpus grows when an execution
+reaches coverage not seen before — AFL-style "interesting input"
+retention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.utils.rng import DeterministicRNG
+
+
+@dataclass
+class CorpusEntry:
+    data: bytes
+    coverage: FrozenSet[int]
+    found_at_exec: int = 0
+    energy: int = 1
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class Corpus:
+    """Seed corpus with global coverage tracking."""
+
+    def __init__(self, seeds: Iterable[bytes] = ()):  # noqa: B008
+        self.entries: List[CorpusEntry] = []
+        self.global_coverage: Set[int] = set()
+        self._pending: List[bytes] = list(seeds)
+
+    def pending_seeds(self) -> List[bytes]:
+        """Initial seeds not yet executed/triaged."""
+        out, self._pending = self._pending, []
+        return out
+
+    def consider(
+        self, data: bytes, coverage: Set[int], exec_index: int
+    ) -> Optional[CorpusEntry]:
+        """Add *data* if it contributes new coverage; returns the entry."""
+        new = coverage - self.global_coverage
+        if not new and self.entries:
+            return None
+        self.global_coverage |= coverage
+        entry = CorpusEntry(
+            data=data, coverage=frozenset(coverage), found_at_exec=exec_index
+        )
+        self.entries.append(entry)
+        return entry
+
+    def pick(self, rng: DeterministicRNG) -> CorpusEntry:
+        if not self.entries:
+            raise IndexError("corpus is empty")
+        # Favour small and recent entries lightly (AFL-ish energy).
+        weights = []
+        for i, entry in enumerate(self.entries):
+            w = 3 if len(entry.data) < 64 else 1
+            w += 1 if i >= len(self.entries) - 4 else 0
+            weights.append(w)
+        total = sum(weights)
+        roll = rng.randint(1, total)
+        acc = 0
+        for entry, w in zip(self.entries, weights):
+            acc += w
+            if roll <= acc:
+                return entry
+        return self.entries[-1]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def coverage_count(self) -> int:
+        return len(self.global_coverage)

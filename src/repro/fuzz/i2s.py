@@ -1,0 +1,81 @@
+"""Input-to-state correspondence (RedQueen-style comparison solving).
+
+§2.1/§2.2: the CmpLog scheme records comparison operands; "the algorithm
+assumes that the collected comparison operands are direct copies of the
+original input".  Given a recorded pair (observed, wanted), we search the
+input for the observed operand's byte pattern (several widths and both
+endiannesses) and substitute the wanted operand's bytes — producing
+candidate inputs that flip the comparison.
+
+Because Odin instruments before optimization, the observed values really
+are input copies; this module is also used by the Figure 2 correctness
+experiment to show the optimized-IR variant's shifted operands break it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+
+def _encodings(value: int) -> List[bytes]:
+    """Candidate byte encodings of an operand value, widest first.
+
+    Wide matches are tried first: they pin down more of the input, and a
+    narrow pattern (especially 0x00) often matches everywhere, drowning
+    the interesting substitution in noise.
+    """
+    out: List[bytes] = []
+    for width in (8, 4, 2, 1):
+        if value < (1 << (8 * width)):
+            out.append(value.to_bytes(width, "little"))
+            if width > 1:
+                out.append(value.to_bytes(width, "big"))
+    return out
+
+
+def substitution_candidates(
+    data: bytes, observed: int, wanted: int, limit: int = 8
+) -> List[bytes]:
+    """Inputs with occurrences of *observed* replaced by *wanted*."""
+    candidates: List[bytes] = []
+    seen: Set[bytes] = set()
+    for pattern in _encodings(observed):
+        width = len(pattern)
+        replacement = (wanted & ((1 << (8 * width)) - 1)).to_bytes(width, "little")
+        start = 0
+        while len(candidates) < limit:
+            idx = data.find(pattern, start)
+            if idx < 0:
+                break
+            cand = data[:idx] + replacement + data[idx + len(pattern):]
+            if cand not in seen:
+                seen.add(cand)
+                candidates.append(cand)
+            start = idx + 1
+    return candidates
+
+
+def solve_comparisons(
+    data: bytes,
+    pairs: List[Tuple[int, int]],
+    limit_per_pair: int = 4,
+    limit_total: int = 64,
+) -> List[bytes]:
+    """Candidate inputs derived from recorded comparison pairs.
+
+    For each (lhs, rhs) pair both directions are tried: make lhs equal
+    rhs, and rhs equal lhs.
+    """
+    out: List[bytes] = []
+    seen: Set[bytes] = set()
+    for lhs, rhs in pairs:
+        if lhs == rhs:
+            continue
+        for observed, wanted in ((lhs, rhs), (rhs, lhs)):
+            for cand in substitution_candidates(data, observed, wanted, limit_per_pair):
+                if cand not in seen and cand != data:
+                    seen.add(cand)
+                    out.append(cand)
+                    if len(out) >= limit_total:
+                        return out
+    return out

@@ -1,0 +1,94 @@
+"""Input mutation strategies (AFL-style havoc subset, deterministic RNG)."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.utils.rng import DeterministicRNG
+
+INTERESTING_BYTES = [0, 1, 0x7F, 0x80, 0xFF, ord("0"), ord("<"), ord("{")]
+INTERESTING_WORDS = [0, 1, 255, 256, 0x7FFF, 0xFFFF]
+
+
+def bitflip(data: bytes, rng: DeterministicRNG) -> bytes:
+    if not data:
+        return b"\x00"
+    out = bytearray(data)
+    pos = rng.randint(0, len(out) - 1)
+    out[pos] ^= 1 << rng.randint(0, 7)
+    return bytes(out)
+
+
+def byte_set(data: bytes, rng: DeterministicRNG) -> bytes:
+    if not data:
+        return bytes([rng.choice(INTERESTING_BYTES)])
+    out = bytearray(data)
+    out[rng.randint(0, len(out) - 1)] = rng.choice(INTERESTING_BYTES)
+    return bytes(out)
+
+
+def byte_random(data: bytes, rng: DeterministicRNG) -> bytes:
+    if not data:
+        return rng.bytes(1)
+    out = bytearray(data)
+    out[rng.randint(0, len(out) - 1)] = rng.randint(0, 255)
+    return bytes(out)
+
+
+def word_set(data: bytes, rng: DeterministicRNG) -> bytes:
+    if len(data) < 2:
+        return byte_set(data, rng)
+    out = bytearray(data)
+    pos = rng.randint(0, len(out) - 2)
+    value = rng.choice(INTERESTING_WORDS)
+    out[pos] = value & 0xFF
+    out[pos + 1] = (value >> 8) & 0xFF
+    return bytes(out)
+
+
+def insert_bytes(data: bytes, rng: DeterministicRNG) -> bytes:
+    pos = rng.randint(0, len(data))
+    chunk = rng.bytes(rng.randint(1, 4))
+    return data[:pos] + chunk + data[pos:]
+
+
+def delete_bytes(data: bytes, rng: DeterministicRNG) -> bytes:
+    if len(data) < 2:
+        return data
+    pos = rng.randint(0, len(data) - 2)
+    n = rng.randint(1, min(4, len(data) - pos - 1))
+    return data[:pos] + data[pos + n:]
+
+
+def duplicate_block(data: bytes, rng: DeterministicRNG) -> bytes:
+    if not data:
+        return data
+    pos = rng.randint(0, len(data) - 1)
+    n = rng.randint(1, min(8, len(data) - pos))
+    return data[:pos + n] + data[pos : pos + n] + data[pos + n:]
+
+
+MUTATIONS: List[Callable[[bytes, DeterministicRNG], bytes]] = [
+    bitflip, byte_set, byte_random, word_set,
+    insert_bytes, delete_bytes, duplicate_block,
+]
+
+MAX_INPUT_SIZE = 4096
+
+
+class Mutator:
+    """Stacked havoc mutation with optional splicing."""
+
+    def __init__(self, rng: DeterministicRNG, max_size: int = MAX_INPUT_SIZE):
+        self.rng = rng
+        self.max_size = max_size
+
+    def mutate(self, data: bytes, splice_with: Optional[bytes] = None) -> bytes:
+        out = data
+        if splice_with is not None and self.rng.chance(0.2) and splice_with:
+            cut_a = self.rng.randint(0, len(out))
+            cut_b = self.rng.randint(0, len(splice_with) - 1)
+            out = out[:cut_a] + splice_with[cut_b:]
+        for _ in range(self.rng.randint(1, 4)):
+            out = self.rng.choice(MUTATIONS)(out, self.rng)
+        return out[: self.max_size]

@@ -1,0 +1,25 @@
+"""repro.instrument — instrumentation schemes built on Odin + the late
+static SanitizerCoverage analogue."""
+
+from repro.instrument.asan import ASanRuntime, ASanTool, MemAccessProbe
+from repro.instrument.cmplog import (
+    CmpLogRuntime,
+    CmpProbe,
+    add_cmp_probes,
+)
+from repro.instrument.coverage import (
+    CoverageRuntime,
+    CovProbe,
+    OdinCov,
+    PruneReport,
+)
+from repro.instrument.sancov import SanCovBuild, build_sancov, instrument_sancov
+from repro.instrument.ubsan import OverflowProbe, UBSanRuntime, UBSanTool
+
+__all__ = [
+    "ASanRuntime", "ASanTool", "MemAccessProbe",
+    "CmpLogRuntime", "CmpProbe", "add_cmp_probes",
+    "CoverageRuntime", "CovProbe", "OdinCov", "PruneReport",
+    "SanCovBuild", "build_sancov", "instrument_sancov",
+    "OverflowProbe", "UBSanRuntime", "UBSanTool",
+]

@@ -1,0 +1,80 @@
+"""SanitizerCoverage analogue: late static coverage instrumentation.
+
+The industry design point the paper compares against (§5): "as an
+industry-standard instrumentation tool, SanitizerCoverage compromises
+instrumentation correctness for speed.  The pass is placed at the very
+end of the optimization pipeline, since early instrumentation may break
+optimizations."
+
+So this pass:
+
+* optimizes the module FIRST with the full O2 pipeline,
+* then inserts one 8-bit-counter-style probe per *optimized* basic block,
+* and lowers straight to machine code — probes are never re-optimized
+  and never removed.
+
+Fast (no optimization inhibited) but semantically distorted: blocks that
+were folded away (Figure 2) can never be distinguished by its feedback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.backend.isel import lower_module
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import PhiInst
+from repro.ir.module import Module
+from repro.ir.types import FunctionType, I64, VOID
+from repro.ir.values import ConstantInt
+from repro.linker.linker import Executable, link
+from repro.opt.pipeline import optimize
+
+SANCOV_RUNTIME = "__sancov_hit"
+_COV_FN_TYPE = FunctionType(VOID, (I64,))
+
+
+@dataclass
+class SanCovBuild:
+    """A SanitizerCoverage-instrumented build."""
+
+    executable: Executable
+    # probe id -> (function name, block name) in the *optimized* IR
+    probe_sites: Dict[int, Tuple[str, str]] = field(default_factory=dict)
+    compile_ms: float = 0.0
+
+    @property
+    def num_probes(self) -> int:
+        return len(self.probe_sites)
+
+
+def instrument_sancov(module: Module) -> Dict[int, Tuple[str, str]]:
+    """Insert a coverage probe at the head of every (optimized) block.
+
+    Mutates *module*; returns probe id -> site mapping.
+    """
+    runtime = module.declare_function(SANCOV_RUNTIME, _COV_FN_TYPE)
+    sites: Dict[int, Tuple[str, str]] = {}
+    next_id = 0
+    for fn in module.defined_functions():
+        for block in fn.blocks:
+            anchor = next(
+                (i for i in block.instructions if not isinstance(i, PhiInst)), None
+            )
+            if anchor is None:
+                continue
+            builder = IRBuilder.before(anchor)
+            builder.call(runtime, [ConstantInt(I64, next_id)], _COV_FN_TYPE)
+            sites[next_id] = (fn.name, block.name)
+            next_id += 1
+    return sites
+
+
+def build_sancov(module: Module, opt_level: int = 2) -> SanCovBuild:
+    """Optimize-then-instrument build (mutates *module*)."""
+    optimize(module, opt_level)
+    sites = instrument_sancov(module)
+    obj = lower_module(module)
+    exe = link([obj])
+    return SanCovBuild(executable=exe, probe_sites=sites, compile_ms=obj.compile_ms)

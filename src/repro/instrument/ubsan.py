@@ -1,0 +1,128 @@
+"""UBSan-lite probes: signed-overflow checks with on-demand removal (§7).
+
+The paper's future-work case: "Because of its high false-positive rate,
+most programs terminate even on well-formed inputs.  With Odin, UBSan can
+be used with fuzzing easily: a faulty probe can be removed immediately
+once triggered, allowing the whole fuzz campaign to continue."
+
+Each probe guards one signed ``add``/``sub``/``mul``: it computes the
+would-be wide result, compares against the narrow result, and calls the
+check runtime with the overflow condition.  The runtime traps when the
+condition holds; :class:`UBSanTool` then removes that probe and rebuilds,
+so the campaign continues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.engine import Odin, RebuildReport
+from repro.core.probe import InstructionProbe
+from repro.errors import VMTrap
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import BinaryInst, Instruction
+from repro.ir.types import FunctionType, I1, I64, VOID
+from repro.ir.values import ConstantInt
+from repro.vm.interpreter import ProbeRuntime, VM
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.scheduler import Scheduler
+
+UBSAN_RUNTIME = "__ubsan_check"
+_UBSAN_FN_TYPE = FunctionType(VOID, (I64, I1))
+
+_CHECKED_OPCODES = ("add", "sub", "mul")
+
+
+class OverflowProbe(InstructionProbe):
+    """Checks one signed arithmetic instruction for overflow."""
+
+    def __init__(self, inst: BinaryInst):
+        if not (isinstance(inst, BinaryInst) and inst.opcode in _CHECKED_OPCODES):
+            raise TypeError("OverflowProbe targets add/sub/mul")
+        super().__init__(inst)
+        self.triggered = False  # fuzzer annotation
+
+    def instrument(
+        self, builder: IRBuilder, mapped: Instruction, sched: "Scheduler"
+    ) -> None:
+        runtime = sched.declare_runtime(UBSAN_RUNTIME, _UBSAN_FN_TYPE)
+        bits = mapped.type.bits
+        if bits >= 64:
+            return  # widening check needs a wider type than we have
+        lhs, rhs = mapped.operands[0], mapped.operands[1]
+        wide_l = builder.sext(lhs, I64) if not isinstance(lhs, ConstantInt) else \
+            ConstantInt(I64, lhs.signed)
+        wide_r = builder.sext(rhs, I64) if not isinstance(rhs, ConstantInt) else \
+            ConstantInt(I64, rhs.signed)
+        wide = builder.binop(mapped.opcode, wide_l, wide_r)
+        lo = ConstantInt(I64, -(1 << (bits - 1)))
+        hi = ConstantInt(I64, (1 << (bits - 1)) - 1)
+        too_small = builder.icmp("slt", wide, lo)
+        too_big = builder.icmp("sgt", wide, hi)
+        overflow = builder.or_(too_small, too_big)
+        builder.call(runtime, [ConstantInt(I64, self.id), overflow], _UBSAN_FN_TYPE)
+
+
+class UBSanRuntime(ProbeRuntime):
+    """Traps on the first overflow; records which probe fired."""
+
+    def __init__(self):
+        self.fired: Optional[int] = None
+        self.fire_counts: Dict[int, int] = {}
+
+    def on_probe(self, kind: str, probe_id: int, args: Tuple[int, ...], vm: VM) -> None:
+        if kind != "ubsan" or not args:
+            return
+        if args[0]:
+            self.fired = probe_id
+            self.fire_counts[probe_id] = self.fire_counts.get(probe_id, 0) + 1
+            raise VMTrap(f"ubsan: signed overflow at probe {probe_id}", "ubsan")
+
+    def clear(self) -> None:
+        self.fired = None
+
+
+class UBSanTool:
+    """UBSan with Odin-style on-demand probe removal."""
+
+    def __init__(self, engine: Odin):
+        self.engine = engine
+        self.runtime = UBSanRuntime()
+        self.probes: Dict[int, OverflowProbe] = {}
+        self.removed: List[int] = []
+
+    def add_all_overflow_probes(self) -> int:
+        count = 0
+        for fn in self.engine.module.defined_functions():
+            for inst in fn.instructions():
+                if (
+                    isinstance(inst, BinaryInst)
+                    and inst.opcode in _CHECKED_OPCODES
+                    and inst.type.bits < 64
+                ):
+                    probe = self.engine.manager.add(OverflowProbe(inst))
+                    self.probes[probe.id] = probe
+                    count += 1
+        return count
+
+    def build(self) -> RebuildReport:
+        return self.engine.initial_build()
+
+    def make_vm(self, **kwargs) -> VM:
+        return VM(self.engine.executable, probe_runtime=self.runtime, **kwargs)
+
+    def remove_fired_probe(self) -> Optional[RebuildReport]:
+        """Drop the probe that trapped and recompile on the fly."""
+        fired = self.runtime.fired
+        if fired is None:
+            return None
+        probe = self.probes.pop(fired, None)
+        self.runtime.clear()
+        if probe is None:
+            return None
+        probe.triggered = True
+        self.removed.append(fired)
+        self.engine.manager.remove(probe)
+        return self.engine.rebuild()

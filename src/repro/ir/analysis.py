@@ -1,0 +1,195 @@
+"""Control-flow analyses: reachability, dominators, natural loops, call graph.
+
+These are the "sophisticated online static analysis" building blocks the
+paper says Odin's whole-program-IR design enables (§1), and they also feed
+the optimizer (simplifycfg, loop unroll) and the verifier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.instructions import CallInst
+from repro.ir.module import BasicBlock, Function, Module
+
+
+def reachable_blocks(fn: Function) -> List[BasicBlock]:
+    """Blocks reachable from the entry, in reverse-postorder."""
+    seen: Set[int] = set()
+    order: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        if id(block) in seen:
+            return
+        seen.add(id(block))
+        for succ in block.successors():
+            visit(succ)
+        order.append(block)
+
+    visit(fn.entry)
+    order.reverse()
+    return order
+
+
+def predecessor_map(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in fn.blocks}
+    for block in fn.blocks:
+        for succ in block.successors():
+            preds[succ].append(block)
+    return preds
+
+
+def compute_dominators(fn: Function) -> Dict[BasicBlock, Optional[BasicBlock]]:
+    """Immediate dominators via the classic Cooper-Harvey-Kennedy iteration.
+
+    Returns ``{block: idom}`` for reachable blocks; the entry maps to None.
+    """
+    rpo = reachable_blocks(fn)
+    index = {id(b): i for i, b in enumerate(rpo)}
+    preds = predecessor_map(fn)
+
+    idom: Dict[BasicBlock, Optional[BasicBlock]] = {fn.entry: None}
+
+    def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while index[id(a)] > index[id(b)]:
+                a = idom[a]
+            while index[id(b)] > index[id(a)]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in rpo[1:]:
+            candidates = [p for p in preds[block] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(block) is not new_idom:
+                idom[block] = new_idom
+                changed = True
+    return idom
+
+
+def dominates(
+    idom: Dict[BasicBlock, Optional[BasicBlock]], a: BasicBlock, b: BasicBlock
+) -> bool:
+    """Whether *a* dominates *b* under the idom tree."""
+    node: Optional[BasicBlock] = b
+    while node is not None:
+        if node is a:
+            return True
+        node = idom.get(node)
+    return False
+
+
+class NaturalLoop:
+    """A natural loop: header plus the body blocks of one back edge."""
+
+    def __init__(self, header: BasicBlock, blocks: Set[BasicBlock], latch: BasicBlock):
+        self.header = header
+        self.blocks = blocks
+        self.latch = latch
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Loop header={self.header.name} size={len(self.blocks)}>"
+
+
+def find_loops(fn: Function) -> List[NaturalLoop]:
+    """Find natural loops from back edges (latch -> header with header dom latch)."""
+    idom = compute_dominators(fn)
+    preds = predecessor_map(fn)
+    loops: List[NaturalLoop] = []
+    for block in reachable_blocks(fn):
+        for succ in block.successors():
+            if succ in idom and dominates(idom, succ, block):
+                body: Set[BasicBlock] = {succ, block}
+                stack = [block]
+                while stack:
+                    node = stack.pop()
+                    if node is succ:
+                        continue
+                    for pred in preds[node]:
+                        if pred not in body:
+                            body.add(pred)
+                            stack.append(pred)
+                loops.append(NaturalLoop(succ, body, block))
+    return loops
+
+
+def call_graph(module: Module) -> Dict[str, Set[str]]:
+    """Direct-call graph: caller name -> set of callee names."""
+    graph: Dict[str, Set[str]] = {}
+    for fn in module.defined_functions():
+        callees: Set[str] = set()
+        for inst in fn.instructions():
+            if isinstance(inst, CallInst):
+                name = inst.called_function_name()
+                if name is not None:
+                    callees.add(name)
+        graph[fn.name] = callees
+    return graph
+
+
+def bottom_up_sccs(module: Module) -> List[List[str]]:
+    """Strongly-connected components of the call graph in bottom-up order.
+
+    The inliner visits callees before callers, mirroring LLVM's bottom-up
+    inlining over call-graph SCCs (§2.2: "the classic Inline pass also
+    clones basic blocks, but in a bottom-up fashion along the call graph").
+    Tarjan's algorithm, iterative to survive deep graphs.
+    """
+    graph = call_graph(module)
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work: List[Tuple[str, List[str]]] = [(root, list(sorted(graph.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            while children:
+                child = children.pop(0)
+                if child not in graph:
+                    continue  # declaration or external
+                if child not in index:
+                    index[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, list(sorted(graph.get(child, ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc: List[str] = []
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    scc.append(top)
+                    if top == node:
+                        break
+                sccs.append(sorted(scc))
+
+    for name in sorted(graph):
+        if name not in index:
+            strongconnect(name)
+    return sccs

@@ -1,0 +1,160 @@
+"""Textual IR printer.
+
+Produces an LLVM-flavoured rendering accepted back by
+:mod:`repro.ir.parser`, so ``parse(print(m))`` round-trips.  Example::
+
+    @str = internal const [6 x i8] c"hello\\00"
+
+    define internal void @foo(i32 %unused) {
+    entry:
+      %r = call i32 @printf(ptr @str)
+      ret void
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FreezeInst,
+    GepInst,
+    IcmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import (
+    Constant,
+    GlobalAlias,
+    GlobalValue,
+    GlobalVariable,
+    Value,
+)
+
+
+def _operand(value: Value) -> str:
+    """Render an operand with its type prefix."""
+    return f"{value.type} {_name(value)}"
+
+
+def _name(value: Value) -> str:
+    """Render an operand without its type."""
+    if isinstance(value, (Constant, GlobalValue)):
+        return value.ref()
+    return f"%{value.name}"
+
+
+def print_instruction(inst: Instruction) -> str:
+    if isinstance(inst, BinaryInst):
+        return f"%{inst.name} = {inst.opcode} {inst.type} {_name(inst.lhs)}, {_name(inst.rhs)}"
+    if isinstance(inst, IcmpInst):
+        return (
+            f"%{inst.name} = icmp {inst.predicate} {inst.lhs.type} "
+            f"{_name(inst.lhs)}, {_name(inst.rhs)}"
+        )
+    if isinstance(inst, CastInst):
+        return f"%{inst.name} = {inst.opcode} {_operand(inst.value)} to {inst.type}"
+    if isinstance(inst, SelectInst):
+        return (
+            f"%{inst.name} = select {_operand(inst.cond)}, "
+            f"{_operand(inst.if_true)}, {_operand(inst.if_false)}"
+        )
+    if isinstance(inst, FreezeInst):
+        return f"%{inst.name} = freeze {_operand(inst.value)}"
+    if isinstance(inst, AllocaInst):
+        return f"%{inst.name} = alloca {inst.allocated_type}"
+    if isinstance(inst, LoadInst):
+        return f"%{inst.name} = load {inst.type}, {_operand(inst.pointer)}"
+    if isinstance(inst, StoreInst):
+        return f"store {_operand(inst.value)}, {_operand(inst.pointer)}"
+    if isinstance(inst, GepInst):
+        return (
+            f"%{inst.name} = gep {inst.element_type}, {_operand(inst.base)}, "
+            f"{_operand(inst.index)}"
+        )
+    if isinstance(inst, CallInst):
+        args = ", ".join(_operand(a) for a in inst.args)
+        callee = _name(inst.callee)
+        if inst.type.is_void():
+            return f"call void {callee}({args})"
+        return f"%{inst.name} = call {inst.type} {callee}({args})"
+    if isinstance(inst, PhiInst):
+        inc = ", ".join(f"[ {_name(v)}, %{b.name} ]" for v, b in inst.incoming)
+        return f"%{inst.name} = phi {inst.type} {inc}"
+    if isinstance(inst, BranchInst):
+        if inst.is_conditional:
+            t, f = inst.targets
+            return f"br i1 {_name(inst.cond)}, label %{t.name}, label %{f.name}"
+        return f"br label %{inst.targets[0].name}"
+    if isinstance(inst, SwitchInst):
+        cases = " ".join(
+            f"{c.type} {c.signed}, label %{b.name}" for c, b in inst.cases
+        )
+        return (
+            f"switch {_operand(inst.value)}, label %{inst.default.name} [ {cases} ]"
+        )
+    if isinstance(inst, RetInst):
+        return f"ret {_operand(inst.value)}" if inst.value is not None else "ret void"
+    if isinstance(inst, UnreachableInst):
+        return "unreachable"
+    raise TypeError(f"cannot print instruction {inst!r}")  # pragma: no cover
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    lines.extend(f"  {print_instruction(i)}" for i in block.instructions)
+    return "\n".join(lines)
+
+
+def print_function(fn: Function) -> str:
+    linkage = f"{fn.linkage} " if fn.is_internal else ""
+    if fn.is_declaration():
+        params = ", ".join(str(p) for p in fn.function_type.params)
+        if fn.function_type.vararg:
+            params = f"{params}, ..." if params else "..."
+        return f"declare {fn.return_type} @{fn.name}({params})"
+    params = ", ".join(f"{a.type} %{a.name}" for a in fn.args)
+    if fn.function_type.vararg:
+        params = f"{params}, ..." if params else "..."
+    header = f"{fn.return_type} @{fn.name}({params})"
+    body = "\n".join(print_block(b) for b in fn.blocks)
+    return f"define {linkage}{header} {{\n{body}\n}}"
+
+
+def print_global(gv: GlobalVariable) -> str:
+    linkage = f"{gv.linkage} " if gv.is_internal else ""
+    kind = "const" if gv.is_const else "global"
+    if gv.is_declaration():
+        return f"@{gv.name} = declare {kind} {gv.value_type}"
+    return f"@{gv.name} = {linkage}{kind} {gv.value_type} {gv.initializer.ref()}"
+
+
+def print_alias(alias: GlobalAlias) -> str:
+    linkage = f"{alias.linkage} " if alias.is_internal else ""
+    return f"@{alias.name} = {linkage}alias @{alias.aliasee.name}"
+
+
+def print_module(module: Module) -> str:
+    chunks: List[str] = []
+    for symbol in module.symbols.values():
+        if isinstance(symbol, GlobalVariable):
+            chunks.append(print_global(symbol))
+    for symbol in module.symbols.values():
+        if isinstance(symbol, GlobalAlias):
+            chunks.append(print_alias(symbol))
+    for symbol in module.symbols.values():
+        if isinstance(symbol, Function):
+            chunks.append(print_function(symbol))
+    return "\n\n".join(chunks) + "\n"

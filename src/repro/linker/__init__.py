@@ -1,0 +1,15 @@
+"""repro.linker — symbol resolution and executable images."""
+
+from repro.linker.linker import (
+    DATA_BASE,
+    Executable,
+    FUNC_BASE,
+    LinkedFunction,
+    RUNTIME_BUILTINS,
+    link,
+)
+
+__all__ = [
+    "DATA_BASE", "FUNC_BASE", "Executable", "LinkedFunction",
+    "RUNTIME_BUILTINS", "link",
+]

@@ -1,0 +1,30 @@
+"""repro.opt — the optimization pipeline (LLVM -O2 analogue)."""
+
+from repro.opt.dae import DeadArgumentElimination
+from repro.opt.dce import DeadCodeElimination
+from repro.opt.inline import FunctionInlining, inline_call_site
+from repro.opt.instcombine import InstCombine
+from repro.opt.internalize import GlobalDCE, Internalize
+from repro.opt.jump_threading import JumpThreading
+from repro.opt.loop_unroll import LoopUnroll
+from repro.opt.mem2reg import PromoteMem2Reg
+from repro.opt.pass_manager import (
+    OptContext,
+    Pass,
+    PassManager,
+    REQ_BOND,
+    REQ_COPY_ON_USE,
+    Requirement,
+)
+from repro.opt.pipeline import o0_pipeline, o2_pipeline, optimize, trial_optimize
+from repro.opt.simplifycfg import SimplifyCFG
+
+__all__ = [
+    "DeadArgumentElimination", "DeadCodeElimination", "FunctionInlining",
+    "GlobalDCE", "InstCombine", "Internalize", "JumpThreading", "LoopUnroll",
+    "PromoteMem2Reg", "SimplifyCFG",
+    "OptContext", "Pass", "PassManager", "Requirement",
+    "REQ_BOND", "REQ_COPY_ON_USE",
+    "o0_pipeline", "o2_pipeline", "optimize", "trial_optimize",
+    "inline_call_site",
+]

@@ -1,0 +1,55 @@
+"""Dead code elimination.
+
+Removes side-effect-free instructions whose results are unused, iterating
+to a fixpoint inside each function.  Loads are considered removable (the
+IR has no volatile); stores, calls and terminators are not.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.instructions import Instruction, PhiInst
+from repro.ir.module import Function, Module
+from repro.opt.pass_manager import FunctionPass, OptContext
+
+
+def _collect_used(fn: Function) -> Set[int]:
+    used: Set[int] = set()
+    for inst in fn.instructions():
+        for op in inst.operands:
+            used.add(id(op))
+        if isinstance(inst, PhiInst):
+            for value, _ in inst.incoming:
+                used.add(id(value))
+    return used
+
+
+def is_trivially_dead(inst: Instruction, used: Set[int]) -> bool:
+    if inst.has_side_effects():
+        return False
+    if inst.type.is_void():
+        return False
+    return id(inst) not in used
+
+
+class DeadCodeElimination(FunctionPass):
+    name = "dce"
+
+    def run_on_function(self, fn: Function, module: Module, ctx: OptContext) -> bool:
+        changed = False
+        while True:
+            used = _collect_used(fn)
+            dead = [
+                inst
+                for block in fn.blocks
+                for inst in block.instructions
+                if is_trivially_dead(inst, used)
+            ]
+            if not dead:
+                break
+            for inst in dead:
+                inst.erase()
+                ctx.count("dce.removed")
+            changed = True
+        return changed

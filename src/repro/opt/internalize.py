@@ -1,0 +1,68 @@
+"""Internalization and global DCE.
+
+* :class:`Internalize` demotes exported symbols that are not in the
+  preserved set to internal linkage, unlocking interprocedural transforms
+  (the partitioner runs the same operation per fragment — §3.2 step 4).
+
+* :class:`GlobalDCE` deletes internal symbols with no remaining references
+  (e.g. a function whose every call site was inlined).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.ir.instructions import PhiInst
+from repro.ir.module import Function, Module
+from repro.ir.values import GlobalAlias, GlobalValue
+from repro.opt.pass_manager import OptContext, Pass
+
+
+class Internalize(Pass):
+    name = "internalize"
+
+    def __init__(self, preserve: Iterable[str] = ("main",)):
+        self.preserve: Set[str] = set(preserve)
+
+    def run(self, module: Module, ctx: OptContext) -> bool:
+        changed = False
+        for symbol in module.symbols.values():
+            if symbol.is_declaration() or symbol.name in self.preserve:
+                continue
+            if symbol.linkage != "internal":
+                symbol.linkage = "internal"
+                ctx.count("internalize.demoted")
+                changed = True
+        return changed
+
+
+def referenced_symbol_names(module: Module) -> Set[str]:
+    """Names of every symbol referenced from code or alias targets."""
+    used: Set[str] = set()
+    for fn in module.defined_functions():
+        for ref in fn.referenced_globals():
+            used.add(ref.name)
+    for alias in module.aliases():
+        used.add(alias.aliasee.name)
+    return used
+
+
+class GlobalDCE(Pass):
+    name = "globaldce"
+
+    def run(self, module: Module, ctx: OptContext) -> bool:
+        changed = False
+        while True:
+            used = referenced_symbol_names(module)
+            dead = [
+                s.name
+                for s in module.symbols.values()
+                if s.is_internal and s.name not in used
+            ]
+            if not dead:
+                break
+            for name in dead:
+                module.remove(name)
+                ctx.count("globaldce.removed")
+            changed = True
+        return changed

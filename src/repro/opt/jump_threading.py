@@ -1,0 +1,122 @@
+"""Jump threading (conservative).
+
+§2.2 distortion class 4: "the Jump Threading pass can clone a basic block
+multiple times" — another way optimization detaches the CFG from the
+source program's block structure.
+
+This implementation threads the classic boolean-phi pattern: a block that
+consists only of phis and a conditional branch whose condition is an i1
+phi.  Predecessors contributing a *constant* condition already know where
+the branch goes, so they jump straight to the final target, bypassing
+(and effectively cloning away) the dispatch block:
+
+    pred1 ──c=true──▶ ┌───────────────┐ ──true──▶ T
+    pred2 ──c=false─▶ │ %c = phi i1.. │ ──false─▶ F
+                      └───────────────┘
+becomes
+    pred1 ─────────────────────▶ T
+    pred2 ─────────────────────▶ F
+
+Values the target blocks receive through phis are rewired to flow along
+the new edges.  The pattern is exactly what short-circuit `&&`/`||`
+lowering produces, so this fires constantly on real code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.instructions import BranchInst, PhiInst, SwitchInst
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import ConstantInt
+from repro.opt.pass_manager import FunctionPass, OptContext
+
+
+class JumpThreading(FunctionPass):
+    name = "jump-threading"
+
+    def run_on_function(self, fn: Function, module: Module, ctx: OptContext) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for block in list(fn.blocks):
+                if block.parent is None or block is fn.entry:
+                    continue
+                if self._thread_block(fn, block, ctx):
+                    progress = changed = True
+        return changed
+
+    def _thread_block(self, fn: Function, block: BasicBlock, ctx: OptContext) -> bool:
+        # Shape: only phis + a conditional branch on an i1 phi of this block.
+        term = block.terminator
+        if not (isinstance(term, BranchInst) and term.is_conditional):
+            return False
+        cond = term.cond
+        if not (isinstance(cond, PhiInst) and cond.parent is block):
+            return False
+        for inst in block.instructions:
+            if inst is term or isinstance(inst, PhiInst):
+                continue
+            return False  # block computes something else: out of scope
+
+        # Threading removes dominance of `block` over its successors, so
+        # every phi defined here must only be used inside this block.
+        for phi in block.phis():
+            for user in fn.users_of(phi):
+                if user.parent is not block:
+                    return False
+
+        if_true, if_false = term.targets
+        if if_true is block or if_false is block:
+            return False
+
+        threaded = False
+        for value, pred in list(cond.incoming):
+            if not isinstance(value, ConstantInt):
+                continue
+            target = if_true if value.value else if_false
+            if not self._can_thread(pred, block, target):
+                continue
+            self._redirect(fn, pred, block, target)
+            ctx.count("jump_threading.threaded")
+            threaded = True
+        return threaded
+
+    @staticmethod
+    def _can_thread(pred: BasicBlock, block: BasicBlock, target: BasicBlock) -> bool:
+        pterm = pred.terminator
+        if not isinstance(pterm, (BranchInst, SwitchInst)):
+            return False
+        # The pred may reach `block` through several edges (a switch); all
+        # carry the same constant, so threading them together is fine.  But
+        # if the pred is *already* a predecessor of the target and the
+        # target has phis, adding another edge would need conflicting
+        # incomings — skip.
+        if target.phis() and any(s is target for s in pred.successors()):
+            return False
+        return True
+
+    @staticmethod
+    def _redirect(
+        fn: Function, pred: BasicBlock, block: BasicBlock, target: BasicBlock
+    ) -> None:
+        # Rewire target's phis: the value that used to flow target<-block
+        # now flows target<-pred.  A value defined by a phi in `block`
+        # resolves to that phi's incoming for this specific predecessor.
+        for phi in target.phis():
+            via_block = phi.incoming_for(block)
+            if isinstance(via_block, PhiInst) and via_block.parent is block:
+                via_block = via_block.incoming_for(pred)
+            phi.add_incoming(via_block, pred)
+        pred.terminator.replace_target(block, target)
+        # The threaded edge is gone: block's phis lose this predecessor.
+        for phi in block.phis():
+            phi.remove_incoming(pred)
+        # If block became unreachable its leftover edges are cleaned by
+        # simplifycfg; if it still has predecessors it keeps working as is.
+        if not block.predecessors():
+            for succ in block.successors():
+                for phi in succ.phis():
+                    phi.remove_incoming(block)
+            fn.remove_block(block)

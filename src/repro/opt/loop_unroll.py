@@ -1,0 +1,300 @@
+"""Full unrolling of small counted loops.
+
+§2.2 distortion class 3: "the loop-related passes ... commit major changes
+to a function's control-flow graph and loop analysis results".  A fully
+unrolled loop has *no* basic blocks left for a coverage probe to sit in,
+so late instrumentation of the loop body becomes impossible — reproducing
+the paper's correctness argument.
+
+Scope (deliberately conservative, like a -O2 full-unroll):
+
+* natural loop with one preheader, one latch and one exit block;
+* the only conditional branch in the loop is the header's exit test, so
+  the body is a single fixed path;
+* the exit condition is computable at compile time by evaluating the
+  loop's "control slice" from constant initial values (this subsumes the
+  canonical ``for (i = 0; i < N; ++i)`` shape);
+* trip count and total unrolled size within thresholds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.analysis import NaturalLoop, find_loops
+from repro.ir.builder import IRBuilder
+from repro.ir.clone import ValueMap, clone_instruction
+from repro.ir.instructions import (
+    BinaryInst,
+    BranchInst,
+    CastInst,
+    IcmpInst,
+    Instruction,
+    PhiInst,
+    SelectInst,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.semantics import eval_binary, eval_cast, eval_icmp
+from repro.ir.values import ConstantInt, UndefValue, Value
+from repro.opt.pass_manager import FunctionPass, OptContext
+
+MAX_TRIP_COUNT = 8
+MAX_UNROLLED_INSTRUCTIONS = 256
+
+
+class LoopUnroll(FunctionPass):
+    name = "loop-unroll"
+
+    def __init__(
+        self,
+        max_trip: int = MAX_TRIP_COUNT,
+        max_size: int = MAX_UNROLLED_INSTRUCTIONS,
+    ):
+        self.max_trip = max_trip
+        self.max_size = max_size
+
+    def run_on_function(self, fn: Function, module: Module, ctx: OptContext) -> bool:
+        changed = False
+        # Re-discover loops after each successful unroll; one at a time.
+        for _ in range(8):
+            unrolled = False
+            for loop in find_loops(fn):
+                plan = self._plan(fn, loop)
+                if plan is not None:
+                    self._unroll(fn, loop, plan, ctx)
+                    unrolled = changed = True
+                    break
+            if not unrolled:
+                break
+        return changed
+
+    # -- planning -------------------------------------------------------------
+
+    def _plan(self, fn: Function, loop: NaturalLoop):
+        header = loop.header
+        # One preheader outside the loop.
+        outside_preds = [p for p in header.predecessors() if p not in loop.blocks]
+        if len(outside_preds) != 1:
+            return None
+        preheader = outside_preds[0]
+        pterm = preheader.terminator
+        if not isinstance(pterm, (BranchInst,)):
+            return None
+
+        # Header exits via a conditional branch with exactly one exit target.
+        hterm = header.terminator
+        if not (isinstance(hterm, BranchInst) and hterm.is_conditional):
+            return None
+        t, f = hterm.targets
+        in_t, in_f = t in loop.blocks, f in loop.blocks
+        if in_t == in_f:
+            return None
+        body_entry, exit_block = (t, f) if in_t else (f, t)
+        if exit_block in loop.blocks:
+            return None
+        # No other block may leave the loop or branch conditionally.
+        path: List[BasicBlock] = [header]
+        block = body_entry
+        guard = 0
+        while block is not header:
+            guard += 1
+            if guard > len(loop.blocks) + 1:
+                return None
+            if block not in loop.blocks:
+                return None
+            term = block.terminator
+            if not (isinstance(term, BranchInst) and not term.is_conditional):
+                return None
+            if block.phis():
+                return None  # only the header may carry loop phis
+            path.append(block)
+            block = term.targets[0]
+        if set(path) != loop.blocks:
+            return None
+
+        # Seed the simulation with the constant initial phi values; phis
+        # with non-constant inits (accumulators seeded from arguments etc.)
+        # simply stay symbolic — only the control slice must be evaluable.
+        phis = header.phis()
+        init: Dict[int, int] = {}
+        for phi in phis:
+            if len(phi.incoming) != 2:
+                return None
+            value = phi.incoming_for(preheader)
+            if isinstance(value, ConstantInt):
+                init[id(phi)] = value.value
+
+        trip = self._simulate_trip_count(path, phis, init, hterm, body_entry)
+        if trip is None or trip > self.max_trip:
+            return None
+        body_size = sum(len(b.instructions) for b in path)
+        if trip * body_size > self.max_size:
+            return None
+        return (preheader, path, exit_block, body_entry, trip)
+
+    @staticmethod
+    def _eval_pure(inst: Instruction, env: Dict[int, int]) -> Optional[int]:
+        """Evaluate a pure instruction under *env*; None when not evaluable."""
+
+        def value_of(v: Value) -> Optional[int]:
+            if isinstance(v, ConstantInt):
+                return v.value
+            return env.get(id(v))
+
+        if isinstance(inst, BinaryInst):
+            a, b = value_of(inst.lhs), value_of(inst.rhs)
+            if a is None or b is None:
+                return None
+            try:
+                return eval_binary(inst.opcode, inst.type, a, b)
+            except ZeroDivisionError:
+                return None
+        if isinstance(inst, IcmpInst):
+            a, b = value_of(inst.lhs), value_of(inst.rhs)
+            if a is None or b is None or not inst.lhs.type.is_integer():
+                return None
+            return eval_icmp(inst.predicate, inst.lhs.type, a, b)
+        if isinstance(inst, CastInst) and inst.opcode in ("zext", "sext", "trunc"):
+            a = value_of(inst.value)
+            if a is None:
+                return None
+            return eval_cast(inst.opcode, inst.value.type, inst.type, a)
+        if isinstance(inst, SelectInst):
+            c = value_of(inst.cond)
+            if c is None:
+                return None
+            return value_of(inst.if_true if c else inst.if_false)
+        return None
+
+    def _simulate_trip_count(
+        self,
+        path: List[BasicBlock],
+        phis: List[PhiInst],
+        init: Dict[int, int],
+        hterm: BranchInst,
+        body_entry: BasicBlock,
+    ) -> Optional[int]:
+        header, latch = path[0], path[-1]
+        env: Dict[int, int] = dict(init)
+        body_is_true_target = hterm.targets[0] is body_entry
+        for trip in range(self.max_trip + 1):
+            # Evaluate the header's straight-line portion.
+            for inst in header.instructions:
+                if isinstance(inst, PhiInst) or inst.is_terminator:
+                    continue
+                value = self._eval_pure(inst, env)
+                if value is not None:
+                    env[id(inst)] = value
+            cond = env.get(id(hterm.cond)) if not isinstance(hterm.cond, ConstantInt) else hterm.cond.value
+            if cond is None:
+                return None
+            stays = bool(cond) == body_is_true_target
+            if not stays:
+                return trip
+            # Evaluate the rest of the path.
+            for block in path[1:]:
+                for inst in block.instructions:
+                    if inst.is_terminator:
+                        continue
+                    value = self._eval_pure(inst, env)
+                    if value is not None:
+                        env[id(inst)] = value
+            # Advance the phis for the next iteration.  Phis that are not
+            # constant-evaluable (e.g. accumulators over loaded data) simply
+            # drop out of the environment — only the control slice (the
+            # values the exit condition depends on) must stay evaluable,
+            # and if it does not, the condition lookup above returns None.
+            next_env: Dict[int, int] = {}
+            for phi in phis:
+                value = phi.incoming_for(latch)
+                if isinstance(value, ConstantInt):
+                    next_env[id(phi)] = value.value
+                elif id(value) in env:
+                    next_env[id(phi)] = env[id(value)]
+            env = next_env
+        return None
+
+    # -- transformation ----------------------------------------------------------
+
+    def _unroll(self, fn: Function, loop: NaturalLoop, plan, ctx: OptContext) -> None:
+        preheader, path, exit_block, body_entry, trip = plan
+        header, latch = path[0], path[-1]
+        phis = header.phis()
+
+        unrolled = fn.add_block(f"{header.name}.unrolled")
+        builder = IRBuilder.at_end(unrolled)
+
+        # env maps original loop values -> values valid for "this iteration".
+        env: Dict[int, Value] = {
+            id(phi): phi.incoming_for(preheader) for phi in phis
+        }
+
+        def translate(value: Value) -> Value:
+            if id(value) in env:
+                return env[id(value)]
+            return value  # constants, globals, values defined outside the loop
+
+        def clone_block_body(block: BasicBlock) -> None:
+            for inst in block.instructions:
+                if isinstance(inst, PhiInst) or inst.is_terminator:
+                    continue
+                vmap = ValueMap()
+                ops = list(inst.operands)
+                for op in ops:
+                    vmap.put(op, translate(op))
+                clone = clone_instruction(inst, vmap)
+                builder._insert(clone)
+                env[id(inst)] = clone
+
+        for _ in range(trip):
+            for block in path:
+                clone_block_body(block)
+            # Advance phi values for the next iteration; keep instruction
+            # clones so the last full iteration provides "final" values.
+            next_env: Dict[int, Value] = {
+                id(phi): translate(phi.incoming_for(latch)) for phi in phis
+            }
+            for key, value in env.items():
+                next_env.setdefault(key, value)
+            env = next_env
+
+        # The exiting evaluation of the header body runs once more.
+        clone_block_body(header)
+        builder.br(exit_block)
+
+        # Retarget the preheader.
+        preheader.terminator.replace_target(header, unrolled)
+
+        # Rewrite exit phis and outside uses.
+        for phi in exit_block.phis():
+            if any(b is header for _, b in phi.incoming):
+                value = phi.incoming_for(header)
+                phi.remove_incoming(header)
+                phi.add_incoming(translate(value), unrolled)
+
+        # Replace any remaining outside uses of loop-defined values.
+        loop_ids = {id(b) for b in loop.blocks}
+        final_values = dict(env)
+        for block in list(fn.blocks):
+            if id(block) in loop_ids:
+                continue
+            for inst in block.instructions:
+                ops = list(inst.operands)
+                if isinstance(inst, PhiInst):
+                    ops.extend(inst.used_values())
+                for op in ops:
+                    replacement = final_values.get(id(op))
+                    if replacement is not None and op is not replacement:
+                        if isinstance(op, Instruction) and op.parent is not None \
+                                and id(op.parent) in loop_ids:
+                            inst.replace_uses_of(op, replacement)
+
+        # Remove the now-unreachable loop blocks.
+        for block in loop.blocks:
+            for succ in block.successors():
+                if id(succ) not in loop_ids:
+                    for phi in succ.phis():
+                        phi.remove_incoming(block)
+            fn.remove_block(block)
+        ctx.count("loop_unroll.unrolled")
+        ctx.charge(trip * sum(len(b.instructions) for b in path))

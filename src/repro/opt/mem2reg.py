@@ -1,0 +1,159 @@
+"""mem2reg: promote stack slots to SSA registers.
+
+The MiniC frontend emits every local variable as an ``alloca`` with
+loads/stores (like clang -O0).  This pass rewrites promotable allocas into
+SSA values with phi nodes, using the classic iterated-dominance-frontier
+algorithm.  It runs first in the O2 pipeline; every later pass assumes
+values live in registers.
+
+An alloca is promotable when it holds a first-class type and every use is a
+direct load or a store *to* it (its address never escapes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.analysis import compute_dominators, predecessor_map, reachable_blocks
+from repro.ir.instructions import AllocaInst, Instruction, LoadInst, PhiInst, StoreInst
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import UndefValue, Value
+from repro.opt.pass_manager import FunctionPass, OptContext
+
+
+def promotable_allocas(fn: Function) -> List[AllocaInst]:
+    """Allocas whose address is only used by direct loads/stores."""
+    allocas = [i for i in fn.instructions() if isinstance(i, AllocaInst)]
+    out = []
+    for alloca in allocas:
+        if not alloca.allocated_type.is_first_class():
+            continue
+        ok = True
+        for inst in fn.instructions():
+            for idx, op in enumerate(list(inst.operands)):
+                if op is not alloca:
+                    continue
+                if isinstance(inst, LoadInst):
+                    continue
+                if isinstance(inst, StoreInst) and idx == 1:
+                    continue  # address operand of the store
+                ok = False
+            if isinstance(inst, PhiInst) and any(v is alloca for v in inst.used_values()):
+                ok = False
+            if not ok:
+                break
+        if ok:
+            out.append(alloca)
+    return out
+
+
+def dominance_frontiers(fn: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+    idom = compute_dominators(fn)
+    preds = predecessor_map(fn)
+    frontiers: Dict[BasicBlock, Set[BasicBlock]] = {b: set() for b in fn.blocks}
+    for block in reachable_blocks(fn):
+        if len(preds[block]) < 2:
+            continue
+        for pred in preds[block]:
+            if pred not in idom:
+                continue  # unreachable predecessor
+            runner: Optional[BasicBlock] = pred
+            while runner is not None and runner is not idom.get(block):
+                frontiers[runner].add(block)
+                runner = idom.get(runner)
+    return frontiers
+
+
+class PromoteMem2Reg(FunctionPass):
+    name = "mem2reg"
+
+    def run_on_function(self, fn: Function, module: Module, ctx: OptContext) -> bool:
+        allocas = promotable_allocas(fn)
+        if not allocas:
+            return False
+
+        idom = compute_dominators(fn)
+        frontiers = dominance_frontiers(fn)
+        reachable = set(id(b) for b in reachable_blocks(fn))
+
+        # Dominator-tree children for the renaming walk.
+        children: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in fn.blocks}
+        for block, parent in idom.items():
+            if parent is not None:
+                children[parent].append(block)
+
+        # Phase 1: place phis at the iterated dominance frontier of defs.
+        phi_owner: Dict[int, AllocaInst] = {}
+        for alloca in allocas:
+            def_blocks = {
+                inst.parent
+                for inst in fn.instructions()
+                if isinstance(inst, StoreInst) and inst.pointer is alloca
+            }
+            worklist = [b for b in def_blocks if id(b) in reachable]
+            placed: Set[int] = set()
+            while worklist:
+                block = worklist.pop()
+                for frontier_block in frontiers.get(block, ()):
+                    if id(frontier_block) in placed:
+                        continue
+                    placed.add(id(frontier_block))
+                    phi = PhiInst(alloca.allocated_type)
+                    phi.parent = frontier_block
+                    phi.name = fn.uniquify_value_name(alloca.name or "mem")
+                    frontier_block.instructions.insert(0, phi)
+                    phi_owner[id(phi)] = alloca
+                    if frontier_block not in def_blocks:
+                        def_blocks.add(frontier_block)
+                        worklist.append(frontier_block)
+
+        # Phase 2: rename along the dominator tree.
+        current: Dict[int, List[Value]] = {id(a): [] for a in allocas}
+        alloca_ids = set(current)
+
+        def value_of(alloca: AllocaInst) -> Value:
+            stack = current[id(alloca)]
+            return stack[-1] if stack else UndefValue(alloca.allocated_type)
+
+        def rename(block: BasicBlock) -> None:
+            pushed: List[int] = []
+            for inst in list(block.instructions):
+                if isinstance(inst, PhiInst) and id(inst) in phi_owner:
+                    current[id(phi_owner[id(inst)])].append(inst)
+                    pushed.append(id(phi_owner[id(inst)]))
+                elif isinstance(inst, LoadInst) and id(inst.pointer) in alloca_ids:
+                    replacement = value_of(inst.pointer)
+                    fn.replace_all_uses(inst, replacement)
+                    inst.erase()
+                elif isinstance(inst, StoreInst) and id(inst.pointer) in alloca_ids:
+                    current[id(inst.pointer)].append(inst.value)
+                    pushed.append(id(inst.pointer))
+                    inst.erase()
+            for succ in block.successors():
+                for phi in succ.phis():
+                    owner = phi_owner.get(id(phi))
+                    if owner is not None and not any(b is block for _, b in phi.incoming):
+                        phi.add_incoming(value_of(owner), block)
+            for child in children.get(block, ()):
+                rename(child)
+            for key in pushed:
+                current[key].pop()
+
+        rename(fn.entry)
+
+        # Phase 3: drop the allocas (and any code left in unreachable blocks
+        # that still mentions them is removed with those blocks).
+        self._remove_unreachable_blocks(fn, reachable)
+        for alloca in allocas:
+            alloca.erase()
+            ctx.count("mem2reg.promoted")
+        return True
+
+    @staticmethod
+    def _remove_unreachable_blocks(fn: Function, reachable: Set[int]) -> None:
+        for block in list(fn.blocks):
+            if id(block) not in reachable:
+                for succ in block.successors():
+                    for phi in succ.phis():
+                        phi.remove_incoming(block)
+                fn.remove_block(block)

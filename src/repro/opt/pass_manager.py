@@ -1,0 +1,122 @@
+"""Pass manager with trial-run requirement logging.
+
+§3.2: the partitioner's symbol classification "requirements are collected
+from a trial optimization run, where the compiler passes (modified by Odin)
+log the requirements for later inspection".  Passes receive an
+:class:`OptContext`; when ``ctx.trial`` is set they record a
+:class:`Requirement` every time an optimization needs two symbols to be
+visible together:
+
+* ``bond``        — interprocedural: *subject* must be defined together with
+                    *peer* (dead-arg-elim pairs, inlining pairs)
+* ``copy_on_use`` — local: *subject* (a constant) should be cloned into any
+                    fragment that references it (libcall rewrites that
+                    inspect a string constant)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+
+REQ_BOND = "bond"
+REQ_COPY_ON_USE = "copy_on_use"
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """One logged optimization requirement from a trial run."""
+
+    kind: str        # REQ_BOND or REQ_COPY_ON_USE
+    subject: str     # symbol the requirement is about
+    peer: str        # the symbol that must be co-located / the user
+    pass_name: str   # which pass logged it
+
+
+@dataclass
+class OptContext:
+    """State threaded through every pass invocation."""
+
+    trial: bool = False
+    requirements: List[Requirement] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+    # Number of "units of work" performed; drives the compile-time model.
+    work: int = 0
+
+    def log_requirement(self, kind: str, subject: str, peer: str, pass_name: str) -> None:
+        if self.trial:
+            self.requirements.append(Requirement(kind, subject, peer, pass_name))
+
+    def count(self, stat: str, n: int = 1) -> None:
+        self.stats[stat] = self.stats.get(stat, 0) + n
+
+    def charge(self, units: int) -> None:
+        self.work += units
+
+
+class Pass:
+    """Base class: a named module transformation."""
+
+    name = "pass"
+
+    def run(self, module: Module, ctx: OptContext) -> bool:
+        """Transform *module* in place; return True if anything changed."""
+        raise NotImplementedError
+
+
+class FunctionPass(Pass):
+    """A pass that processes one function at a time."""
+
+    def run(self, module: Module, ctx: OptContext) -> bool:
+        changed = False
+        for fn in module.defined_functions():
+            ctx.charge(fn.count_instructions())
+            changed |= self.run_on_function(fn, module, ctx)
+        return changed
+
+    def run_on_function(self, fn, module: Module, ctx: OptContext) -> bool:
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a pipeline of passes, optionally verifying between passes."""
+
+    def __init__(self, passes: List[Pass], *, verify_each: bool = False):
+        self.passes = list(passes)
+        self.verify_each = verify_each
+
+    def run(self, module: Module, ctx: Optional[OptContext] = None) -> OptContext:
+        ctx = ctx or OptContext()
+        for p in self.passes:
+            changed = p.run(module, ctx)
+            if changed:
+                ctx.count(f"pass.{p.name}.changed")
+            if self.verify_each:
+                try:
+                    verify_module(module)
+                except Exception as exc:  # re-raise with pass attribution
+                    raise type(exc)(f"after pass {p.name!r}: {exc}") from exc
+        return ctx
+
+    def run_until_fixpoint(
+        self, module: Module, ctx: Optional[OptContext] = None, max_iters: int = 4
+    ) -> OptContext:
+        """Repeat the pipeline until no pass reports changes (bounded)."""
+        ctx = ctx or OptContext()
+        for _ in range(max_iters):
+            any_change = False
+            for p in self.passes:
+                if p.run(module, ctx):
+                    any_change = True
+                    ctx.count(f"pass.{p.name}.changed")
+                if self.verify_each:
+                    try:
+                        verify_module(module)
+                    except Exception as exc:
+                        raise type(exc)(f"after pass {p.name!r}: {exc}") from exc
+            if not any_change:
+                break
+        return ctx

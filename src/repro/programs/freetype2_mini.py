@@ -1,0 +1,178 @@
+"""freetype2 — binary font loader.
+
+Mid-sized binary parser: table directory, per-glyph outline records,
+checksum validation, bounding-box/advance computation.  Medium functions
+with moderate call-graph density.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.programs.registry import TargetProgram, register
+from repro.utils.rng import DeterministicRNG
+
+SOURCE = r"""
+// freetype2_mini: parse a tiny binary font format.
+// Layout:
+//   magic "FT2\0" | u8 num_glyphs | u8 flags | u16 checksum
+//   per glyph: u8 npoints | u8 advance | npoints * (i8 dx, i8 dy)
+
+static int glyph_advances[64];
+static int glyph_widths[64];
+static int glyphs_loaded;
+static int checksum_state;
+
+static int read_u8(const char *p) { return (int)*p & 255; }
+static int read_i8(const char *p) { return (int)*p; }
+static int read_u16(const char *p) { return read_u8(p) * 256 + read_u8(p + 1); }
+
+static void checksum_mix(int v) {
+    checksum_state = (checksum_state * 131 + v) % 65521;
+}
+
+static int parse_outline(const char *data, long avail, int npoints, int glyph) {
+    int x = 0;
+    int y = 0;
+    int minx = 0;
+    int maxx = 0;
+    int miny = 0;
+    int maxy = 0;
+    int i;
+    if ((long)npoints * 2 > avail) return -1;
+    for (i = 0; i < npoints; i++) {
+        x += read_i8(data + i * 2);
+        y += read_i8(data + i * 2 + 1);
+        if (x < minx) minx = x;
+        if (x > maxx) maxx = x;
+        if (y < miny) miny = y;
+        if (y > maxy) maxy = y;
+        checksum_mix(x * 3 + y);
+    }
+    glyph_widths[glyph] = maxx - minx;
+    if (maxy - miny > 127) return -2;
+    return npoints * 2;
+}
+
+static int parse_glyph(const char *data, long avail, int glyph) {
+    int npoints;
+    int advance;
+    int used;
+    if (avail < 2) return -1;
+    npoints = read_u8(data);
+    advance = read_u8(data + 1);
+    if (npoints > 48) return -2;
+    used = parse_outline(data + 2, avail - 2, npoints, glyph);
+    if (used < 0) return used;
+    glyph_advances[glyph] = advance;
+    checksum_mix(advance);
+    return used + 2;
+}
+
+static int hinting_pass(int num_glyphs, int flags) {
+    // Snap advances to a grid; widen narrow glyphs when flag bit 1 set.
+    int i;
+    int total = 0;
+    for (i = 0; i < num_glyphs; i++) {
+        int adv = glyph_advances[i];
+        if (flags & 1) adv = (adv + 3) & ~3;
+        if ((flags & 2) && glyph_widths[i] < 4) adv += 2;
+        if (adv > 255) adv = 255;
+        glyph_advances[i] = adv;
+        total += adv;
+    }
+    return total;
+}
+
+static int kern_metric(int num_glyphs) {
+    int i;
+    int metric = 0;
+    for (i = 1; i < num_glyphs; i++) {
+        int d = glyph_widths[i] - glyph_widths[i - 1];
+        if (d < 0) d = -d;
+        metric += d > 8 ? 8 : d;
+    }
+    return metric;
+}
+
+int run_input(const char *data, long size) {
+    int num_glyphs;
+    int flags;
+    int want_checksum;
+    long pos;
+    int g;
+    int total_advance;
+
+    if (size < 8) return -1;
+    if (data[0] != 'F' || data[1] != 'T' || data[2] != '2' || data[3] != (char)0)
+        return -2;
+    num_glyphs = read_u8(data + 4);
+    flags = read_u8(data + 5);
+    want_checksum = read_u16(data + 6);
+    if (num_glyphs > 64) return -3;
+
+    checksum_state = 1;
+    glyphs_loaded = 0;
+    pos = 8;
+    for (g = 0; g < num_glyphs; g++) {
+        int used = parse_glyph(data + pos, size - pos, g);
+        if (used < 0) return -4;
+        pos += used;
+        glyphs_loaded++;
+    }
+    total_advance = hinting_pass(num_glyphs, flags);
+    if ((flags & 4) && checksum_state != want_checksum) return -5;
+    return total_advance * 100 + kern_metric(num_glyphs) + glyphs_loaded;
+}
+
+int main(void) {
+    char font[32];
+    int r;
+    font[0] = 'F'; font[1] = 'T'; font[2] = '2'; font[3] = (char)0;
+    font[4] = (char)2;   // glyphs
+    font[5] = (char)1;   // flags: grid snap
+    font[6] = (char)0; font[7] = (char)0;
+    // glyph 0: 2 points
+    font[8] = (char)2; font[9] = (char)10;
+    font[10] = (char)5; font[11] = (char)3;
+    font[12] = (char)250; font[13] = (char)1;   // dx=-6, dy=1
+    // glyph 1: 1 point
+    font[14] = (char)1; font[15] = (char)7;
+    font[16] = (char)2; font[17] = (char)2;
+    r = run_input(font, 18);
+    printf("freetype2 metric=%d\n", r);
+    return r < 0 ? 1 : 0;
+}
+"""
+
+
+def _make_font(rng: DeterministicRNG, glyphs: int, flags: int) -> bytes:
+    body = bytearray(b"FT2\x00")
+    body.append(glyphs)
+    body.append(flags & ~4)  # skip checksum enforcement in seeds
+    body.extend(b"\x00\x00")
+    for _ in range(glyphs):
+        npoints = rng.randint(0, 12)
+        body.append(npoints)
+        body.append(rng.randint(1, 40))
+        for _ in range(npoints):
+            body.append(rng.randint(0, 255))
+            body.append(rng.randint(0, 255))
+    return bytes(body)
+
+
+def make_seeds(rng: DeterministicRNG) -> List[bytes]:
+    seeds = [b"FT2\x00\x00\x00\x00\x00"]
+    for _ in range(11):
+        seeds.append(_make_font(rng, rng.randint(1, 24), rng.randint(0, 3)))
+    return seeds
+
+
+register(
+    TargetProgram(
+        name="freetype2",
+        description="binary font loader: outline records + hinting passes",
+        source=SOURCE,
+        make_seeds=make_seeds,
+    )
+)

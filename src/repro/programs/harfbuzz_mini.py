@@ -1,0 +1,188 @@
+"""harfbuzz — text shaping engine.
+
+Paper shape notes: harfbuzz is the *worst* program for Odin-MaxPartition
+(186.91% overhead, §5.2) because its hot loops lean on interprocedural
+optimization.  So: shaping pipeline whose inner loops call many tiny
+helpers (glyph classification, kerning lookup, ligature matching) —
+inlined they melt into the loop; compiled separately every character pays
+several call overheads.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.programs.registry import TargetProgram, register
+from repro.utils.rng import DeterministicRNG
+
+SOURCE = r"""
+// harfbuzz_mini: tiny text shaper.
+// Pipeline: map codepoints to glyphs -> apply ligatures -> kerning ->
+// accumulate advance widths.  All per-character work goes through small
+// helpers: this program's performance is made by the inliner.
+
+static int glyph_buf[256];
+static int class_buf[256];
+static int glyph_count;
+
+static int is_space(int cp) { return cp == ' ' || cp == '\t' || cp == '\n'; }
+static int is_lower(int cp) { return cp >= 'a' && cp <= 'z'; }
+static int is_upper(int cp) { return cp >= 'A' && cp <= 'Z'; }
+static int is_digit_cp(int cp) { return cp >= '0' && cp <= '9'; }
+static int is_punct(int cp) {
+    return cp == '.' || cp == ',' || cp == '!' || cp == '?' || cp == ';';
+}
+
+static int glyph_class(int cp) {
+    if (is_space(cp)) return 0;
+    if (is_lower(cp)) return 1;
+    if (is_upper(cp)) return 2;
+    if (is_digit_cp(cp)) return 3;
+    if (is_punct(cp)) return 4;
+    return 5;
+}
+
+static int map_glyph(int cp) {
+    int cls = glyph_class(cp);
+    if (cls == 1) return 100 + (cp - 'a');
+    if (cls == 2) return 200 + (cp - 'A');
+    if (cls == 3) return 300 + (cp - '0');
+    if (cls == 4) return 400 + (cp & 15);
+    if (cls == 0) return 1;
+    return 2;
+}
+
+static int base_advance(int glyph) {
+    if (glyph == 1) return 3;                 // space
+    if (glyph >= 100 && glyph < 200) return 6 + (glyph & 3);
+    if (glyph >= 200 && glyph < 300) return 8 + (glyph & 3);
+    if (glyph >= 300 && glyph < 400) return 7;
+    return 5;
+}
+
+static int glyph_is_cap(int glyph) { return glyph >= 200 && glyph < 300; }
+static int glyph_is_small(int glyph) { return glyph >= 100 && glyph < 200; }
+static int glyph_bucket(int glyph) { return glyph & 7; }
+static int serif_pad(int glyph) { return glyph_is_cap(glyph) ? 1 : 0; }
+
+static int kern_pair(int left, int right) {
+    // Classic kerning pairs: AV, To, fi-ish combinations by class.
+    if (glyph_is_cap(left) && glyph_is_small(right)) return -2 - serif_pad(left);
+    if (left == right) return 1;
+    if (glyph_bucket(left) == glyph_bucket(right)) return -1;
+    return serif_pad(left) - serif_pad(right);
+}
+
+static int lig_match(int a, int b) {
+    // 'f'+'i' -> fi ligature, 'f'+'l' -> fl.
+    int f = 100 + ('f' - 'a');
+    int i = 100 + ('i' - 'a');
+    int l = 100 + ('l' - 'a');
+    if (a == f && b == i) return 500;
+    if (a == f && b == l) return 501;
+    if (a == i && b == i) return 502;
+    return 0;
+}
+
+static void push_glyph(int glyph, int cls) {
+    if (glyph_count < 256) {
+        glyph_buf[glyph_count] = glyph;
+        class_buf[glyph_count] = cls;
+        glyph_count++;
+    }
+}
+
+static void map_all(const char *text, long size) {
+    long i;
+    glyph_count = 0;
+    for (i = 0; i < size; i++) {
+        int cp = (int)text[i] & 255;
+        push_glyph(map_glyph(cp), glyph_class(cp));
+    }
+}
+
+static void apply_ligatures(void) {
+    int out = 0;
+    int i = 0;
+    while (i < glyph_count) {
+        int lig = 0;
+        if (i + 1 < glyph_count) lig = lig_match(glyph_buf[i], glyph_buf[i + 1]);
+        if (lig != 0) {
+            glyph_buf[out] = lig;
+            class_buf[out] = 6;
+            i += 2;
+        } else {
+            glyph_buf[out] = glyph_buf[i];
+            class_buf[out] = class_buf[i];
+            i += 1;
+        }
+        out++;
+    }
+    glyph_count = out;
+}
+
+static int shape_width(void) {
+    int width = 0;
+    int i;
+    for (i = 0; i < glyph_count; i++) {
+        width += base_advance(glyph_buf[i]) + serif_pad(glyph_buf[i]);
+        if (i > 0) width += kern_pair(glyph_buf[i - 1], glyph_buf[i]);
+    }
+    return width;
+}
+
+static int cluster_count(void) {
+    int clusters = 0;
+    int i;
+    int in_word = 0;
+    for (i = 0; i < glyph_count; i++) {
+        int space = class_buf[i] == 0;
+        if (!space && !in_word) clusters++;
+        in_word = !space;
+    }
+    return clusters;
+}
+
+int run_input(const char *data, long size) {
+    int width;
+    int clusters;
+    if (size > 256) size = 256;
+    map_all(data, size);
+    apply_ligatures();
+    width = shape_width();
+    clusters = cluster_count();
+    return width * 1000 + clusters * 10 + (glyph_count & 7);
+}
+
+int main(void) {
+    char text[32] = "The quick fight of fish";
+    int r = run_input(text, 23);
+    printf("harfbuzz shape=%d\n", r);
+    return 0;
+}
+"""
+
+
+def make_seeds(rng: DeterministicRNG) -> List[bytes]:
+    words = ["fish", "flight", "offer", "The", "Viking", "mix", "affix",
+             "Tofu", "skiing", "scaffold", "42nd", "fjord"]
+    seeds = [
+        b"Hello, World!",
+        b"The quick brown fox jumps over the lazy dog.",
+        b"ffi ffl offline affine",
+    ]
+    for _ in range(10):
+        n = rng.randint(4, 18)
+        text = " ".join(rng.choice(words) for _ in range(n))
+        seeds.append(text.encode())
+    return seeds
+
+
+register(
+    TargetProgram(
+        name="harfbuzz",
+        description="text shaper: hot loops over tiny helpers (IPO-dependent)",
+        source=SOURCE,
+        make_seeds=make_seeds,
+    )
+)

@@ -1,0 +1,210 @@
+"""json — header-only-style JSON parser.
+
+Paper shape notes (§5.3): "Take json, a header-only C++ template library
+for example.  Its extensive use of C++ templates results in short
+functions suitable for interprocedural optimization."  So: the smallest
+target, a recursive-descent parser made of many tiny static helpers that
+all want to be inlined.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.programs.registry import TargetProgram, register
+from repro.utils.rng import DeterministicRNG
+
+SOURCE = r"""
+// json_mini: recursive-descent JSON subset parser.
+// Built from many tiny static helpers, like a header-only template library
+// lowers to: short functions that live or die by inlining.
+
+static const char *cur;
+static const char *end;
+static int depth;
+static int error_flag;
+static int counts[8];   // 0 obj, 1 arr, 2 str, 3 num, 4 bool, 5 null, 6 keys, 7 commas
+
+static int at_end(void) { return cur >= end; }
+static char peek(void) { return at_end() ? (char)0 : *cur; }
+static char advance(void) { return at_end() ? (char)0 : *cur++; }
+static int is_ws(char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+static int is_digit(char c) { return c >= '0' && c <= '9'; }
+static void skip_ws(void) { while (!at_end() && is_ws(peek())) advance(); }
+static void fail(void) { error_flag = 1; }
+static int expect(char c) {
+    if (peek() == c) { advance(); return 1; }
+    fail();
+    return 0;
+}
+static void bump(int kind) { counts[kind]++; }
+
+static int parse_value(void);
+
+static int parse_string(void) {
+    if (!expect('"')) return 0;
+    while (!at_end() && peek() != '"') {
+        char c = advance();
+        if (c == '\\') {
+            if (at_end()) { fail(); return 0; }
+            advance();
+        }
+    }
+    if (!expect('"')) return 0;
+    bump(2);
+    return 1;
+}
+
+static int parse_number(void) {
+    if (peek() == '-') advance();
+    if (!is_digit(peek())) { fail(); return 0; }
+    while (is_digit(peek())) advance();
+    if (peek() == '.') {
+        advance();
+        if (!is_digit(peek())) { fail(); return 0; }
+        while (is_digit(peek())) advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+        advance();
+        if (peek() == '+' || peek() == '-') advance();
+        if (!is_digit(peek())) { fail(); return 0; }
+        while (is_digit(peek())) advance();
+    }
+    bump(3);
+    return 1;
+}
+
+static int parse_literal(const char *word, int len, int kind) {
+    int i;
+    for (i = 0; i < len; i++) {
+        if (at_end() || peek() != word[i]) { fail(); return 0; }
+        advance();
+    }
+    bump(kind);
+    return 1;
+}
+
+static int parse_array(void) {
+    if (!expect('[')) return 0;
+    depth++;
+    if (depth > 24) { fail(); depth--; return 0; }
+    skip_ws();
+    if (peek() == ']') { advance(); depth--; bump(1); return 1; }
+    while (1) {
+        if (!parse_value()) { depth--; return 0; }
+        skip_ws();
+        if (peek() == ',') { advance(); bump(7); skip_ws(); continue; }
+        break;
+    }
+    depth--;
+    if (!expect(']')) return 0;
+    bump(1);
+    return 1;
+}
+
+static int parse_object(void) {
+    if (!expect('{')) return 0;
+    depth++;
+    if (depth > 24) { fail(); depth--; return 0; }
+    skip_ws();
+    if (peek() == '}') { advance(); depth--; bump(0); return 1; }
+    while (1) {
+        skip_ws();
+        if (!parse_string()) { depth--; return 0; }
+        bump(6);
+        skip_ws();
+        if (!expect(':')) { depth--; return 0; }
+        skip_ws();
+        if (!parse_value()) { depth--; return 0; }
+        skip_ws();
+        if (peek() == ',') { advance(); bump(7); continue; }
+        break;
+    }
+    depth--;
+    if (!expect('}')) return 0;
+    bump(0);
+    return 1;
+}
+
+static int parse_value(void) {
+    char c;
+    skip_ws();
+    if (at_end()) { fail(); return 0; }
+    c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == 't') { char w[5] = "true"; return parse_literal(w, 4, 4); }
+    if (c == 'f') { char w[6] = "false"; return parse_literal(w, 5, 4); }
+    if (c == 'n') { char w[5] = "null"; return parse_literal(w, 4, 5); }
+    if (c == '-' || is_digit(c)) return parse_number();
+    fail();
+    return 0;
+}
+
+int run_input(const char *data, long size) {
+    int i;
+    cur = data;
+    end = data + size;
+    depth = 0;
+    error_flag = 0;
+    for (i = 0; i < 8; i++) counts[i] = 0;
+    parse_value();
+    skip_ws();
+    if (!at_end()) error_flag = 1;
+    if (error_flag) return -1;
+    return counts[0] + counts[1] * 2 + counts[2] * 3 + counts[3] * 5
+         + counts[4] * 7 + counts[5] * 11 + counts[6] * 13 + counts[7] * 17;
+}
+
+int main(void) {
+    char doc[32] = "{\"a\": [1, 2, true]}";
+    int r = run_input(doc, 19);
+    printf("json checksum=%d\n", r);
+    return r < 0 ? 1 : 0;
+}
+"""
+
+
+def _random_value(rng: DeterministicRNG, depth: int) -> str:
+    if depth <= 0 or rng.chance(0.4):
+        kind = rng.randint(0, 3)
+        if kind == 0:
+            return str(rng.randint(-9999, 9999))
+        if kind == 1:
+            word = "".join(chr(rng.randint(97, 122)) for _ in range(rng.randint(1, 8)))
+            return f'"{word}"'
+        if kind == 2:
+            return rng.choice(["true", "false", "null"])
+        return f"{rng.randint(0, 99)}.{rng.randint(0, 99)}"
+    if rng.chance(0.5):
+        items = ", ".join(_random_value(rng, depth - 1) for _ in range(rng.randint(0, 4)))
+        return f"[{items}]"
+    pairs = ", ".join(
+        f'"k{rng.randint(0, 99)}": {_random_value(rng, depth - 1)}'
+        for _ in range(rng.randint(0, 4))
+    )
+    return f"{{{pairs}}}"
+
+
+def make_seeds(rng: DeterministicRNG) -> List[bytes]:
+    seeds = [
+        b"{}",
+        b"[]",
+        b'{"key": "value"}',
+        b"[1, 2, 3, 4, 5]",
+        b'{"nested": {"arr": [true, false, null], "num": -3.25e2}}',
+    ]
+    for _ in range(12):
+        seeds.append(_random_value(rng, 4).encode())
+    return seeds
+
+
+register(
+    TargetProgram(
+        name="json",
+        description="header-only-style JSON parser: tiny inlinable helpers",
+        source=SOURCE,
+        make_seeds=make_seeds,
+    )
+)

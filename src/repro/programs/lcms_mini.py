@@ -1,0 +1,134 @@
+"""lcms — color management.
+
+Per-pixel 3x3 matrix transform, tone-curve lookup with linear
+interpolation, and gamut clipping — LUT-heavy numeric loops with a small
+helper layer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.programs.registry import TargetProgram, register
+from repro.utils.rng import DeterministicRNG
+
+SOURCE = r"""
+// lcms_mini: color pipeline.
+// Input: u8 profile_id | 9 x i8 matrix | pixels (3 bytes each).
+// Pipeline per pixel: matrix multiply (8.8 fixed), tone curve LUT with
+// interpolation, gamut clip, accumulate histogram.
+
+static int tone_curve[33];
+static int curve_ready;
+static int matrix[9];
+static int histogram[8];
+
+static void build_curve(int profile_id) {
+    // Gamma-like curve: out = in^gamma approximated piecewise.
+    int i;
+    int gamma_x10 = 10 + (profile_id % 16);
+    for (i = 0; i <= 32; i++) {
+        int x = i * 8;             // 0..256
+        long acc = 256;
+        int g;
+        for (g = 0; g < gamma_x10 / 10; g++) acc = acc * x / 256;
+        if (gamma_x10 % 10 >= 5) acc = (acc * x / 256 + acc) / 2;
+        tone_curve[i] = (int)acc;
+    }
+    curve_ready = 1;
+}
+
+static int curve_lookup(int v) {
+    int idx;
+    int frac;
+    int lo;
+    int hi;
+    if (v < 0) v = 0;
+    if (v > 255) v = 255;
+    idx = v >> 3;
+    frac = v & 7;
+    lo = tone_curve[idx];
+    hi = tone_curve[idx + 1];
+    return lo + ((hi - lo) * frac >> 3);
+}
+
+static int dot_row(int row, int r, int g, int b) {
+    return (matrix[row * 3] * r + matrix[row * 3 + 1] * g
+          + matrix[row * 3 + 2] * b) >> 6;
+}
+
+static int clip(int v) {
+    if (v < 0) return 0;
+    if (v > 255) return 255;
+    return v;
+}
+
+static void bump_histogram(int luma) {
+    histogram[(luma >> 5) & 7]++;
+}
+
+int run_input(const char *data, long size) {
+    int i;
+    long pos;
+    int checksum = 0;
+    int pixels = 0;
+    if (size < 10) return -1;
+    build_curve((int)data[0] & 255);
+    for (i = 0; i < 9; i++) matrix[i] = (int)data[1 + i];
+    for (i = 0; i < 8; i++) histogram[i] = 0;
+    pos = 10;
+    while (pos + 3 <= size && pixels < 256) {
+        int r = (int)data[pos] & 255;
+        int g = (int)data[pos + 1] & 255;
+        int b = (int)data[pos + 2] & 255;
+        int tr = clip(curve_lookup(dot_row(0, r, g, b)));
+        int tg = clip(curve_lookup(dot_row(1, r, g, b)));
+        int tb = clip(curve_lookup(dot_row(2, r, g, b)));
+        int luma = (tr * 77 + tg * 151 + tb * 28) >> 8;
+        bump_histogram(luma);
+        checksum = (checksum * 31 + tr + tg * 3 + tb * 7) % 1000003;
+        pixels++;
+        pos += 3;
+    }
+    if (pixels == 0) return -2;
+    {
+        int spread = 0;
+        for (i = 0; i < 8; i++) {
+            if (histogram[i] > 0) spread++;
+        }
+        return checksum * 10 + spread;
+    }
+}
+
+int main(void) {
+    char buf[28];
+    int i;
+    int r;
+    buf[0] = (char)12;
+    for (i = 0; i < 9; i++) buf[1 + i] = (char)(i == 0 || i == 4 || i == 8 ? 64 : 3);
+    for (i = 10; i < 28; i++) buf[i] = (char)(i * 9);
+    r = run_input(buf, 28);
+    printf("lcms checksum=%d\n", r);
+    return r < 0 ? 1 : 0;
+}
+"""
+
+
+def make_seeds(rng: DeterministicRNG) -> List[bytes]:
+    seeds = []
+    for _ in range(10):
+        out = bytearray([rng.randint(0, 255)])
+        out.extend(rng.bytes(9))
+        out.extend(rng.bytes(3 * rng.randint(4, 64)))
+        seeds.append(bytes(out))
+    return seeds
+
+
+register(
+    TargetProgram(
+        name="lcms",
+        description="color pipeline: matrix transform + tone-curve LUT",
+        source=SOURCE,
+        make_seeds=make_seeds,
+    )
+)

@@ -1,0 +1,127 @@
+"""libjpeg — baseline JPEG-style block codec.
+
+Paper shape notes: libjpeg is the *best* program for Odin-MaxPartition
+(0.95% overhead, §5.2) — flat numeric kernels whose hot loops are
+self-contained inside big functions, so losing interprocedural
+optimization costs almost nothing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.programs.registry import TargetProgram, register
+from repro.utils.rng import DeterministicRNG
+
+SOURCE = r"""
+// libjpeg_mini: 8x8 block transform codec.
+// Parse a header, dequantize each 8x8 block, run a butterfly transform
+// (integer IDCT stand-in), clamp, and checksum.  All hot code is loops
+// inside big leaf functions: no cross-function calls to inline.
+
+static int quant_table[64];
+static int workspace[64];
+static int output_sum;
+static int blocks_done;
+
+static void load_quant_table(const char *data) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        int q = (int)data[i] & 255;
+        if (q == 0) q = 1;
+        quant_table[i] = q;
+    }
+}
+
+static void transform_block(const char *coeffs) {
+    // Dequantize + two butterfly passes + clamp, all in one function.
+    int i;
+    int row;
+    int col;
+    for (i = 0; i < 64; i++) {
+        int c = (int)coeffs[i];
+        workspace[i] = c * quant_table[i];
+    }
+    // Row pass: butterflies within each row of 8.
+    for (row = 0; row < 8; row++) {
+        int base = row * 8;
+        for (col = 0; col < 4; col++) {
+            int a = workspace[base + col];
+            int b = workspace[base + 7 - col];
+            int s = a + b;
+            int d = a - b;
+            workspace[base + col] = s + (d >> 2);
+            workspace[base + 7 - col] = d - (s >> 2);
+        }
+    }
+    // Column pass.
+    for (col = 0; col < 8; col++) {
+        for (row = 0; row < 4; row++) {
+            int a = workspace[row * 8 + col];
+            int b = workspace[(7 - row) * 8 + col];
+            int s = a + b;
+            int d = a - b;
+            workspace[row * 8 + col] = s + (d >> 3);
+            workspace[(7 - row) * 8 + col] = d - (s >> 3);
+        }
+    }
+    // Descale and clamp to 0..255, accumulate checksum.
+    for (i = 0; i < 64; i++) {
+        int v = (workspace[i] >> 4) + 128;
+        if (v < 0) v = 0;
+        if (v > 255) v = 255;
+        output_sum = (output_sum + v * (i + 1)) % 16777213;
+    }
+    blocks_done++;
+}
+
+int run_input(const char *data, long size) {
+    long pos;
+    if (size < 68) return -1;
+    if (data[0] != (char)0xFF || data[1] != (char)0xD8) return -2;  // SOI-ish
+    output_sum = 0;
+    blocks_done = 0;
+    load_quant_table(data + 2);
+    pos = 66;
+    while (pos + 64 <= size) {
+        transform_block(data + pos);
+        pos += 64;
+    }
+    return output_sum + blocks_done;
+}
+
+int main(void) {
+    char buf[200];
+    int i;
+    int r;
+    buf[0] = (char)0xFF;
+    buf[1] = (char)0xD8;
+    for (i = 2; i < 200; i++) buf[i] = (char)((i * 7 + 3) & 255);
+    r = run_input(buf, 200);
+    printf("libjpeg checksum=%d\n", r);
+    return r < 0 ? 1 : 0;
+}
+"""
+
+
+def make_seeds(rng: DeterministicRNG) -> List[bytes]:
+    seeds = []
+    for _ in range(10):
+        blocks = rng.randint(1, 4)
+        body = bytearray(b"\xff\xd8")
+        body.extend(rng.bytes(64))  # quant table
+        for _ in range(blocks):
+            body.extend(rng.bytes(64))
+        seeds.append(bytes(body))
+    seeds.append(b"\xff\xd8" + bytes(range(64)) + bytes(64))
+    return seeds
+
+
+register(
+    TargetProgram(
+        name="libjpeg",
+        description="block transform codec: flat numeric kernels, no IPO",
+        source=SOURCE,
+        make_seeds=make_seeds,
+    )
+)

@@ -1,0 +1,193 @@
+"""libpng — chunked image format decoder.
+
+Chunk framing with CRC validation plus per-scanline filter reconstruction
+(the None/Sub/Up/Average filters) — the classic PNG decoder hot path.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.programs.registry import TargetProgram, register
+from repro.utils.rng import DeterministicRNG
+
+SOURCE = r"""
+// libpng_mini: PNG-like chunk parser and scanline defilter.
+// Format:
+//   signature 0x89 'P' 'N' 'G'
+//   chunks: u8 len | u8 type | len bytes | u8 crc   (crc = sum of data & 255)
+//   type 'H': header -> width, height
+//   type 'D': filtered scanline data (filter byte + width bytes per line)
+//   type 'E': end
+
+static int img_width;
+static int img_height;
+static int have_header;
+static char recon[64][32];
+static int lines_done;
+static int crc_failures;
+
+static int check_crc(const char *data, int len, int crc) {
+    int sum = 0;
+    int i;
+    for (i = 0; i < len; i++) sum = (sum + ((int)data[i] & 255)) & 255;
+    return sum == crc;
+}
+
+static int paeth(int a, int b, int c) {
+    int p = a + b - c;
+    int pa = p > a ? p - a : a - p;
+    int pb = p > b ? p - b : b - p;
+    int pc = p > c ? p - c : c - p;
+    if (pa <= pb && pa <= pc) return a;
+    if (pb <= pc) return b;
+    return c;
+}
+
+static void defilter_line(const char *src, int y, int filter) {
+    int x;
+    for (x = 0; x < img_width; x++) {
+        int raw = (int)src[x] & 255;
+        int left = x > 0 ? (int)recon[y][x - 1] & 255 : 0;
+        int up = y > 0 ? (int)recon[y - 1][x] & 255 : 0;
+        int corner = (x > 0 && y > 0) ? (int)recon[y - 1][x - 1] & 255 : 0;
+        int value;
+        if (filter == 0) value = raw;
+        else if (filter == 1) value = raw + left;
+        else if (filter == 2) value = raw + up;
+        else if (filter == 3) value = raw + (left + up) / 2;
+        else value = raw + paeth(left, up, corner);
+        recon[y][x] = (char)(value & 255);
+    }
+}
+
+static int handle_header(const char *data, int len) {
+    if (len < 2) return 0;
+    img_width = (int)data[0] & 255;
+    img_height = (int)data[1] & 255;
+    if (img_width == 0 || img_width > 32) return 0;
+    if (img_height == 0 || img_height > 64) return 0;
+    have_header = 1;
+    return 1;
+}
+
+static int handle_data(const char *data, int len) {
+    int pos = 0;
+    if (!have_header) return 0;
+    while (pos + 1 + img_width <= len && lines_done < img_height) {
+        int filter = (int)data[pos] & 255;
+        if (filter > 4) return 0;
+        defilter_line(data + pos + 1, lines_done, filter);
+        lines_done++;
+        pos += 1 + img_width;
+    }
+    return 1;
+}
+
+static int image_checksum(void) {
+    int sum = 0;
+    int y;
+    int x;
+    for (y = 0; y < lines_done; y++) {
+        for (x = 0; x < img_width; x++) {
+            sum = (sum * 33 + ((int)recon[y][x] & 255)) % 1000003;
+        }
+    }
+    return sum;
+}
+
+int run_input(const char *data, long size) {
+    long pos;
+    int saw_end = 0;
+    if (size < 4) return -1;
+    if (((int)data[0] & 255) != 137 || data[1] != 'P' || data[2] != 'N'
+        || data[3] != 'G') return -2;
+    img_width = 0;
+    img_height = 0;
+    have_header = 0;
+    lines_done = 0;
+    crc_failures = 0;
+    pos = 4;
+    while (pos + 2 <= size && !saw_end) {
+        int len = (int)data[pos] & 255;
+        char type = data[pos + 1];
+        const char *body = data + pos + 2;
+        int crc;
+        if (pos + 2 + len + 1 > size) return -3;
+        crc = (int)data[pos + 2 + len] & 255;
+        if (!check_crc(body, len, crc)) {
+            crc_failures++;
+            if (crc_failures > 3) return -4;
+        } else if (type == 'H') {
+            if (!handle_header(body, len)) return -5;
+        } else if (type == 'D') {
+            if (!handle_data(body, len)) return -6;
+        } else if (type == 'E') {
+            saw_end = 1;
+        }
+        pos += 2 + len + 1;
+    }
+    if (!saw_end) return -7;
+    return image_checksum() * 10 + lines_done;
+}
+
+int main(void) {
+    char png[40];
+    int r;
+    png[0] = (char)137; png[1] = 'P'; png[2] = 'N'; png[3] = 'G';
+    // header chunk: len 2, type 'H', 4x2 image, crc
+    png[4] = (char)2; png[5] = 'H'; png[6] = (char)4; png[7] = (char)2;
+    png[8] = (char)6;
+    // data chunk: len 10 (2 lines of filter + 4 px)
+    png[9] = (char)10; png[10] = 'D';
+    png[11] = (char)0; png[12] = (char)1; png[13] = (char)2; png[14] = (char)3; png[15] = (char)4;
+    png[16] = (char)1; png[17] = (char)1; png[18] = (char)1; png[19] = (char)1; png[20] = (char)1;
+    png[21] = (char)(1+2+3+4+1+1+1+1+1);
+    // end chunk
+    png[22] = (char)0; png[23] = 'E'; png[24] = (char)0;
+    r = run_input(png, 25);
+    printf("libpng checksum=%d\n", r);
+    return r < 0 ? 1 : 0;
+}
+"""
+
+
+def _chunk(type_: bytes, body: bytes) -> bytes:
+    crc = sum(body) & 255
+    return bytes([len(body)]) + type_ + body + bytes([crc])
+
+
+def _make_png(rng: DeterministicRNG) -> bytes:
+    width = rng.randint(1, 16)
+    height = rng.randint(1, 12)
+    out = bytearray(b"\x89PNG")
+    out.extend(_chunk(b"H", bytes([width, height])))
+    lines = bytearray()
+    for _ in range(height):
+        lines.append(rng.randint(0, 4))
+        lines.extend(rng.bytes(width))
+        if len(lines) > 200:
+            break
+    # split into chunks of <= 120 bytes
+    for i in range(0, len(lines), 120):
+        out.extend(_chunk(b"D", bytes(lines[i : i + 120])))
+    out.extend(_chunk(b"E", b""))
+    return bytes(out)
+
+
+def make_seeds(rng: DeterministicRNG) -> List[bytes]:
+    seeds = [b"\x89PNG" + _chunk(b"H", bytes([2, 2]))
+             + _chunk(b"D", bytes([0, 1, 2, 1, 3, 4])) + _chunk(b"E", b"")]
+    for _ in range(10):
+        seeds.append(_make_png(rng))
+    return seeds
+
+
+register(
+    TargetProgram(
+        name="libpng",
+        description="chunked image decoder: CRC framing + scanline filters",
+        source=SOURCE,
+        make_seeds=make_seeds,
+    )
+)

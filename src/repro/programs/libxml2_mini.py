@@ -1,0 +1,266 @@
+"""libxml2 — XML push parser.
+
+The paper's Fig. 3 build-cost target and a mid-sized parser: tag stack,
+attribute scanning, entity expansion, well-formedness checking.  Mixed
+call-graph density: helpers inline, but the element machinery is big
+enough to stand alone.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.programs.registry import TargetProgram, register
+from repro.utils.rng import DeterministicRNG
+
+SOURCE = r"""
+// libxml2_mini: XML subset parser with a tag stack and entity expansion.
+
+static const char *cur;
+static const char *end;
+static int error_code;
+static int element_count;
+static int attribute_count;
+static int text_chars;
+static int entity_count;
+static int max_depth;
+
+static char tag_stack[32][16];
+static int tag_len[32];
+static int depth;
+
+static int at_end(void) { return cur >= end; }
+static char peek(void) { return at_end() ? (char)0 : *cur; }
+static char peek2(void) { return (cur + 1 >= end) ? (char)0 : cur[1]; }
+static char advance(void) { return at_end() ? (char)0 : *cur++; }
+static int is_space(char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+static int is_name_start(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+static int is_name_char(char c) {
+    return is_name_start(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+static void skip_space(void) { while (!at_end() && is_space(peek())) advance(); }
+static void set_error(int code) { if (!error_code) error_code = code; }
+
+static int read_name(char *out, int cap) {
+    int n = 0;
+    if (!is_name_start(peek())) { set_error(1); return 0; }
+    while (!at_end() && is_name_char(peek())) {
+        char c = advance();
+        if (n < cap - 1) out[n++] = c;
+    }
+    out[n] = (char)0;
+    return n;
+}
+
+static int name_equal(const char *a, const char *b, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (a[i] != b[i]) return 0;
+    }
+    return b[n] == (char)0;
+}
+
+static int parse_entity(void) {
+    // &amp; &lt; &gt; &quot; &apos; &#NN;
+    char name[8];
+    int n = 0;
+    advance();  // '&'
+    if (peek() == '#') {
+        advance();
+        if (!(peek() >= '0' && peek() <= '9')) { set_error(2); return 0; }
+        while (peek() >= '0' && peek() <= '9') advance();
+        if (peek() != ';') { set_error(2); return 0; }
+        advance();
+        entity_count++;
+        return 1;
+    }
+    while (!at_end() && peek() != ';' && n < 7) name[n++] = advance();
+    name[n] = (char)0;
+    if (peek() != ';') { set_error(2); return 0; }
+    advance();
+    if (name_equal(name, "amp", 3) || name_equal(name, "lt", 2)
+        || name_equal(name, "gt", 2) || name_equal(name, "quot", 4)
+        || name_equal(name, "apos", 4)) {
+        entity_count++;
+        return 1;
+    }
+    set_error(3);
+    return 0;
+}
+
+static int parse_attr_value(void) {
+    char quote = peek();
+    if (quote != '"' && quote != '\'') { set_error(4); return 0; }
+    advance();
+    while (!at_end() && peek() != quote) {
+        if (peek() == '&') {
+            if (!parse_entity()) return 0;
+        } else if (peek() == '<') {
+            set_error(5);
+            return 0;
+        } else {
+            advance();
+        }
+    }
+    if (at_end()) { set_error(4); return 0; }
+    advance();
+    return 1;
+}
+
+static int parse_attributes(void) {
+    while (1) {
+        char name[16];
+        skip_space();
+        if (peek() == '>' || peek() == '/' || at_end()) return 1;
+        if (!read_name(name, 16)) return 0;
+        skip_space();
+        if (peek() != '=') { set_error(6); return 0; }
+        advance();
+        skip_space();
+        if (!parse_attr_value()) return 0;
+        attribute_count++;
+    }
+}
+
+static int parse_open_tag(void) {
+    char name[16];
+    int n;
+    advance();  // '<'
+    n = read_name(name, 16);
+    if (n == 0) return 0;
+    if (!parse_attributes()) return 0;
+    if (peek() == '/') {
+        advance();
+        if (peek() != '>') { set_error(7); return 0; }
+        advance();
+        element_count++;
+        return 1;  // self-closing
+    }
+    if (peek() != '>') { set_error(7); return 0; }
+    advance();
+    if (depth >= 32) { set_error(8); return 0; }
+    {
+        int i;
+        for (i = 0; i <= n && i < 16; i++) tag_stack[depth][i] = name[i];
+        tag_len[depth] = n;
+    }
+    depth++;
+    if (depth > max_depth) max_depth = depth;
+    element_count++;
+    return 1;
+}
+
+static int parse_close_tag(void) {
+    char name[16];
+    int n;
+    advance();  // '<'
+    advance();  // '/'
+    n = read_name(name, 16);
+    if (n == 0) return 0;
+    skip_space();
+    if (peek() != '>') { set_error(7); return 0; }
+    advance();
+    if (depth == 0) { set_error(9); return 0; }
+    depth--;
+    if (tag_len[depth] != n || !name_equal(tag_stack[depth], name, n)) {
+        set_error(10);
+        return 0;
+    }
+    return 1;
+}
+
+static int parse_comment(void) {
+    // "<!--" already detected; skip to "-->"
+    advance(); advance(); advance(); advance();
+    while (!at_end()) {
+        if (peek() == '-' && peek2() == '-') {
+            advance(); advance();
+            if (peek() == '>') { advance(); return 1; }
+            set_error(11);
+            return 0;
+        }
+        advance();
+    }
+    set_error(11);
+    return 0;
+}
+
+int run_input(const char *data, long size) {
+    cur = data;
+    end = data + size;
+    error_code = 0;
+    element_count = 0;
+    attribute_count = 0;
+    text_chars = 0;
+    entity_count = 0;
+    max_depth = 0;
+    depth = 0;
+
+    skip_space();
+    while (!at_end() && !error_code) {
+        if (peek() == '<') {
+            if (peek2() == '/') {
+                if (!parse_close_tag()) break;
+            } else if (peek2() == '!') {
+                if (!parse_comment()) break;
+            } else {
+                if (!parse_open_tag()) break;
+            }
+        } else if (peek() == '&') {
+            if (!parse_entity()) break;
+            text_chars++;
+        } else {
+            advance();
+            text_chars++;
+        }
+    }
+    if (!error_code && depth != 0) set_error(12);
+    if (error_code) return -error_code;
+    return element_count * 1000 + attribute_count * 100
+         + entity_count * 10 + max_depth;
+}
+
+int main(void) {
+    char doc[64] = "<root a=\"1\"><item>hi &amp; bye</item><x/></root>";
+    int r = run_input(doc, 49);
+    printf("libxml2 result=%d\n", r);
+    return r < 0 ? 1 : 0;
+}
+"""
+
+
+def _random_doc(rng: DeterministicRNG, depth: int) -> str:
+    tags = ["a", "b", "item", "node", "x", "list", "head"]
+    if depth <= 0 or rng.chance(0.3):
+        return rng.choice(["text", "hi &amp; bye", "42", "&lt;x&gt;", "data"])
+    tag = rng.choice(tags)
+    attrs = ""
+    for _ in range(rng.randint(0, 2)):
+        attrs += f' k{rng.randint(0, 9)}="v{rng.randint(0, 99)}"'
+    if rng.chance(0.2):
+        return f"<{tag}{attrs}/>"
+    inner = "".join(_random_doc(rng, depth - 1) for _ in range(rng.randint(1, 3)))
+    return f"<{tag}{attrs}>{inner}</{tag}>"
+
+
+def make_seeds(rng: DeterministicRNG) -> List[bytes]:
+    seeds = [
+        b"<root></root>",
+        b'<a b="c">text</a>',
+        b"<r><!-- comment --><x/>&amp;</r>",
+    ]
+    for _ in range(10):
+        seeds.append(_random_doc(rng, 4).encode())
+    return seeds
+
+
+register(
+    TargetProgram(
+        name="libxml2",
+        description="XML parser: tag stack, attributes, entities, comments",
+        source=SOURCE,
+        make_seeds=make_seeds,
+    )
+)

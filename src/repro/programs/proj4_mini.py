@@ -1,0 +1,146 @@
+"""proj4 — cartographic projection library.
+
+Fixed-point trigonometry (table-driven sin/cos with interpolation) feeding
+a chain of forward/inverse projections — numeric transform pipelines with
+a medium-depth call graph.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.programs.registry import TargetProgram, register
+from repro.utils.rng import DeterministicRNG
+
+SOURCE = r"""
+// proj4_mini: fixed-point projection pipeline.
+// Coordinates are 16.16 fixed point.  Input: pairs of (lat, lon) in
+// centidegrees (i16), projected forward then inverted; round-trip error
+// accumulates into the result.
+
+static int sin_table[91];
+static int table_ready;
+
+static void init_tables(void) {
+    // Quarter-wave sine table in 1.14 fixed point, built with the
+    // Bhaskara approximation (integer only).
+    int deg;
+    if (table_ready) return;
+    for (deg = 0; deg <= 90; deg++) {
+        int x = deg * (31416 / 180);
+        long num = (long)(4 * x) * (31416 - x);
+        long den = 49348 * 5 - (long)x * (31416 - x) / 4096 * 4;
+        sin_table[deg] = (int)(num / (den / 4096 + 1));
+        table_ready = 1;
+    }
+}
+
+static int fx_sin(int centideg) {
+    int deg;
+    int sign = 1;
+    centideg = centideg % 36000;
+    if (centideg < 0) centideg += 36000;
+    if (centideg >= 18000) { sign = -1; centideg -= 18000; }
+    if (centideg > 9000) centideg = 18000 - centideg;
+    deg = centideg / 100;
+    if (deg > 90) deg = 90;
+    return sign * sin_table[deg];
+}
+
+static int fx_cos(int centideg) { return fx_sin(centideg + 9000); }
+
+static int fx_mul(int a, int b) { return (int)(((long)a * (long)b) >> 14); }
+
+static int fx_div(int a, int b) {
+    if (b == 0) return 0;
+    return (int)(((long)a << 14) / b);
+}
+
+static int mercator_y(int lat_cd) {
+    // y = atanh(sin lat) approximated by s + s^3/3 + s^5/5.
+    int s = fx_sin(lat_cd);
+    int s2 = fx_mul(s, s);
+    int s3 = fx_mul(s2, s);
+    int s5 = fx_mul(s3, s2);
+    return s + s3 / 3 + s5 / 5;
+}
+
+static int forward_x(int lon_cd) { return lon_cd * 4; }
+
+static int inverse_lat(int y) {
+    // Invert mercator_y with 4 Newton-ish refinement steps.
+    int lat = y / 4;
+    int step;
+    for (step = 0; step < 4; step++) {
+        int fy = mercator_y(lat);
+        int err = y - fy;
+        lat = lat + err / 8;
+        if (lat > 8500) lat = 8500;
+        if (lat < -8500) lat = -8500;
+    }
+    return lat;
+}
+
+static int equal_area_x(int lat_cd, int lon_cd) {
+    return fx_mul(forward_x(lon_cd), fx_cos(lat_cd));
+}
+
+static int datum_shift(int v, int k) {
+    return v + fx_mul(k, fx_sin(v / 2 + k * 100));
+}
+
+int run_input(const char *data, long size) {
+    long pos;
+    int err_acc = 0;
+    int points = 0;
+    init_tables();
+    if (size < 4) return -1;
+    for (pos = 0; pos + 4 <= size && points < 64; pos += 4) {
+        int lat = ((int)data[pos] & 255) * 256 + ((int)data[pos + 1] & 255);
+        int lon = ((int)data[pos + 2] & 255) * 256 + ((int)data[pos + 3] & 255);
+        int y;
+        int lat2;
+        int e;
+        lat = lat % 17000 - 8500;     // clamp to +/- 85 degrees
+        lon = lon % 36000 - 18000;
+        y = mercator_y(lat);
+        lat2 = inverse_lat(y);
+        e = lat - lat2;
+        if (e < 0) e = -e;
+        err_acc += e > 500 ? 500 : e;
+        err_acc += (equal_area_x(lat, lon) ^ datum_shift(lon, 3)) & 15;
+        points++;
+    }
+    if (points == 0) return -2;
+    return err_acc * 100 + points;
+}
+
+int main(void) {
+    char pts[16];
+    int r;
+    pts[0] = (char)10; pts[1] = (char)0; pts[2] = (char)30; pts[3] = (char)0;
+    pts[4] = (char)60; pts[5] = (char)100; pts[6] = (char)2; pts[7] = (char)200;
+    r = run_input(pts, 8);
+    printf("proj4 err=%d\n", r);
+    return r < 0 ? 1 : 0;
+}
+"""
+
+
+def make_seeds(rng: DeterministicRNG) -> List[bytes]:
+    seeds = []
+    for _ in range(10):
+        n = rng.randint(2, 24)
+        seeds.append(rng.bytes(n * 4))
+    seeds.append(bytes(range(64)))
+    return seeds
+
+
+register(
+    TargetProgram(
+        name="proj4",
+        description="fixed-point projection math: sin tables + Newton inversion",
+        source=SOURCE,
+        make_seeds=make_seeds,
+    )
+)

@@ -1,0 +1,209 @@
+"""re2 — regular expression engine.
+
+Pattern compiler + NFA-style breadth-first simulator (Thompson
+construction over a restricted syntax: literals, ``.``, ``*``, ``+``,
+``?``, character classes, anchors).  Input: pattern NUL text.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.programs.registry import TargetProgram, register
+from repro.utils.rng import DeterministicRNG
+
+SOURCE = r"""
+// re2_mini: compile a restricted regex into a program of (kind, arg,
+// quantifier) triples, then simulate it with a breadth-first state set.
+// Kinds: 0 literal, 1 any '.', 2 class start (arg = class index).
+
+static int pat_kind[64];
+static int pat_arg[64];
+static int pat_quant[64];   // 0 once, 1 star, 2 plus, 3 opt
+static int pat_len;
+static int anchored_start;
+static int anchored_end;
+
+static char class_chars[16][16];
+static int class_sizes[16];
+static int class_negated[16];
+static int num_classes;
+
+static int state_now[65];
+static int state_next[65];
+
+static int compile_class(const char *pat, int plen, int pos) {
+    // pos points just after '['; returns chars consumed or -1.
+    int idx = num_classes;
+    int n = 0;
+    int start = pos;
+    if (idx >= 16) return -1;
+    class_negated[idx] = 0;
+    if (pos < plen && pat[pos] == '^') { class_negated[idx] = 1; pos++; }
+    while (pos < plen && pat[pos] != ']') {
+        char c = pat[pos];
+        if (pos + 2 < plen && pat[pos + 1] == '-' && pat[pos + 2] != ']') {
+            char lo = c;
+            char hi = pat[pos + 2];
+            char ch;
+            for (ch = lo; ch <= hi && n < 16; ch++) class_chars[idx][n++] = ch;
+            pos += 3;
+        } else {
+            if (n < 16) class_chars[idx][n++] = c;
+            pos++;
+        }
+    }
+    if (pos >= plen) return -1;
+    class_sizes[idx] = n;
+    num_classes++;
+    return pos + 1 - start;
+}
+
+static int compile_pattern(const char *pat, int plen) {
+    int pos = 0;
+    pat_len = 0;
+    num_classes = 0;
+    anchored_start = 0;
+    anchored_end = 0;
+    if (pos < plen && pat[pos] == '^') { anchored_start = 1; pos++; }
+    while (pos < plen && pat_len < 64) {
+        char c = pat[pos];
+        if (c == '$' && pos == plen - 1) { anchored_end = 1; pos++; continue; }
+        if (c == '[') {
+            int used = compile_class(pat, plen, pos + 1);
+            if (used < 0) return -1;
+            pat_kind[pat_len] = 2;
+            pat_arg[pat_len] = num_classes - 1;
+            pos += 1 + used;
+        } else if (c == '.') {
+            pat_kind[pat_len] = 1;
+            pat_arg[pat_len] = 0;
+            pos++;
+        } else if (c == '\\' && pos + 1 < plen) {
+            pat_kind[pat_len] = 0;
+            pat_arg[pat_len] = (int)pat[pos + 1] & 255;
+            pos += 2;
+        } else if (c == '*' || c == '+' || c == '?') {
+            return -2;  // dangling quantifier
+        } else {
+            pat_kind[pat_len] = 0;
+            pat_arg[pat_len] = (int)c & 255;
+            pos++;
+        }
+        pat_quant[pat_len] = 0;
+        if (pos < plen) {
+            char q = pat[pos];
+            if (q == '*') { pat_quant[pat_len] = 1; pos++; }
+            else if (q == '+') { pat_quant[pat_len] = 2; pos++; }
+            else if (q == '?') { pat_quant[pat_len] = 3; pos++; }
+        }
+        pat_len++;
+    }
+    return pat_len;
+}
+
+static int unit_matches(int idx, char c) {
+    int kind = pat_kind[idx];
+    if (kind == 0) return ((int)c & 255) == pat_arg[idx];
+    if (kind == 1) return 1;
+    {
+        int cls = pat_arg[idx];
+        int i;
+        int hit = 0;
+        for (i = 0; i < class_sizes[cls]; i++) {
+            if (class_chars[cls][i] == c) { hit = 1; break; }
+        }
+        return class_negated[cls] ? !hit : hit;
+    }
+}
+
+static void add_state(int *set, int idx) {
+    // Closure over star/opt units: they can be skipped.
+    while (idx < pat_len && !set[idx]) {
+        set[idx] = 1;
+        if (pat_quant[idx] == 1 || pat_quant[idx] == 3) idx++;
+        else return;
+    }
+    if (idx >= pat_len) set[pat_len] = 1;  // accepting
+}
+
+static int simulate(const char *text, int tlen, int start) {
+    int i;
+    int pos;
+    for (i = 0; i <= pat_len; i++) state_now[i] = 0;
+    add_state(state_now, 0);
+    for (pos = start; pos < tlen; pos++) {
+        char c = text[pos];
+        int any = 0;
+        if (state_now[pat_len] && !anchored_end) return 1;
+        for (i = 0; i <= pat_len; i++) state_next[i] = 0;
+        for (i = 0; i < pat_len; i++) {
+            if (!state_now[i]) continue;
+            if (unit_matches(i, c)) {
+                int q = pat_quant[i];
+                if (q == 1 || q == 2) add_state(state_next, i);  // may repeat
+                add_state(state_next, i + 1);
+                any = 1;
+            }
+        }
+        for (i = 0; i <= pat_len; i++) state_now[i] = state_next[i];
+        if (!any && anchored_start) break;
+    }
+    return state_now[pat_len];
+}
+
+static int search(const char *text, int tlen) {
+    int start;
+    if (anchored_start) return simulate(text, tlen, 0);
+    for (start = 0; start <= tlen; start++) {
+        if (simulate(text, tlen, start)) return 1;
+    }
+    return 0;
+}
+
+int run_input(const char *data, long size) {
+    long split = 0;
+    int plen;
+    int matched;
+    while (split < size && data[split] != (char)0) split++;
+    if (split == 0 || split >= size) return -1;
+    plen = compile_pattern(data, (int)split);
+    if (plen < 0) return -2;
+    matched = search(data + split + 1, (int)(size - split - 1));
+    return matched * 1000 + plen * 10 + num_classes;
+}
+
+int main(void) {
+    char input[32] = "h[a-z]+o*";
+    int r;
+    input[9] = (char)0;
+    input[10] = 'h'; input[11] = 'e'; input[12] = 'l'; input[13] = 'l';
+    input[14] = 'o'; input[15] = '!';
+    r = run_input(input, 16);
+    printf("re2 match=%d\n", r);
+    return r < 0 ? 1 : 0;
+}
+"""
+
+
+def make_seeds(rng: DeterministicRNG) -> List[bytes]:
+    patterns = [b"abc", b"a*bc+", b"^hello$", b"[a-f]+[0-9]?x",
+                b"h.llo", b"[^xyz]*end", b"a?b?c?d?e", b"\\*lit[+]"]
+    texts = [b"abcdef", b"hello world", b"aaabcc", b"deadbeef99x",
+             b"the quick brown fox", b"mismatch"]
+    seeds = []
+    for _ in range(12):
+        pat = rng.choice(patterns)
+        text = rng.choice(texts) + rng.bytes(rng.randint(0, 8)).replace(b"\x00", b"a")
+        seeds.append(pat + b"\x00" + text)
+    return seeds
+
+
+register(
+    TargetProgram(
+        name="re2",
+        description="regex engine: pattern compiler + NFA state-set simulator",
+        source=SOURCE,
+        make_seeds=make_seeds,
+    )
+)

@@ -1,0 +1,189 @@
+"""vorbis — audio decoder.
+
+Bit-level reader, codebook (prefix code) decoding, and an integer
+windowed overlap-add synthesis loop — the classic lossy-audio decode
+shape.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.programs.registry import TargetProgram, register
+from repro.utils.rng import DeterministicRNG
+
+SOURCE = r"""
+// vorbis_mini: bitstream audio frame decoder.
+// Frame: magic 'O','V' | u8 nsamples | u8 window_kind | payload bits.
+// Payload: per sample a prefix code (codebook below) yielding a residual;
+// synthesis applies a triangular window and overlap-add.
+
+static int residuals[128];
+static int pcm[128];
+static int overlap[32];
+static int frames_decoded;
+
+static const char *bit_data;
+static long bit_size;
+static long bit_pos;   // in bits
+
+static int read_bit(void) {
+    long byte = bit_pos >> 3;
+    int shift;
+    if (byte >= bit_size) return -1;
+    shift = (int)(bit_pos & 7);
+    bit_pos++;
+    return ((int)bit_data[byte] >> shift) & 1;
+}
+
+static int read_bits(int n) {
+    int v = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        int b = read_bit();
+        if (b < 0) return -1;
+        v |= b << i;
+    }
+    return v;
+}
+
+static int decode_codeword(void) {
+    // Canonical prefix code:
+    //   0       -> 0
+    //   10      -> +1
+    //   110     -> -1
+    //   1110    -> +small (2 bits)
+    //   1111    -> +large (5 bits, signed offset)
+    int b = read_bit();
+    if (b < 0) return -999;
+    if (b == 0) return 0;
+    b = read_bit();
+    if (b < 0) return -999;
+    if (b == 0) return 1;
+    b = read_bit();
+    if (b < 0) return -999;
+    if (b == 0) return -1;
+    b = read_bit();
+    if (b < 0) return -999;
+    if (b == 0) {
+        int v = read_bits(2);
+        return v < 0 ? -999 : v + 2;
+    }
+    {
+        int v = read_bits(5);
+        return v < 0 ? -999 : v - 16;
+    }
+}
+
+static int window_coeff(int kind, int i, int n) {
+    // Integer triangular / rectangular / half windows in 0..256.
+    if (kind == 0) return 256;
+    if (kind == 1) {
+        int half = n / 2;
+        if (half == 0) return 256;
+        return i < half ? (i * 256) / half : ((n - i) * 256) / half;
+    }
+    return i * 256 / (n ? n : 1);
+}
+
+static void synthesize(int nsamples, int kind) {
+    int i;
+    int prev = 0;
+    for (i = 0; i < nsamples; i++) {
+        int r = residuals[i];
+        int predicted = prev + r;
+        int w = window_coeff(kind, i, nsamples);
+        int sample = (predicted * w) >> 8;
+        if (i < 32) sample += overlap[i];
+        if (sample > 32767) sample = 32767;
+        if (sample < -32768) sample = -32768;
+        pcm[i] = sample;
+        prev = predicted;
+    }
+    // Save the tail for overlap-add with the next frame.
+    for (i = 0; i < 32; i++) {
+        int src = nsamples - 32 + i;
+        overlap[i] = src >= 0 && src < nsamples ? pcm[src] / 4 : 0;
+    }
+}
+
+static int frame_energy(int nsamples) {
+    int e = 0;
+    int i;
+    for (i = 0; i < nsamples; i++) {
+        int s = pcm[i];
+        e = (e + (s > 0 ? s : -s)) % 1000003;
+    }
+    return e;
+}
+
+int run_input(const char *data, long size) {
+    int energy = 0;
+    long pos = 0;
+    frames_decoded = 0;
+    {
+        int i;
+        for (i = 0; i < 32; i++) overlap[i] = 0;
+    }
+    while (pos + 4 <= size && frames_decoded < 8) {
+        int nsamples;
+        int kind;
+        int i;
+        int bad = 0;
+        if (data[pos] != 'O' || data[pos + 1] != 'V') return -1;
+        nsamples = (int)data[pos + 2] & 127;
+        kind = (int)data[pos + 3] & 3;
+        if (nsamples == 0) return -2;
+        bit_data = data + pos + 4;
+        bit_size = size - pos - 4;
+        bit_pos = 0;
+        for (i = 0; i < nsamples; i++) {
+            int r = decode_codeword();
+            if (r == -999) { bad = 1; break; }
+            residuals[i] = r;
+        }
+        if (bad) break;
+        synthesize(nsamples, kind);
+        energy = (energy * 31 + frame_energy(nsamples)) % 1000003;
+        frames_decoded++;
+        pos += 4 + ((bit_pos + 7) >> 3);
+    }
+    if (frames_decoded == 0) return -3;
+    return energy * 10 + frames_decoded;
+}
+
+int main(void) {
+    char frame[16];
+    int r;
+    frame[0] = 'O'; frame[1] = 'V'; frame[2] = (char)8; frame[3] = (char)1;
+    frame[4] = (char)0x52; frame[5] = (char)0xA6; frame[6] = (char)0x0B;
+    frame[7] = (char)0x00;
+    r = run_input(frame, 8);
+    printf("vorbis energy=%d\n", r);
+    return r < 0 ? 1 : 0;
+}
+"""
+
+
+def make_seeds(rng: DeterministicRNG) -> List[bytes]:
+    seeds = []
+    for _ in range(10):
+        out = bytearray()
+        for _ in range(rng.randint(1, 3)):
+            n = rng.randint(4, 96)
+            out.extend(b"OV")
+            out.append(n)
+            out.append(rng.randint(0, 3))
+            out.extend(rng.bytes(rng.randint(n // 4 + 1, n // 2 + 4)))
+        seeds.append(bytes(out))
+    return seeds
+
+
+register(
+    TargetProgram(
+        name="vorbis",
+        description="audio decoder: bit reader, prefix codes, overlap-add",
+        source=SOURCE,
+        make_seeds=make_seeds,
+    )
+)

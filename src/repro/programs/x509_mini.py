@@ -1,0 +1,186 @@
+"""x509 — certificate parser.
+
+ASN.1 DER TLV walker: nested SEQUENCEs, INTEGER/OID/UTCTime leaves,
+validity-window and key-usage checks — deeply recursive structure
+walking, the certificate-parsing shape.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.programs.registry import TargetProgram, register
+from repro.utils.rng import DeterministicRNG
+
+SOURCE = r"""
+// x509_mini: DER-style TLV certificate walker.
+// Tags: 0x30 SEQUENCE, 0x02 INTEGER, 0x06 OID, 0x17 UTCTime,
+//       0x03 BITSTRING, 0x13 PrintableString.
+// Lengths are single-byte (0..127).
+
+static int integers_seen;
+static int oids_seen;
+static int strings_seen;
+static int max_nesting;
+static int bad_structure;
+static long serial_number;
+static int not_before;
+static int not_after;
+static int key_bits;
+
+static int read_len(const char *data, long size, long pos) {
+    if (pos >= size) return -1;
+    {
+        int len = (int)data[pos] & 255;
+        if (len > 127) return -1;
+        return len;
+    }
+}
+
+static void parse_integer(const char *body, int len) {
+    long v = 0;
+    int i;
+    for (i = 0; i < len && i < 8; i++) v = v * 256 + ((int)body[i] & 255);
+    if (integers_seen == 0) serial_number = v;
+    if (integers_seen == 1) key_bits = (int)(v % 4096);
+    integers_seen++;
+}
+
+static void parse_utctime(const char *body, int len) {
+    int v = 0;
+    int i;
+    for (i = 0; i < len && i < 6; i++) {
+        char c = body[i];
+        if (c < '0' || c > '9') { bad_structure = 1; return; }
+        v = v * 10 + (c - '0');
+    }
+    if (not_before == 0) not_before = v;
+    else if (not_after == 0) not_after = v;
+}
+
+static void parse_oid(const char *body, int len) {
+    int acc = 0;
+    int i;
+    for (i = 0; i < len; i++) acc = (acc * 41 + ((int)body[i] & 255)) % 100003;
+    oids_seen += acc >= 0 ? 1 : 0;
+}
+
+static long walk(const char *data, long size, long pos, long end_pos, int depth);
+
+static long parse_tlv(const char *data, long size, long pos, int depth) {
+    int tag;
+    int len;
+    if (pos >= size) return -1;
+    tag = (int)data[pos] & 255;
+    len = read_len(data, size, pos + 1);
+    if (len < 0) { bad_structure = 1; return -1; }
+    if (pos + 2 + len > size) { bad_structure = 1; return -1; }
+    if (tag == 0x30 || tag == 0x31) {
+        if (depth >= 12) { bad_structure = 1; return -1; }
+        if (depth + 1 > max_nesting) max_nesting = depth + 1;
+        if (walk(data, size, pos + 2, pos + 2 + len, depth + 1) < 0) return -1;
+    } else if (tag == 0x02) {
+        parse_integer(data + pos + 2, len);
+    } else if (tag == 0x06) {
+        parse_oid(data + pos + 2, len);
+    } else if (tag == 0x17) {
+        parse_utctime(data + pos + 2, len);
+    } else if (tag == 0x03 || tag == 0x13) {
+        strings_seen++;
+    } else {
+        bad_structure = 1;
+        return -1;
+    }
+    return pos + 2 + len;
+}
+
+static long walk(const char *data, long size, long pos, long end_pos, int depth) {
+    while (pos < end_pos) {
+        long next = parse_tlv(data, size, pos, depth);
+        if (next < 0) return -1;
+        pos = next;
+    }
+    return pos;
+}
+
+static int validate(void) {
+    int score = 0;
+    if (serial_number > 0) score += 1;
+    if (not_before != 0 && not_after != 0 && not_before <= not_after) score += 2;
+    if (oids_seen >= 1) score += 4;
+    if (key_bits >= 2048 % 4096) score += 8;
+    if (max_nesting >= 3) score += 16;
+    return score;
+}
+
+int run_input(const char *data, long size) {
+    integers_seen = 0;
+    oids_seen = 0;
+    strings_seen = 0;
+    max_nesting = 0;
+    bad_structure = 0;
+    serial_number = 0;
+    not_before = 0;
+    not_after = 0;
+    key_bits = 0;
+    if (size < 2) return -1;
+    if (((int)data[0] & 255) != 0x30) return -2;
+    if (parse_tlv(data, size, 0, 0) < 0 || bad_structure) return -3;
+    return validate() * 1000 + integers_seen * 100 + oids_seen * 10 + strings_seen;
+}
+
+int main(void) {
+    char cert[32];
+    int r;
+    cert[0] = (char)0x30; cert[1] = (char)14;       // outer sequence
+    cert[2] = (char)0x02; cert[3] = (char)2; cert[4] = (char)1; cert[5] = (char)35;
+    cert[6] = (char)0x17; cert[7] = (char)4; cert[8] = '2'; cert[9] = '2';
+    cert[10] = '0'; cert[11] = '1';
+    cert[12] = (char)0x06; cert[13] = (char)2; cert[14] = (char)42; cert[15] = (char)3;
+    r = run_input(cert, 16);
+    printf("x509 score=%d\n", r);
+    return r < 0 ? 1 : 0;
+}
+"""
+
+
+def _der(tag: int, body: bytes) -> bytes:
+    return bytes([tag, len(body) & 127]) + body
+
+
+def _random_cert(rng: DeterministicRNG, depth: int) -> bytes:
+    if depth <= 0 or rng.chance(0.4):
+        kind = rng.randint(0, 3)
+        if kind == 0:
+            return _der(0x02, rng.bytes(rng.randint(1, 4)))
+        if kind == 1:
+            return _der(0x06, rng.bytes(rng.randint(1, 6)))
+        if kind == 2:
+            digits = "".join(str(rng.randint(0, 9)) for _ in range(6))
+            return _der(0x17, digits.encode())
+        return _der(0x13, rng.bytes(rng.randint(0, 8)))
+    body = b"".join(_random_cert(rng, depth - 1) for _ in range(rng.randint(1, 3)))
+    return _der(0x30, body[:100])
+
+
+def make_seeds(rng: DeterministicRNG) -> List[bytes]:
+    seeds = [
+        _der(0x30, _der(0x02, b"\x01") + _der(0x17, b"220101")
+             + _der(0x17, b"250101") + _der(0x06, b"\x2a\x03")),
+    ]
+    for _ in range(10):
+        cert = _random_cert(rng, 4)
+        if cert[0] != 0x30:
+            cert = _der(0x30, cert)
+        seeds.append(cert)
+    return seeds
+
+
+register(
+    TargetProgram(
+        name="x509",
+        description="DER TLV walker: nested sequences + validity checks",
+        source=SOURCE,
+        make_seeds=make_seeds,
+    )
+)

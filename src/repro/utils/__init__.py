@@ -1,0 +1,7 @@
+"""repro.utils — shared helpers (union-find, deterministic clock/RNG)."""
+
+from repro.utils.clock import SimClock
+from repro.utils.rng import DeterministicRNG
+from repro.utils.unionfind import UnionFind
+
+__all__ = ["SimClock", "DeterministicRNG", "UnionFind"]

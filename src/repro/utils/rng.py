@@ -1,0 +1,46 @@
+"""Deterministic random number generation for fuzzing and workloads.
+
+A thin wrapper around :class:`random.Random` so every stochastic component
+(mutators, workload generators) threads an explicit, seedable RNG instead of
+touching global state.  Determinism is what makes the benchmark harness
+reproduce the same tables on every run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRNG:
+    """Seedable RNG with the handful of primitives the fuzzer needs."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi], inclusive."""
+        return self._rng.randint(lo, hi)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def shuffle(self, items: List[T]) -> None:
+        self._rng.shuffle(items)
+
+    def bytes(self, n: int) -> bytes:
+        """Return *n* uniformly random bytes."""
+        return bytes(self._rng.getrandbits(8) for _ in range(n))
+
+    def chance(self, p: float) -> bool:
+        """Return True with probability *p*."""
+        return self._rng.random() < p
+
+    def fork(self) -> "DeterministicRNG":
+        """Derive an independent child RNG deterministically."""
+        return DeterministicRNG(self._rng.getrandbits(63))

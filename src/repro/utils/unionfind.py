@@ -1,0 +1,69 @@
+"""Disjoint-set (union-find) over arbitrary hashable items.
+
+Used by the partitioner (Algorithm 1 in the paper) to cluster symbols that
+must be compiled together: symbols with innate partition constraints and
+"Bond" symbols joined with their users.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List
+
+
+class UnionFind:
+    """Union-find with path compression and union by size.
+
+    Items are registered lazily: :meth:`find` and :meth:`union` accept items
+    that have never been seen before and treat them as singletons.
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()):  # noqa: B008
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        """Register *item* as a singleton set if it is not known yet."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of *item*'s set."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the sets containing *a* and *b*; return the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Return whether *a* and *b* are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def clusters(self) -> List[List[Hashable]]:
+        """Return all sets, each as a list, in deterministic insertion order."""
+        by_root: Dict[Hashable, List[Hashable]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        return list(by_root.values())

@@ -1,0 +1,15 @@
+"""repro.vm — deterministic machine-code interpreter with cycle accounting."""
+
+from repro.vm.interpreter import (
+    CompositeProbeRuntime,
+    ExecutionResult,
+    ProbeRuntime,
+    VM,
+    run_program,
+)
+from repro.vm.runtime import BuiltinRuntime, ExitProgram
+
+__all__ = [
+    "CompositeProbeRuntime", "ExecutionResult", "ProbeRuntime", "VM", "run_program",
+    "BuiltinRuntime", "ExitProgram",
+]

@@ -1,0 +1,364 @@
+"""The virtual machine: executes linked executables with cycle accounting.
+
+This stands in for the paper's hardware: every figure that reports
+"execution duration" reports :attr:`ExecutionResult.cycles` from this
+interpreter.  Determinism is total — same executable, same input, same
+cycle count.
+
+Instrumentation hooks:
+
+* ``probe`` instructions dispatch to a :class:`ProbeRuntime` (compiler-
+  based instrumentation: OdinCov, SanitizerCoverage analogue, CmpLog...)
+* ``bb`` markers optionally invoke a ``block_hook`` and charge
+  ``block_tax`` extra cycles — that is how the DynamoRIO/DynInst-style
+  *binary* instrumentation baselines are modelled: they pay per-block
+  dispatch/trampoline overhead on top of the native code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import VMError, VMTrap
+from repro.ir.semantics import eval_binary, eval_cast, eval_icmp
+from repro.ir.types import IntType
+from repro.linker.linker import Executable, LinkedFunction
+from repro.vm.runtime import BuiltinRuntime, ExitProgram
+
+MEM_SIZE = 1 << 22  # 4 MiB: data + heap + stack
+DEFAULT_MAX_STEPS = 50_000_000
+
+_INT_BY_BITS = {1: IntType(1), 8: IntType(8), 16: IntType(16),
+                32: IntType(32), 64: IntType(64)}
+
+
+class ProbeRuntime:
+    """Receives probe events; instrumentation schemes subclass this."""
+
+    def on_probe(self, kind: str, probe_id: int, args: Tuple[int, ...], vm: "VM") -> None:
+        """Handle one probe firing.  May raise :class:`VMTrap` to abort."""
+
+
+class CompositeProbeRuntime(ProbeRuntime):
+    """Fan out probe events to several runtimes (e.g. coverage + CmpLog)."""
+
+    def __init__(self, *runtimes: ProbeRuntime):
+        self.runtimes = list(runtimes)
+
+    def on_probe(self, kind: str, probe_id: int, args: Tuple[int, ...], vm: "VM") -> None:
+        for runtime in self.runtimes:
+            runtime.on_probe(kind, probe_id, args, vm)
+
+
+@dataclass
+class ExecutionResult:
+    exit_code: int = 0
+    stdout: bytes = b""
+    cycles: int = 0
+    steps: int = 0
+    trap: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.trap is None
+
+
+def _decode(inst) -> tuple:
+    """Decode an op string once; cached on the instruction."""
+    parts = inst.op.split(".")
+    head = parts[0]
+    if head in ("bin", "bini"):
+        return (head, parts[1], _INT_BY_BITS[int(parts[2])])
+    if head in ("cmp", "cmpi"):
+        return (head, parts[1], _INT_BY_BITS[int(parts[2])])
+    if head == "cast":
+        return (head, parts[1], _INT_BY_BITS[int(parts[2])], _INT_BY_BITS[int(parts[3])])
+    if head in ("ld", "st"):
+        return (head, int(parts[1]) // 8)
+    return (head,)
+
+
+class VM:
+    """Interpreter over a linked executable."""
+
+    def __init__(
+        self,
+        executable: Executable,
+        *,
+        probe_runtime: Optional[ProbeRuntime] = None,
+        block_hook: Optional[Callable[[int, int], None]] = None,
+        block_tax: int = 0,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        mem_size: int = MEM_SIZE,
+    ):
+        self.exe = executable
+        self.probe_runtime = probe_runtime
+        self.block_hook = block_hook
+        self.block_tax = block_tax
+        self.max_steps = max_steps
+        self.mem_size = mem_size
+        if executable.data_end + 0x10000 > mem_size:
+            raise VMError("memory too small for data image")
+        self.memory = bytearray(mem_size)
+        self.heap_base = (executable.data_end + 0xFFF) & ~0xFFF
+        self.builtins = BuiltinRuntime(self)
+        self.reset()
+
+    # -- state management ------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore initial memory/heap state for a fresh run."""
+        base = self.exe.data_base
+        image = self.exe.data_image
+        self.memory[base : base + len(image)] = image
+        self.heap_ptr = self.heap_base
+        self.stack_ptr = self.mem_size
+        self.cycles = 0
+        self.steps = 0
+        self.builtins.reset()
+
+    # -- memory helpers ------------------------------------------------------------
+
+    def alloc(self, size: int) -> int:
+        """Bump-allocate heap memory (used by malloc and input injection)."""
+        size = max(1, (size + 7) & ~7)
+        addr = self.heap_ptr
+        if addr + size > self.stack_ptr - 0x10000:
+            raise VMTrap("out of heap memory", "oom")
+        self.heap_ptr += size
+        return addr
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        self._check_range(addr, len(data), write=True, check_const=False)
+        self.memory[addr : addr + len(data)] = data
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        self._check_range(addr, size, write=False)
+        return bytes(self.memory[addr : addr + size])
+
+    def read_cstring(self, addr: int, limit: int = 1 << 16) -> bytes:
+        end = self.memory.find(b"\x00", addr, addr + limit)
+        if end < 0:
+            raise VMTrap(f"unterminated string at {addr:#x}", "bad-memory")
+        return bytes(self.memory[addr:end])
+
+    def _check_range(self, addr: int, size: int, write: bool, check_const: bool = True) -> None:
+        if addr < self.exe.data_base or addr + size > self.mem_size:
+            kind = "write" if write else "read"
+            raise VMTrap(f"invalid {kind} at {addr:#x} (+{size})", "bad-memory")
+        if write and check_const:
+            for lo, hi in self.exe.const_ranges:
+                if lo <= addr < hi:
+                    raise VMTrap(f"write to const data at {addr:#x}", "bad-memory")
+
+    def _load_int(self, addr: int, size: int) -> int:
+        self._check_range(addr, size, write=False)
+        return int.from_bytes(self.memory[addr : addr + size], "little")
+
+    def _store_int(self, addr: int, size: int, value: int) -> None:
+        self._check_range(addr, size, write=True)
+        self.memory[addr : addr + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little"
+        )
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(
+        self,
+        entry: str = "main",
+        args: Tuple[int, ...] = (),
+        reset: bool = True,
+    ) -> ExecutionResult:
+        """Run *entry* with integer/pointer arguments; returns the result.
+
+        Pass ``reset=False`` when state was prepared beforehand (e.g. an
+        input buffer injected with :meth:`alloc`/:meth:`write_bytes`) —
+        a reset would reclaim that heap allocation.
+        """
+        if reset:
+            self.reset()
+        index = self.exe.function_index(entry)
+        try:
+            value = self._call(index, tuple(args))
+            result = ExecutionResult(exit_code=value & 0xFFFFFFFF)
+        except ExitProgram as exit_:
+            result = ExecutionResult(exit_code=exit_.code & 0xFFFFFFFF)
+        except VMTrap as trap:
+            result = ExecutionResult(exit_code=-1, trap=trap.kind)
+        result.stdout = self.builtins.stdout_bytes()
+        result.cycles = self.cycles
+        result.steps = self.steps
+        return result
+
+    def _call(self, func_index: int, args: Tuple[int, ...]) -> int:
+        """Execute one function to completion; recursion implements calls."""
+        lf = self.exe.functions[func_index]
+        mf = lf.mf
+        if len(args) < self._fixed_args(mf):
+            raise VMTrap(f"call to @{mf.name} with too few arguments", "bad-call")
+
+        regs: List[int] = [0] * max(mf.num_regs, len(args))
+        for i, value in enumerate(args):
+            if i < mf.num_regs:
+                regs[i] = value
+        frame_base = self.stack_ptr - mf.frame_size
+        if frame_base < self.heap_ptr + 0x1000:
+            raise VMTrap("stack overflow", "stack-overflow")
+        saved_sp = self.stack_ptr
+        self.stack_ptr = frame_base
+
+        insts = mf.insts
+        resolution = lf.resolution
+        pc = 0
+        n = len(insts)
+        try:
+            while pc < n:
+                inst = insts[pc]
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise VMError(
+                        f"execution exceeded {self.max_steps} steps in @{mf.name}"
+                    )
+                self.cycles += inst.cost
+                dec = inst.__dict__.get("dec")
+                if dec is None:
+                    dec = _decode(inst)
+                    inst.dec = dec
+                head = dec[0]
+
+                if head == "bb":
+                    if self.block_hook is not None:
+                        self.block_hook(func_index, inst.imm)
+                    self.cycles += self.block_tax
+                    pc += 1
+                elif head == "movi":
+                    regs[inst.dst] = inst.imm
+                    pc += 1
+                elif head in ("mov", "freeze"):
+                    regs[inst.dst] = regs[inst.srcs[0]]
+                    pc += 1
+                elif head == "bin":
+                    try:
+                        regs[inst.dst] = eval_binary(
+                            dec[1], dec[2], regs[inst.srcs[0]], regs[inst.srcs[1]]
+                        )
+                    except ZeroDivisionError:
+                        raise VMTrap("integer division by zero", "div-by-zero")
+                    pc += 1
+                elif head == "bini":
+                    try:
+                        regs[inst.dst] = eval_binary(
+                            dec[1], dec[2], regs[inst.srcs[0]], inst.imm
+                        )
+                    except ZeroDivisionError:
+                        raise VMTrap("integer division by zero", "div-by-zero")
+                    pc += 1
+                elif head == "cmp":
+                    regs[inst.dst] = eval_icmp(
+                        dec[1], dec[2], regs[inst.srcs[0]], regs[inst.srcs[1]]
+                    )
+                    pc += 1
+                elif head == "cmpi":
+                    regs[inst.dst] = eval_icmp(
+                        dec[1], dec[2], regs[inst.srcs[0]], inst.imm
+                    )
+                    pc += 1
+                elif head == "cast":
+                    regs[inst.dst] = eval_cast(
+                        dec[1], dec[2], dec[3], regs[inst.srcs[0]]
+                    )
+                    pc += 1
+                elif head == "sel":
+                    c, a, b = inst.srcs
+                    regs[inst.dst] = regs[a] if regs[c] else regs[b]
+                    pc += 1
+                elif head == "ld":
+                    regs[inst.dst] = self._load_int(regs[inst.srcs[0]], dec[1])
+                    pc += 1
+                elif head == "st":
+                    self._store_int(regs[inst.srcs[0]], dec[1], regs[inst.srcs[1]])
+                    pc += 1
+                elif head == "addsc":
+                    base, index = inst.srcs
+                    idx = regs[index]
+                    if idx >= 1 << 63:  # negative index in unsigned rep
+                        idx -= 1 << 64
+                    regs[inst.dst] = (regs[base] + idx * inst.imm) & ((1 << 64) - 1)
+                    pc += 1
+                elif head == "lea":
+                    kind, value = resolution[inst.sym]
+                    if kind == "data":
+                        regs[inst.dst] = value
+                    elif kind == "func":
+                        regs[inst.dst] = self.exe.function_address(value)
+                    else:
+                        raise VMTrap(f"cannot take address of builtin {value}", "bad-call")
+                    pc += 1
+                elif head == "leaf":
+                    regs[inst.dst] = frame_base + inst.imm
+                    pc += 1
+                elif head == "jmp":
+                    pc = inst.targets[0]
+                elif head == "brt":
+                    pc = inst.targets[0] if regs[inst.srcs[0]] else inst.targets[1]
+                elif head == "switch":
+                    value = regs[inst.srcs[0]]
+                    signed = value - (1 << 64) if value >= 1 << 63 else value
+                    target = inst.targets[0]
+                    for case_value, case_target in inst.table:
+                        if case_value == signed or case_value == value:
+                            target = case_target
+                            break
+                    pc = target
+                elif head == "call":
+                    kind, value = resolution[inst.sym]
+                    call_args = tuple(regs[r] for r in inst.args)
+                    if kind == "func":
+                        result = self._call(value, call_args)
+                    elif kind == "builtin":
+                        result = self.builtins.call(value, call_args)
+                    else:
+                        raise VMTrap(f"call to data symbol @{inst.sym}", "bad-call")
+                    if inst.dst >= 0:
+                        regs[inst.dst] = result
+                    pc += 1
+                elif head == "icall":
+                    target_index = self.exe.index_from_address(regs[inst.srcs[0]])
+                    call_args = tuple(regs[r] for r in inst.args)
+                    result = self._call(target_index, call_args)
+                    if inst.dst >= 0:
+                        regs[inst.dst] = result
+                    pc += 1
+                elif head == "probe":
+                    if self.probe_runtime is not None:
+                        self.probe_runtime.on_probe(
+                            inst.probe_kind,
+                            inst.probe_id,
+                            tuple(regs[r] for r in inst.args),
+                            self,
+                        )
+                    pc += 1
+                elif head == "ret":
+                    return regs[inst.srcs[0]] if inst.srcs else 0
+                elif head == "trap":
+                    raise VMTrap(f"unreachable executed in @{mf.name}", "unreachable")
+                else:  # pragma: no cover
+                    raise VMError(f"unknown machine op {inst.op!r}")
+            raise VMTrap(f"fell off the end of @{mf.name}", "bad-code")
+        finally:
+            self.stack_ptr = saved_sp
+
+    @staticmethod
+    def _fixed_args(mf) -> int:
+        return 0  # arity is enforced at the IR level; the VM is permissive
+
+
+def run_program(
+    executable: Executable,
+    entry: str = "main",
+    args: Tuple[int, ...] = (),
+    **vm_kwargs,
+) -> ExecutionResult:
+    """One-shot convenience runner."""
+    return VM(executable, **vm_kwargs).run(entry, args)

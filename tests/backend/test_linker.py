@@ -1,0 +1,244 @@
+"""Tests for the linker: resolution, collisions, internal isolation, aliases."""
+
+import pytest
+
+from repro.backend.isel import lower_module
+from repro.errors import LinkError
+from repro.ir.parser import parse_module
+from repro.linker.linker import FUNC_BASE, link
+from repro.vm.interpreter import VM
+
+
+def obj_of(source, name="m"):
+    return lower_module(parse_module(source, name))
+
+
+class TestResolution:
+    def test_cross_object_call(self):
+        a = obj_of(
+            """
+declare i32 @helper(i32)
+
+define i32 @main() {
+entry:
+  %r = call i32 @helper(i32 20)
+  ret i32 %r
+}
+""",
+            "a",
+        )
+        b = obj_of(
+            """
+define i32 @helper(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+""",
+            "b",
+        )
+        exe = link([a, b])
+        assert VM(exe).run("main").exit_code == 21
+
+    def test_cross_object_data(self):
+        a = obj_of(
+            """
+@shared = declare global i32
+
+define i32 @main() {
+entry:
+  %v = load i32, ptr @shared
+  ret i32 %v
+}
+""",
+            "a",
+        )
+        b = obj_of("@shared = global i32 17", "b")
+        exe = link([a, b])
+        assert VM(exe).run("main").exit_code == 17
+
+    def test_undefined_symbol_rejected(self):
+        a = obj_of(
+            """
+declare void @ghost()
+
+define void @main() {
+entry:
+  call void @ghost()
+  ret void
+}
+""",
+            "a",
+        )
+        with pytest.raises(LinkError, match="undefined symbol"):
+            link([a])
+
+    def test_builtins_resolve_without_definition(self):
+        a = obj_of(
+            """
+declare i32 @puts(ptr)
+@msg = const [3 x i8] c"ok\\00"
+
+define i32 @main() {
+entry:
+  %r = call i32 @puts(ptr @msg)
+  ret i32 %r
+}
+""",
+            "a",
+        )
+        exe = link([a])
+        result = VM(exe).run("main")
+        assert result.stdout == b"ok\n"
+
+
+class TestCollisions:
+    def test_duplicate_export_rejected(self):
+        a = obj_of("define void @f() {\nentry:\n  ret void\n}", "a")
+        b = obj_of("define void @f() {\nentry:\n  ret void\n}", "b")
+        with pytest.raises(LinkError, match="duplicate exported symbol"):
+            link([a, b])
+
+    def test_internal_symbols_do_not_collide(self):
+        """Each fragment's internalized symbols stay private (§3.2 step 4)."""
+        a = obj_of(
+            """
+define internal i32 @helper() {
+entry:
+  ret i32 1
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @helper()
+  ret i32 %r
+}
+""",
+            "a",
+        )
+        b = obj_of(
+            """
+define internal i32 @helper() {
+entry:
+  ret i32 2
+}
+
+define i32 @other() {
+entry:
+  %r = call i32 @helper()
+  ret i32 %r
+}
+""",
+            "b",
+        )
+        exe = link([a, b])
+        assert VM(exe).run("main").exit_code == 1
+        assert VM(exe).run("other").exit_code == 2
+
+    def test_internal_resolution_prefers_local(self):
+        a = obj_of(
+            """
+define internal i32 @pick() {
+entry:
+  ret i32 10
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @pick()
+  ret i32 %r
+}
+""",
+            "a",
+        )
+        b = obj_of("define i32 @pick() {\nentry:\n  ret i32 99\n}", "b")
+        exe = link([a, b])
+        assert VM(exe).run("main").exit_code == 10
+
+
+class TestAliases:
+    def test_alias_entry_point(self):
+        a = obj_of(
+            """
+define i32 @impl() {
+entry:
+  ret i32 5
+}
+
+@pub = alias @impl
+""",
+            "a",
+        )
+        exe = link([a])
+        assert VM(exe).run("pub").exit_code == 5
+
+    def test_internal_alias_not_exported(self):
+        a = obj_of(
+            """
+define i32 @impl() {
+entry:
+  ret i32 5
+}
+
+@priv = internal alias @impl
+""",
+            "a",
+        )
+        exe = link([a])
+        with pytest.raises(LinkError):
+            exe.function_index("priv")
+
+
+class TestImage:
+    def test_data_alignment(self):
+        a = obj_of(
+            """
+@a = global [3 x i8] c"ab\\00"
+@b = global i64 1
+
+define void @main() {
+entry:
+  %x = load i8, ptr @a
+  %y = load i64, ptr @b
+  ret void
+}
+""",
+            "a",
+        )
+        exe = link([a])
+        assert exe.symbol_addresses["b"] % 8 == 0
+
+    def test_function_addresses_reversible(self):
+        a = obj_of("define void @f() {\nentry:\n  ret void\n}", "a")
+        exe = link([a])
+        idx = exe.function_index("f")
+        addr = exe.function_address(idx)
+        assert addr >= FUNC_BASE
+        assert exe.index_from_address(addr) == idx
+        with pytest.raises(LinkError):
+            exe.index_from_address(addr + 1)
+
+    def test_link_ms_positive(self):
+        a = obj_of("define void @f() {\nentry:\n  ret void\n}", "a")
+        assert link([a]).link_ms > 0
+
+    def test_const_ranges_recorded(self):
+        a = obj_of(
+            """
+@ro = const [2 x i8] c"a\\00"
+@rw = global i32 0
+
+define void @main() {
+entry:
+  %x = load i8, ptr @ro
+  %y = load i32, ptr @rw
+  ret void
+}
+""",
+            "a",
+        )
+        exe = link([a])
+        ro_addr = exe.symbol_addresses["ro"]
+        assert any(lo <= ro_addr < hi for lo, hi in exe.const_ranges)
+        rw_addr = exe.symbol_addresses["rw"]
+        assert not any(lo <= rw_addr < hi for lo, hi in exe.const_ranges)

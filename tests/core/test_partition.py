@@ -1,0 +1,197 @@
+"""Tests for the partitioner: classification, Algorithm 1, internalization.
+
+Includes the paper's Figure 6 walkthrough program.
+"""
+
+import pytest
+
+from repro.core.partition import (
+    CLASS_BOND,
+    CLASS_COPY_ON_USE,
+    CLASS_FIXED,
+    STRATEGY_MAX,
+    STRATEGY_ODIN,
+    STRATEGY_ONE,
+    apply_fragment_linkage,
+    partition,
+)
+from repro.errors import PartitionError
+from repro.ir.clone import extract_module
+from repro.ir.parser import parse_module
+from repro.ir.verifier import verify_module
+
+# Figure 6's source program, hand-lowered to IR:
+#   static int n;
+#   static int add() { return ++n; }
+#   static int neg(int x) { return -n; }      // x is dead
+#   static const char* fmt = "hi\n";
+#   void show() { printf(fmt); }
+#   int main() { show(); return neg(add()); }
+#
+# (fmt is inlined to the printf call since pointer-data relocations are
+# out of scope; the classification outcome is identical.)
+FIG6 = """
+@n = internal global i32 0
+@fmt = internal const [4 x i8] c"hi\\0A\\00"
+
+declare i32 @printf(ptr, ...)
+
+define internal i32 @add() {
+entry:
+  %v = load i32, ptr @n
+  %v2 = add i32 %v, 1
+  store i32 %v2, ptr @n
+  ret i32 %v2
+}
+
+define internal i32 @neg(i32 %x) {
+entry:
+  %v = load i32, ptr @n
+  %r = sub i32 0, %v
+  ret i32 %r
+}
+
+define void @show() {
+entry:
+  %r = call i32 @printf(ptr @fmt)
+  ret void
+}
+
+define i32 @main() {
+entry:
+  call void @show()
+  %a = call i32 @add()
+  %r = call i32 @neg(i32 %a)
+  ret i32 %r
+}
+"""
+
+
+class TestFigure6:
+    def setup_method(self):
+        self.module = parse_module(FIG6)
+        self.fragdef = partition(self.module, STRATEGY_ODIN, preserve=("main",))
+
+    def test_fmt_is_copy_on_use(self):
+        """The printf->puts rewrite inspects @fmt (local optimization)."""
+        assert self.fragdef.classification["fmt"] == CLASS_COPY_ON_USE
+        assert "fmt" in self.fragdef.copy_on_use
+
+    def test_interprocedural_pairs_bonded(self):
+        """neg's dead argument requires its caller main; small functions
+        inline into main — all are Bond'ed into main's cluster."""
+        main_frag = self.fragdef.fragment_of("main")
+        assert "neg" in main_frag.symbols
+
+    def test_variable_n_owned_by_one_fragment(self):
+        frags = self.fragdef.fragments_containing("n")
+        assert len(frags) == 1
+
+    def test_copy_on_use_owns_no_fragment(self):
+        assert "fmt" not in self.fragdef.owner
+
+    def test_every_definition_covered(self):
+        for name in ("main", "show", "add", "neg", "n"):
+            assert name in self.fragdef.owner
+
+    def test_internalization(self):
+        """Symbols referenced only inside their fragment become internal;
+        cross-fragment references stay exported."""
+        assert "main" in self.fragdef.exported  # preserved
+        # neg lives with main; nothing else calls it -> internalized.
+        if self.fragdef.owner["neg"] == self.fragdef.owner["main"]:
+            assert "neg" not in self.fragdef.exported
+
+    def test_fragments_extract_and_verify(self):
+        for fragment in self.fragdef.fragments:
+            frag = extract_module(
+                self.module, fragment.symbols, copy_on_use=self.fragdef.copy_on_use
+            )
+            apply_fragment_linkage(frag, self.fragdef)
+            verify_module(frag)
+
+
+class TestStrategies:
+    def test_one_partition_single_fragment(self):
+        m = parse_module(FIG6)
+        fragdef = partition(m, STRATEGY_ONE)
+        assert fragdef.num_fragments == 1
+        assert len(fragdef.fragments[0].symbols) == len(m.definitions())
+
+    def test_max_partition_one_symbol_each(self):
+        m = parse_module(FIG6)
+        fragdef = partition(m, STRATEGY_MAX)
+        assert fragdef.num_fragments == len(m.definitions())
+
+    def test_odin_between_extremes(self):
+        m = parse_module(FIG6)
+        one = partition(m, STRATEGY_ONE).num_fragments
+        odin = partition(m, STRATEGY_ODIN).num_fragments
+        max_ = partition(m, STRATEGY_MAX).num_fragments
+        assert one <= odin <= max_
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(PartitionError):
+            partition(parse_module(FIG6), "bogus")
+
+
+class TestInnateConstraints:
+    ALIASED = FIG6 + "\n@add_alias = alias @add\n"
+
+    def test_alias_clustered_with_aliasee_in_max(self):
+        """Even MaxPartition must honour innate constraints (§2.3)."""
+        m = parse_module(self.ALIASED)
+        fragdef = partition(m, STRATEGY_MAX)
+        alias_frag = fragdef.fragment_of("add_alias")
+        assert "add" in alias_frag.symbols
+
+    def test_alias_clustered_in_odin(self):
+        m = parse_module(self.ALIASED)
+        fragdef = partition(m, STRATEGY_ODIN)
+        assert fragdef.owner["add_alias"] == fragdef.owner["add"]
+
+
+class TestCopyOnUseEligibility:
+    def test_non_const_global_never_copy_on_use(self):
+        """Mutable state is semantically non-clonable."""
+        m = parse_module(FIG6)
+        fragdef = partition(m, STRATEGY_ODIN)
+        assert "n" not in fragdef.copy_on_use
+
+    def test_exported_const_not_cloned(self):
+        src = FIG6.replace(
+            '@fmt = internal const [4 x i8] c"hi\\0A\\00"',
+            '@fmt = const [4 x i8] c"hi\\0A\\00"',
+        )
+        m = parse_module(src)
+        fragdef = partition(m, STRATEGY_ODIN)
+        assert "fmt" not in fragdef.copy_on_use
+
+
+class TestPartitionInvariants:
+    """Structural invariants every partition must satisfy, checked on the
+    real benchmark programs."""
+
+    @pytest.mark.parametrize("program", ["json", "harfbuzz", "x509"])
+    @pytest.mark.parametrize("strategy", [STRATEGY_ODIN, STRATEGY_MAX, STRATEGY_ONE])
+    def test_every_symbol_in_exactly_one_fragment(self, program, strategy):
+        from tests.conftest import fresh_module
+
+        m = fresh_module(program)
+        fragdef = partition(m, strategy, preserve=("main", "run_input"))
+        seen = {}
+        for fragment in fragdef.fragments:
+            for symbol in fragment.symbols:
+                assert symbol not in seen, f"{symbol} in two fragments"
+                seen[symbol] = fragment.id
+        for symbol in m.definitions():
+            assert symbol.name in seen or symbol.name in fragdef.copy_on_use
+
+    @pytest.mark.parametrize("program", ["json", "libxml2"])
+    def test_preserved_symbols_exported(self, program):
+        from tests.conftest import fresh_module
+
+        m = fresh_module(program)
+        fragdef = partition(m, STRATEGY_ODIN, preserve=("main", "run_input"))
+        assert "main" in fragdef.exported
+        assert "run_input" in fragdef.exported

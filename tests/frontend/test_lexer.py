@@ -1,0 +1,94 @@
+"""Tests for the MiniC lexer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FrontendError
+from repro.frontend.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_keywords_vs_identifiers(self):
+        toks = kinds("int interesting return returning")
+        assert toks == [
+            ("keyword", "int"), ("ident", "interesting"),
+            ("keyword", "return"), ("ident", "returning"),
+        ]
+
+    def test_numbers(self):
+        toks = kinds("0 42 0x1F 7u 9L 3ul")
+        values = [v for k, v in toks if k == "number"]
+        assert values == [(0, ""), (42, ""), (31, ""), (7, "u"), (9, "l"), (3, "ul")]
+
+    def test_char_constants(self):
+        toks = kinds(r"'a' '\n' '\0' '\\'")
+        assert [v for _, v in toks] == [97, 10, 0, 92]
+
+    def test_string_literals(self):
+        toks = kinds(r'"hi" "a\tb" ""')
+        assert [v for _, v in toks] == [b"hi", b"a\tb", b""]
+
+    def test_operators_longest_match(self):
+        toks = kinds("a <<= b >> c >= d >")
+        ops = [v for k, v in toks if k == "op"]
+        assert ops == ["<<=", ">>", ">=", ">"]
+
+    def test_ellipsis(self):
+        assert ("op", "...") in kinds("int f(int a, ...)")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(FrontendError):
+            tokenize("a /* never closed")
+
+
+class TestPositions:
+    def test_line_column_tracking(self):
+        toks = tokenize("int\n  x;")
+        assert toks[0].line == 1
+        assert toks[1].line == 2 and toks[1].column == 3
+
+
+class TestErrors:
+    def test_bad_character(self):
+        with pytest.raises(FrontendError):
+            tokenize("int a = 1 @ 2;")
+
+    def test_unterminated_string(self):
+        with pytest.raises(FrontendError):
+            tokenize('"never ends')
+
+    def test_newline_in_string(self):
+        with pytest.raises(FrontendError):
+            tokenize('"line\nbreak"')
+
+    def test_bad_escape(self):
+        with pytest.raises(FrontendError):
+            tokenize(r'"\q"')
+
+
+class TestProperties:
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=12))
+    def test_identifiers_lex_as_single_token(self, name):
+        from repro.frontend.lexer import KEYWORDS
+
+        toks = tokenize(name)
+        assert len(toks) == 2  # token + eof
+        expected = "keyword" if name in KEYWORDS else "ident"
+        assert toks[0].kind == expected
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_decimal_numbers_roundtrip(self, n):
+        toks = tokenize(str(n))
+        assert toks[0].value == (n, "")

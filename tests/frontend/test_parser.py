@@ -1,0 +1,175 @@
+"""Tests for the MiniC parser (AST shapes + diagnostics)."""
+
+import pytest
+
+from repro.errors import FrontendError
+from repro.frontend import ast
+from repro.frontend.ctypes import CArray, CInt, CPointer
+from repro.frontend.parser import parse
+
+
+def parse_stmt(body: str) -> ast.Stmt:
+    unit = parse(f"void f() {{ {body} }}")
+    return unit.items[0].body.stmts[0]
+
+
+def parse_expr(expr: str) -> ast.Expr:
+    stmt = parse_stmt(f"{expr};")
+    assert isinstance(stmt, ast.ExprStmt)
+    return stmt.expr
+
+
+class TestTopLevel:
+    def test_function_definition(self):
+        unit = parse("static int f(int a, char *b) { return a; }")
+        item = unit.items[0]
+        assert isinstance(item, ast.FuncDef)
+        assert item.static
+        assert item.param_names == ["a", "b"]
+        assert item.ctype.params[1] == CPointer(CInt(8))
+
+    def test_function_declaration(self):
+        unit = parse("int g(void);")
+        assert isinstance(unit.items[0], ast.FuncDecl)
+        assert unit.items[0].ctype.params == ()
+
+    def test_vararg_signature(self):
+        unit = parse("int printf(const char *fmt, ...);")
+        assert unit.items[0].ctype.vararg
+
+    def test_global_with_initializer(self):
+        unit = parse("static const int limit = 42;")
+        item = unit.items[0]
+        assert isinstance(item, ast.GlobalDecl)
+        assert item.static and item.const
+        assert isinstance(item.init, ast.IntLit)
+
+    def test_global_array_with_list(self):
+        unit = parse("int table[4] = {1, 2, 3, 4};")
+        item = unit.items[0]
+        assert item.ctype == CArray(CInt(32), 4)
+        assert len(item.init_list) == 4
+
+    def test_multi_declarator_globals(self):
+        unit = parse("int a, b = 2, c;")
+        assert [i.name for i in unit.items] == ["a", "b", "c"]
+
+    def test_two_dimensional_array(self):
+        unit = parse("char grid[8][16];")
+        assert unit.items[0].ctype == CArray(CArray(CInt(8), 16), 8)
+
+    def test_pointer_to_const_is_not_const_object(self):
+        unit = parse("const char *p;")
+        assert not unit.items[0].const
+        unit = parse("char *const q;")
+        assert unit.items[0].const
+
+
+class TestStatements:
+    def test_if_else_chain(self):
+        stmt = parse_stmt("if (1) ; else if (2) ; else ;")
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.orelse, ast.If)
+
+    def test_for_with_declaration(self):
+        stmt = parse_stmt("for (int i = 0; i < 4; i++) ;")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.DeclStmt)
+
+    def test_for_with_empty_clauses(self):
+        stmt = parse_stmt("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_do_while(self):
+        stmt = parse_stmt("do { } while (0);")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_switch_with_multi_labels_and_default(self):
+        stmt = parse_stmt(
+            "switch (x) { case 1: case 2: break; case -3: break; default: break; }"
+        )
+        assert isinstance(stmt, ast.Switch)
+        assert stmt.cases[0].values == [1, 2]
+        assert stmt.cases[1].values == [-3]
+        assert stmt.cases[2].values == []
+
+    def test_local_declaration_with_init_list(self):
+        stmt = parse_stmt("int a[3] = {1, 2, 3};")
+        assert isinstance(stmt, ast.DeclStmt)
+        assert len(stmt.decls[0].init_list) == 3
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.rhs.op == "*"
+
+    def test_comparison_precedence_vs_logical(self):
+        expr = parse_expr("a < b && c > d")
+        assert expr.op == "&&"
+        assert expr.lhs.op == "<"
+
+    def test_assignment_right_associative(self):
+        expr = parse_expr("a = b = 1")
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        expr = parse_expr("a += b << 2")
+        assert expr.op == "+=" and expr.value.op == "<<"
+
+    def test_ternary(self):
+        expr = parse_expr("a ? b : c ? d : e")
+        assert isinstance(expr, ast.Ternary)
+        assert isinstance(expr.if_false, ast.Ternary)
+
+    def test_unary_chain(self):
+        expr = parse_expr("-~!x")
+        assert expr.op == "-" and expr.operand.op == "~"
+
+    def test_postfix_index_and_call(self):
+        expr = parse_expr("f(a)[1]++")
+        assert isinstance(expr, ast.Unary) and expr.postfix
+        assert isinstance(expr.operand, ast.Index)
+        assert isinstance(expr.operand.base, ast.Call)
+
+    def test_cast(self):
+        expr = parse_expr("(unsigned int)x")
+        assert isinstance(expr, ast.Cast)
+        assert expr.ctype == CInt(32, signed=False)
+
+    def test_parenthesized_not_cast(self):
+        expr = parse_expr("(x) + 1")
+        assert isinstance(expr, ast.Binary)
+
+    def test_sizeof_type(self):
+        expr = parse_expr("sizeof(long)")
+        assert isinstance(expr, ast.SizeofType)
+        assert expr.ctype == CInt(64)
+
+    def test_address_and_deref(self):
+        expr = parse_expr("*&x")
+        assert expr.op == "*" and expr.operand.op == "&"
+
+
+class TestDiagnostics:
+    def test_missing_semicolon(self):
+        with pytest.raises(FrontendError):
+            parse("int f() { return 1 }")
+
+    def test_statement_before_case(self):
+        with pytest.raises(FrontendError):
+            parse("void f(int x) { switch (x) { x++; } }")
+
+    def test_array_size_must_be_constant(self):
+        with pytest.raises(FrontendError):
+            parse("void f(int n) { int a[n]; }")
+
+    def test_error_carries_line(self):
+        try:
+            parse("int f() {\n  return 1\n}")
+        except FrontendError as e:
+            assert e.line >= 2
+        else:  # pragma: no cover
+            pytest.fail("expected FrontendError")

@@ -1,0 +1,116 @@
+"""Tests for the fuzzing substrate: corpus, mutators, input-to-state."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.i2s import solve_comparisons, substitution_candidates
+from repro.fuzz.mutator import MUTATIONS, Mutator
+from repro.utils.rng import DeterministicRNG
+
+
+class TestCorpus:
+    def test_new_coverage_retained(self):
+        corpus = Corpus()
+        assert corpus.consider(b"a", {1, 2}, 0) is not None
+        assert corpus.consider(b"b", {2, 3}, 1) is not None
+        assert len(corpus) == 2
+        assert corpus.global_coverage == {1, 2, 3}
+
+    def test_redundant_coverage_dropped(self):
+        corpus = Corpus()
+        corpus.consider(b"a", {1, 2}, 0)
+        assert corpus.consider(b"b", {1}, 1) is None
+        assert len(corpus) == 1
+
+    def test_first_entry_always_kept(self):
+        corpus = Corpus()
+        assert corpus.consider(b"seed", set(), 0) is not None
+
+    def test_pending_seeds_drain_once(self):
+        corpus = Corpus([b"x", b"y"])
+        assert corpus.pending_seeds() == [b"x", b"y"]
+        assert corpus.pending_seeds() == []
+
+    def test_pick_deterministic(self):
+        corpus = Corpus()
+        for i in range(5):
+            corpus.consider(bytes([i]), {i}, i)
+        picks1 = [corpus.pick(DeterministicRNG(7)).data for _ in range(5)]
+        picks2 = [corpus.pick(DeterministicRNG(7)).data for _ in range(5)]
+        assert picks1 == picks2
+
+    def test_pick_empty_raises(self):
+        with pytest.raises(IndexError):
+            Corpus().pick(DeterministicRNG(0))
+
+
+class TestMutator:
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(max_size=64), st.integers(0, 2**31))
+    def test_mutations_produce_bytes_within_limit(self, data, seed):
+        mutator = Mutator(DeterministicRNG(seed), max_size=128)
+        out = mutator.mutate(data)
+        assert isinstance(out, bytes)
+        assert len(out) <= 128
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=1, max_size=32), st.integers(0, 2**31))
+    def test_each_primitive_total(self, data, seed):
+        """Every mutation primitive returns bytes for any input."""
+        rng = DeterministicRNG(seed)
+        for primitive in MUTATIONS:
+            out = primitive(data, rng)
+            assert isinstance(out, bytes)
+
+    def test_deterministic_given_seed(self):
+        a = Mutator(DeterministicRNG(3)).mutate(b"hello world")
+        b = Mutator(DeterministicRNG(3)).mutate(b"hello world")
+        assert a == b
+
+    def test_splice_combines(self):
+        rng = DeterministicRNG(1)
+        mutator = Mutator(rng)
+        outs = {mutator.mutate(b"AAAA", splice_with=b"BBBB") for _ in range(50)}
+        assert len(outs) > 1  # actually mutating
+
+
+class TestInputToState:
+    def test_byte_substitution(self):
+        candidates = substitution_candidates(b"hello\x05world", 5, 9)
+        assert b"hello\x09world" in candidates
+
+    def test_word_substitution_little_endian(self):
+        data = b"ab" + (1000).to_bytes(2, "little") + b"cd"
+        candidates = substitution_candidates(data, 1000, 2000)
+        assert b"ab" + (2000).to_bytes(2, "little") + b"cd" in candidates
+
+    def test_big_endian_occurrence_found(self):
+        data = (1000).to_bytes(2, "big") + b"xx"
+        candidates = substitution_candidates(data, 1000, 7)
+        assert any(c.startswith((7).to_bytes(2, "little")) for c in candidates)
+
+    def test_no_occurrence_no_candidates(self):
+        assert substitution_candidates(b"abc", 0x55AA77, 1) == []
+
+    def test_solve_tries_both_directions(self):
+        # input contains the RHS constant; solver should also replace it.
+        data = b"=" + (42).to_bytes(1, "little") + b"="
+        out = solve_comparisons(data, [(1000, 42)])
+        assert any((1000 & 0xFF) in c for c in out)
+
+    def test_solve_respects_limit(self):
+        data = bytes([5]) * 64
+        out = solve_comparisons(data, [(5, 6)], limit_total=10)
+        assert len(out) <= 10
+
+    def test_equal_pairs_skipped(self):
+        assert solve_comparisons(b"\x05", [(5, 5)]) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=1, max_size=32), st.integers(0, 255), st.integers(0, 255))
+    def test_candidates_same_length_for_byte_width(self, data, a, b):
+        if a == b:
+            return
+        for cand in substitution_candidates(data, a, b, limit=4):
+            assert len(cand) == len(data)

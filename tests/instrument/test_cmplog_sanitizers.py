@@ -1,0 +1,188 @@
+"""Tests for CmpLog, UBSan-lite and ASan-lite probe schemes."""
+
+import pytest
+
+from repro.core.engine import Odin
+from repro.instrument.asan import ASanTool
+from repro.instrument.cmplog import CmpLogRuntime, CmpProbe, add_cmp_probes
+from repro.instrument.coverage import OdinCov
+from repro.instrument.ubsan import UBSanTool
+from repro.ir.instructions import IcmpInst
+from repro.ir.parser import parse_module
+from repro.vm.interpreter import VM
+
+MAGIC = """
+define i32 @check(i32 %value) {
+entry:
+  %hit = icmp eq i32 %value, 133700
+  br i1 %hit, label %yes, label %no
+yes:
+  ret i32 1
+no:
+  ret i32 0
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @check(i32 5)
+  ret i32 %r
+}
+"""
+
+
+class TestCmpLog:
+    def make(self):
+        engine = Odin(parse_module(MAGIC), preserve=("main", "check"))
+        probes = add_cmp_probes(engine)
+        engine.initial_build()
+        runtime = CmpLogRuntime()
+        return engine, probes, runtime
+
+    def test_probe_attached_to_comparison(self):
+        engine, probes, _ = self.make()
+        assert len(probes) == 1
+        assert isinstance(probes[0].the_cmp, IcmpInst)
+
+    def test_operands_recorded_exactly(self):
+        """Input-to-state prerequisite: recorded values are direct copies."""
+        engine, probes, runtime = self.make()
+        vm = VM(engine.executable, probe_runtime=runtime)
+        vm.run("check", (5,))
+        pairs = runtime.pairs[probes[0].id]
+        assert pairs == [(5, 133700)]
+
+    def test_pair_deduplication_and_cap(self):
+        engine, probes, runtime = self.make()
+        vm = VM(engine.executable, probe_runtime=runtime)
+        for _ in range(3):
+            vm.run("check", (5,))
+        assert len(runtime.pairs[probes[0].id]) == 1
+
+    def test_removed_probe_stops_recording(self):
+        engine, probes, runtime = self.make()
+        engine.manager.remove(probes[0])
+        engine.rebuild()
+        vm = VM(engine.executable, probe_runtime=runtime)
+        vm.run("check", (5,))
+        assert runtime.pairs == {}
+
+    def test_optimized_late_instrumentation_shifts_operands(self):
+        """The Figure 2 CmpLog-breakage: after the range fold, a late
+        probe would see `chr - 'a'` instead of `chr`."""
+        from repro.ir.printer import print_module
+        from repro.opt.pipeline import optimize
+
+        src = """
+define i1 @islower(i8 %chr) {
+test_lb:
+  %cmp1 = icmp sge i8 %chr, 97
+  br i1 %cmp1, label %test_ub, label %end
+test_ub:
+  %cmp2 = icmp sle i8 %chr, 122
+  br label %end
+end:
+  %r = phi i1 [ false, %test_lb ], [ %cmp2, %test_ub ]
+  ret i1 %r
+}
+"""
+        m = parse_module(src)
+        optimize(m, 2)
+        text = print_module(m)
+        # The comparison that survives compares the *shifted* value.
+        assert "add i8 %chr, -97" in text
+
+
+OVERFLOWING = """
+define i32 @mix(i32 %a, i32 %b) {
+entry:
+  %sum = add i32 %a, %b
+  ret i32 %sum
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @mix(i32 1, i32 2)
+  ret i32 %r
+}
+"""
+
+
+class TestUBSan:
+    def make(self):
+        engine = Odin(parse_module(OVERFLOWING), preserve=("main", "mix"))
+        tool = UBSanTool(engine)
+        tool.add_all_overflow_probes()
+        tool.build()
+        return tool
+
+    def test_benign_execution_passes(self):
+        tool = self.make()
+        assert tool.make_vm().run("mix", (1, 2)).trap is None
+
+    def test_overflow_traps(self):
+        tool = self.make()
+        result = tool.make_vm().run("mix", (2**31 - 1, 1))
+        assert result.trap == "ubsan"
+
+    def test_fired_probe_removed_on_demand(self):
+        """§7: remove the faulty probe and the campaign continues."""
+        tool = self.make()
+        assert tool.make_vm().run("mix", (2**31 - 1, 1)).trap == "ubsan"
+        report = tool.remove_fired_probe()
+        assert report is not None
+        result = tool.make_vm().run("mix", (2**31 - 1, 1))
+        assert result.trap is None  # same input now survives
+
+    def test_remove_without_fire_is_noop(self):
+        tool = self.make()
+        assert tool.remove_fired_probe() is None
+
+
+BUGGY = """
+@buf = global [8 x i8] c"\\00\\00\\00\\00\\00\\00\\00\\00"
+
+define i8 @read_at(i64 %i) {
+entry:
+  %p = gep i8, ptr @buf, i64 %i
+  %v = load i8, ptr %p
+  ret i8 %v
+}
+
+define i32 @main() {
+entry:
+  %v = call i8 @read_at(i64 3)
+  %r = zext i8 %v to i32
+  ret i32 %r
+}
+"""
+
+
+class TestASan:
+    def make(self):
+        engine = Odin(parse_module(BUGGY), preserve=("main", "read_at"))
+        tool = ASanTool(engine)
+        count = tool.add_all_access_probes()
+        assert count >= 1
+        tool.build()
+        return tool
+
+    def test_valid_access_passes(self):
+        tool = self.make()
+        assert tool.make_vm().run("read_at", (3,)).trap is None
+
+    def test_wild_access_trapped(self):
+        tool = self.make()
+        result = tool.make_vm().run("read_at", (10**8,))
+        assert result.trap == "asan"
+
+    def test_hot_check_pruning(self):
+        """§7 / ASAP: hot checks get removed online, lowering cost."""
+        tool = self.make()
+        vm = tool.make_vm()
+        for i in range(10):
+            vm.run("read_at", (i % 8,))
+        before = tool.make_vm().run("read_at", (0,)).cycles
+        report = tool.prune_hot_checks(hot_fraction=1.0)
+        assert report is not None
+        after = tool.make_vm().run("read_at", (0,)).cycles
+        assert after < before

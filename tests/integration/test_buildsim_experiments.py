@@ -1,0 +1,79 @@
+"""Tests for the build-cost model (Fig. 3) and small experiment harness runs."""
+
+import pytest
+
+from repro.buildsim.buildcost import measure_build
+from repro.experiments.overhead import measure_overheads
+from repro.experiments.partition import measure_partition_variants
+from repro.experiments.recompile import measure_recompile_times
+from repro.experiments.runners import TOOL_ODINCOV, TOOL_SANCOV
+from repro.programs.registry import get_program
+
+
+class TestBuildBreakdown:
+    @pytest.fixture(scope="class")
+    def libxml2(self):
+        p = get_program("libxml2")
+        return measure_build(p.name, p.source)
+
+    def test_stage_fractions_match_paper_shape(self, libxml2):
+        """Fig. 3: build system ~38%, frontend ~16%, opt+instr largest
+        compute stage, linker well under 1%."""
+        f = libxml2.fractions()
+        assert 0.25 <= f["build_system"] <= 0.50
+        assert 0.08 <= f["frontend"] <= 0.25
+        assert f["opt_instrument"] > f["codegen"]
+        assert f["link"] < 0.05
+
+    def test_autogen_configure_ratio(self, libxml2):
+        assert libxml2.autogen_ms > libxml2.configure_ms
+
+    def test_odin_savings_around_45_percent(self, libxml2):
+        """§2.3: eliminating build system + frontend saves ~45%."""
+        assert 0.35 <= libxml2.odin_savings() <= 0.60
+
+    def test_recompile_scope_excludes_frontend(self, libxml2):
+        assert libxml2.recompile_scope_ms() < libxml2.total_ms / 2
+
+    def test_larger_program_costs_more(self):
+        small = get_program("json")
+        large = get_program("sqlite")
+        b_small = measure_build(small.name, small.source)
+        b_large = measure_build(large.name, large.source)
+        assert b_large.total_ms > b_small.total_ms
+
+
+class TestExperimentHarnessSmall:
+    """Shape checks of the per-figure harness on a 2-program subset (the
+    full suite runs in benchmarks/)."""
+
+    @pytest.fixture(scope="class")
+    def programs(self):
+        return [get_program("x509"), get_program("libjpeg")]
+
+    def test_overhead_ordering(self, programs):
+        summary = measure_overheads(programs, tools=[TOOL_ODINCOV, TOOL_SANCOV])
+        for row in summary.rows:
+            assert row.normalized(TOOL_ODINCOV) < row.normalized(TOOL_SANCOV)
+            assert row.normalized(TOOL_ODINCOV) < 1.10
+
+    def test_partition_variants_ordering(self, programs):
+        summary = measure_partition_variants(programs)
+        for row in summary.rows:
+            assert row.num_fragments["one"] == 1
+            assert row.num_fragments["max"] >= row.num_fragments["odin"]
+            # MaxPartition is never *faster* than Odin beyond noise.
+            assert row.normalized("max") >= row.normalized("odin") - 0.02
+
+    def test_recompile_times_shape(self, programs):
+        summary = measure_recompile_times(programs)
+        for program in summary.programs():
+            one = summary.row(program, "one")
+            odin = summary.row(program, "odin")
+            maxp = summary.row(program, "max")
+            assert one.num_fragments == 1
+            # Average fragment compile: one >= odin >= max.
+            assert one.average_ms >= odin.average_ms >= maxp.average_ms
+            # Worst case never exceeds the whole-program compile.
+            assert odin.worst_ms <= one.worst_ms + 1e-9
+            assert one.link_ms > 0

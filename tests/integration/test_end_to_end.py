@@ -1,0 +1,132 @@
+"""End-to-end integration tests: the full Odin workflow on real targets."""
+
+import pytest
+
+from repro.core.engine import Odin
+from repro.core.partition import STRATEGY_MAX, STRATEGY_ONE
+from repro.fuzz.executor import OdinCovExecutor
+from repro.instrument.coverage import OdinCov
+from repro.programs.registry import get_program
+from repro.vm.interpreter import VM
+from tests.conftest import cached_build, fresh_module, run_entry
+
+
+class TestOdinCovLifecycle:
+    """The complete §5 workflow on the json target."""
+
+    @pytest.fixture(scope="class")
+    def deployed(self):
+        engine = Odin(fresh_module("json"), preserve=("main", "run_input"))
+        tool = OdinCov(engine)
+        tool.add_all_block_probes()
+        tool.build()
+        return tool
+
+    def test_instrumented_outputs_match_plain(self, deployed):
+        plain = cached_build("json", 2)
+        for seed in get_program("json").seeds()[:6]:
+            instrumented = run_entry(
+                deployed.engine.executable, "run_input", seed,
+                probe_runtime=deployed.runtime,
+            )
+            reference = run_entry(plain.executable, "run_input", seed)
+            assert instrumented.exit_code == reference.exit_code
+
+    def test_prune_cycle_preserves_behaviour_and_improves_speed(self, deployed):
+        seeds = get_program("json").seeds()
+        executor = OdinCovExecutor(deployed)
+        before = [executor.execute(s) for s in seeds]
+        report = executor.prune()
+        assert report.pruned > 0
+        after = [executor.execute(s) for s in seeds]
+        for b, a in zip(before, after):
+            assert b.result.exit_code == a.result.exit_code
+        assert sum(a.result.cycles for a in after) < sum(
+            b.result.cycles for b in before
+        )
+
+    def test_rebuild_scope_is_partial(self, deployed):
+        """After the big prune, touching one probe recompiles only its
+        fragment; the rest of the cache is reused."""
+        engine = deployed.engine
+        if not deployed.probes:
+            pytest.skip("all probes pruned")
+        probe = next(iter(deployed.probes.values()))
+        engine.manager.mark_changed(probe)
+        report = engine.rebuild()
+        assert report.cache_reused > 0
+
+
+class TestVariantEquivalence:
+    """All three partition variants produce semantically equal binaries."""
+
+    @pytest.mark.parametrize("program", ["harfbuzz", "x509"])
+    def test_variants_agree_with_baseline(self, program):
+        seeds = get_program(program).seeds()[:5]
+        plain = cached_build(program, 2)
+        reference = [
+            run_entry(plain.executable, "run_input", s).exit_code for s in seeds
+        ]
+        for strategy in ("one", "odin", "max"):
+            engine = Odin(
+                fresh_module(program), strategy=strategy,
+                preserve=("main", "run_input"),
+            )
+            engine.initial_build()
+            got = [
+                run_entry(engine.executable, "run_input", s).exit_code
+                for s in seeds
+            ]
+            assert got == reference, strategy
+
+
+class TestRecompilationScaling:
+    def test_fragment_recompile_cheaper_than_whole(self):
+        """The core Fig. 11 claim as an invariant: changing one probe under
+        the Odin partition recompiles less than under OnePartition, with
+        identical instrumentation on both sides."""
+
+        def single_probe_rebuild_cost(strategy):
+            engine = Odin(
+                fresh_module("libxml2"), strategy=strategy,
+                preserve=("main", "run_input"),
+            )
+            tool = OdinCov(engine)
+            tool.add_all_block_probes()
+            tool.build()
+            probe = min(tool.probes.values(), key=lambda p: p.id)
+            engine.manager.mark_changed(probe)
+            return engine.rebuild().total_compile_ms
+
+        whole = single_probe_rebuild_cost(STRATEGY_ONE)
+        partial = single_probe_rebuild_cost("odin")
+        assert partial < whole
+
+    def test_max_partition_compiles_fragments_fastest(self):
+        module_odin = fresh_module("x509")
+        module_max = fresh_module("x509")
+        odin = Odin(module_odin, preserve=("main", "run_input"))
+        maxp = Odin(module_max, strategy=STRATEGY_MAX, preserve=("main", "run_input"))
+        r_odin = odin.initial_build()
+        r_max = maxp.initial_build()
+        avg_odin = r_odin.total_compile_ms / len(r_odin.fragment_ids)
+        avg_max = r_max.total_compile_ms / len(r_max.fragment_ids)
+        assert avg_max <= avg_odin
+
+
+class TestMultiSchemeCoexistence:
+    def test_coverage_and_cmplog_together(self):
+        from repro.instrument.cmplog import CmpLogRuntime, add_cmp_probes
+
+        engine = Odin(fresh_module("x509"), preserve=("main", "run_input"))
+        tool = OdinCov(engine, prune=False)
+        tool.add_all_block_probes()
+        cmp_probes = add_cmp_probes(engine, functions={"run_input", "parse_tlv"})
+        tool.build()
+        cmplog = CmpLogRuntime()
+        executor = OdinCovExecutor(tool, extra_runtime=cmplog)
+        seed = get_program("x509").seeds()[0]
+        outcome = executor.execute(seed)
+        assert outcome.result.trap is None
+        assert outcome.coverage          # coverage probes fired
+        assert cmplog.pairs              # cmplog probes fired too

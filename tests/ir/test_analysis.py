@@ -1,0 +1,137 @@
+"""Tests for CFG analyses: RPO, dominators, loops, call graph, SCCs."""
+
+from repro.ir.analysis import (
+    bottom_up_sccs,
+    call_graph,
+    compute_dominators,
+    dominates,
+    find_loops,
+    predecessor_map,
+    reachable_blocks,
+)
+from repro.ir.parser import parse_module
+
+DIAMOND = """
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %left, label %right
+left:
+  br label %join
+right:
+  br label %join
+join:
+  %r = phi i32 [ 1, %left ], [ 2, %right ]
+  ret i32 %r
+}
+"""
+
+LOOP = """
+define i32 @f(i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %latch ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %latch, label %exit
+latch:
+  %next = add i32 %i, 1
+  br label %header
+exit:
+  ret i32 %i
+}
+"""
+
+
+class TestReachability:
+    def test_rpo_starts_at_entry(self):
+        fn = parse_module(DIAMOND).get("f")
+        order = reachable_blocks(fn)
+        assert order[0].name == "entry"
+        assert {b.name for b in order} == {"entry", "left", "right", "join"}
+
+    def test_rpo_dominators_precede(self):
+        fn = parse_module(LOOP).get("f")
+        order = [b.name for b in reachable_blocks(fn)]
+        assert order.index("entry") < order.index("header")
+        assert order.index("header") < order.index("latch")
+
+    def test_unreachable_excluded(self):
+        fn = parse_module(
+            "define void @f() {\nentry:\n  ret void\ndead:\n  ret void\n}"
+        ).get("f")
+        assert [b.name for b in reachable_blocks(fn)] == ["entry"]
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        fn = parse_module(DIAMOND).get("f")
+        idom = compute_dominators(fn)
+        by_name = {b.name: b for b in fn.blocks}
+        assert idom[by_name["entry"]] is None
+        assert idom[by_name["left"]].name == "entry"
+        assert idom[by_name["right"]].name == "entry"
+        assert idom[by_name["join"]].name == "entry"
+
+    def test_dominates_reflexive_and_transitive(self):
+        fn = parse_module(LOOP).get("f")
+        idom = compute_dominators(fn)
+        by_name = {b.name: b for b in fn.blocks}
+        assert dominates(idom, by_name["entry"], by_name["exit"])
+        assert dominates(idom, by_name["header"], by_name["latch"])
+        assert dominates(idom, by_name["header"], by_name["header"])
+        assert not dominates(idom, by_name["latch"], by_name["header"])
+
+
+class TestLoops:
+    def test_natural_loop_found(self):
+        fn = parse_module(LOOP).get("f")
+        loops = find_loops(fn)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header.name == "header"
+        assert loop.latch.name == "latch"
+        assert {b.name for b in loop.blocks} == {"header", "latch"}
+
+    def test_no_loops_in_diamond(self):
+        fn = parse_module(DIAMOND).get("f")
+        assert find_loops(fn) == []
+
+
+class TestCallGraph:
+    MUTUAL = """
+define i32 @even(i32 %n) {
+entry:
+  %r = call i32 @odd(i32 %n)
+  ret i32 %r
+}
+
+define i32 @odd(i32 %n) {
+entry:
+  %r = call i32 @even(i32 %n)
+  ret i32 %r
+}
+
+define i32 @top() {
+entry:
+  %r = call i32 @even(i32 4)
+  ret i32 %r
+}
+"""
+
+    def test_call_graph_edges(self):
+        graph = call_graph(parse_module(self.MUTUAL))
+        assert graph["even"] == {"odd"}
+        assert graph["top"] == {"even"}
+
+    def test_sccs_bottom_up(self):
+        sccs = bottom_up_sccs(parse_module(self.MUTUAL))
+        assert ["even", "odd"] in sccs
+        flat = [name for scc in sccs for name in scc]
+        # Callee SCC appears before the caller.
+        assert flat.index("even") < flat.index("top")
+
+    def test_predecessor_map(self):
+        fn = parse_module(DIAMOND).get("f")
+        preds = predecessor_map(fn)
+        by_name = {b.name: b for b in fn.blocks}
+        assert {b.name for b in preds[by_name["join"]]} == {"left", "right"}

@@ -1,0 +1,141 @@
+"""Tests for module cloning and fragment extraction."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.clone import ValueMap, clone_module, extract_module, extract_module_ex
+from repro.ir.module import Function
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.values import GlobalVariable
+from repro.ir.verifier import verify_module
+
+PROGRAM = """
+@fmt = internal const [4 x i8] c"%d\\0A\\00"
+@n = global i32 0
+
+declare i32 @printf(ptr, ...)
+
+define internal i32 @add_n(i32 %x) {
+entry:
+  %v = load i32, ptr @n
+  %r = add i32 %v, %x
+  ret i32 %r
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @add_n(i32 5)
+  %ignore = call i32 @printf(ptr @fmt, i32 %r)
+  ret i32 %r
+}
+"""
+
+
+class TestCloneModule:
+    def test_clone_is_identical_text(self):
+        m = parse_module(PROGRAM)
+        cloned = clone_module(m)
+        verify_module(cloned.module)
+        assert print_module(cloned.module) == print_module(m)
+
+    def test_clone_shares_nothing(self):
+        m = parse_module(PROGRAM)
+        cloned = clone_module(m)
+        # Mutating the clone leaves the original alone.
+        cloned.module.get("main").blocks[0].instructions[0].erase()
+        assert print_module(m) == print_module(parse_module(PROGRAM))
+
+    def test_value_map_translates_instructions(self):
+        m = parse_module(PROGRAM)
+        cloned = clone_module(m)
+        original_inst = m.get("main").entry.instructions[0]
+        mapped = cloned.map(original_inst)
+        assert mapped is not original_inst
+        assert mapped.opcode == original_inst.opcode
+        assert mapped.function.name == "main"
+
+    def test_unreachable_blocks_dropped(self):
+        m = parse_module(
+            """
+define i32 @f() {
+entry:
+  ret i32 1
+dead:
+  ret i32 2
+}
+"""
+        )
+        cloned = clone_module(m)
+        assert len(cloned.module.get("f").blocks) == 1
+
+
+class TestExtractModule:
+    def test_imports_created_for_missing_symbols(self):
+        m = parse_module(PROGRAM)
+        frag = extract_module(m, ["main"])
+        verify_module(frag)
+        assert frag.get("add_n").is_declaration()
+        assert frag.get("printf").is_declaration()
+        assert frag.get("fmt").is_declaration()
+
+    def test_copy_on_use_clones_internally(self):
+        m = parse_module(PROGRAM)
+        frag = extract_module(m, ["main"], copy_on_use=["fmt"])
+        fmt = frag.get("fmt")
+        assert not fmt.is_declaration()
+        assert fmt.is_internal
+
+    def test_copy_on_use_not_referenced_not_cloned(self):
+        m = parse_module(PROGRAM)
+        frag = extract_module(m, ["add_n"], copy_on_use=["fmt"])
+        assert "fmt" not in frag
+
+    def test_shared_global_imported_not_cloned(self):
+        m = parse_module(PROGRAM)
+        frag = extract_module(m, ["add_n"])
+        assert frag.get("n").is_declaration()
+
+    def test_alias_requires_aliasee(self):
+        m = parse_module(PROGRAM + "\n@other = alias @add_n\n")
+        with pytest.raises(IRError, match="innate constraint"):
+            extract_module(m, ["other"])
+
+    def test_alias_with_aliasee_ok(self):
+        m = parse_module(PROGRAM + "\n@other = alias @add_n\n")
+        frag = extract_module(m, ["other", "add_n"])
+        verify_module(frag)
+        assert frag.get("other").aliasee.name == "add_n"
+
+    def test_extract_with_map_translates(self):
+        m = parse_module(PROGRAM)
+        frag, vmap = extract_module_ex(m, ["main"])
+        inst = m.get("main").entry.instructions[0]
+        assert vmap.get(inst).function.name == "main"
+
+    def test_extracted_fragment_is_self_contained(self):
+        m = parse_module(PROGRAM)
+        for symbols in (["main"], ["add_n"], ["main", "add_n"]):
+            frag = extract_module(m, symbols, copy_on_use=["fmt"])
+            verify_module(frag)
+
+
+class TestValueMap:
+    def test_constants_map_to_themselves(self):
+        from repro.ir.values import ConstantInt
+        from repro.ir.types import I32
+
+        vmap = ValueMap()
+        c = ConstantInt(I32, 3)
+        assert vmap.get(c) is c
+
+    def test_unmapped_instruction_raises(self):
+        m = parse_module(PROGRAM)
+        inst = m.get("main").entry.instructions[0]
+        with pytest.raises(IRError):
+            ValueMap().get(inst)
+
+    def test_globals_default_to_identity(self):
+        m = parse_module(PROGRAM)
+        g = m.get("n")
+        assert ValueMap().get(g) is g

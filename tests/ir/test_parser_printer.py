@@ -1,0 +1,174 @@
+"""Tests for the textual IR parser and printer (roundtrip + errors)."""
+
+import pytest
+
+from repro.errors import IRParseError
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+
+ISLOWER = """
+define i1 @islower(i8 %chr) {
+test_lb:
+  %cmp1 = icmp sge i8 %chr, 97
+  br i1 %cmp1, label %test_ub, label %end
+test_ub:
+  %cmp2 = icmp sle i8 %chr, 122
+  br label %end
+end:
+  %r = phi i1 [ false, %test_lb ], [ %cmp2, %test_ub ]
+  ret i1 %r
+}
+"""
+
+FULL = """
+@str = internal const [7 x i8] c"hello\\0A\\00"
+@counter = global i32 0
+@table = const [3 x i32] [i32 1, i32 2, i32 3]
+@pointer = global ptr null
+
+declare i32 @printf(ptr, ...)
+
+define internal void @helper(i32 %x) {
+entry:
+  %p = alloca i32
+  store i32 %x, ptr %p
+  %v = load i32, ptr %p
+  %g = gep i32, ptr @table, i64 1
+  %t = load i32, ptr %g
+  %sum = add i32 %v, %t
+  store i32 %sum, ptr @counter
+  ret void
+}
+
+define i32 @main() {
+entry:
+  call void @helper(i32 41)
+  %c = load i32, ptr @counter
+  switch i32 %c, label %done [ i32 1, label %one i32 2, label %two ]
+one:
+  br label %done
+two:
+  br label %done
+done:
+  %r = phi i32 [ %c, %entry ], [ 1, %one ], [ 2, %two ]
+  %cmp = icmp sgt i32 %r, 0
+  %sel = select i1 %cmp, i32 %r, i32 0
+  %w = zext i32 %sel to i64
+  %n = trunc i64 %w to i8
+  %z = freeze i8 %n
+  %x = sext i8 %z to i32
+  ret i32 %x
+}
+"""
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("source", [ISLOWER, FULL], ids=["islower", "full"])
+    def test_print_parse_print_fixpoint(self, source):
+        m1 = parse_module(source)
+        verify_module(m1)
+        text1 = print_module(m1)
+        m2 = parse_module(text1)
+        verify_module(m2)
+        assert print_module(m2) == text1
+
+    def test_forward_references_resolve(self):
+        # @callee and @data are defined after their uses.
+        m = parse_module(
+            """
+define i32 @caller() {
+entry:
+  %r = call i32 @callee()
+  %p = gep i8, ptr @data, i64 0
+  ret i32 %r
+}
+
+define i32 @callee() {
+entry:
+  ret i32 7
+}
+
+@data = const [2 x i8] c"x\\00"
+"""
+        )
+        verify_module(m)
+        assert "callee" in m.symbols and "data" in m.symbols
+
+    def test_alias_roundtrip(self):
+        src = """
+define i32 @base() {
+entry:
+  ret i32 1
+}
+
+@alias_name = alias @base
+"""
+        m = parse_module(src)
+        verify_module(m)
+        text = print_module(m)
+        assert "@alias_name = alias @base" in text
+        m2 = parse_module(text)
+        assert m2.get("alias_name").aliasee.name == "base"
+
+
+class TestParseErrors:
+    def test_undefined_value(self):
+        with pytest.raises(IRParseError):
+            parse_module(
+                "define i32 @f() {\nentry:\n  ret i32 %nope\n}"
+            )
+
+    def test_undefined_global(self):
+        with pytest.raises(IRParseError):
+            parse_module(
+                "define void @f() {\nentry:\n  call void @missing()\n  ret void\n}"
+            )
+
+    def test_redefined_value(self):
+        with pytest.raises(IRParseError):
+            parse_module(
+                "define i32 @f(i32 %a) {\nentry:\n"
+                "  %x = add i32 %a, 1\n  %x = add i32 %a, 2\n  ret i32 %x\n}"
+            )
+
+    def test_bad_token(self):
+        with pytest.raises(IRParseError):
+            parse_module("define i32 @f() ???")
+
+    def test_unterminated_body(self):
+        with pytest.raises(IRParseError):
+            parse_module("define i32 @f() {\nentry:\n  ret i32 0\n")
+
+    def test_phi_forward_reference_to_missing_value(self):
+        with pytest.raises(IRParseError):
+            parse_module(
+                """
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %a
+a:
+  %r = phi i32 [ %ghost, %entry ]
+  ret i32 %r
+}
+"""
+            )
+
+
+class TestStringEscapes:
+    def test_hex_escapes_roundtrip(self):
+        m = parse_module('@s = const [4 x i8] c"\\00\\FFa\\0A"')
+        data = m.get("s").initializer.data
+        assert data == b"\x00\xffa\n"
+        assert print_module(parse_module(print_module(m))) == print_module(m)
+
+
+class TestDeclarations:
+    def test_global_declaration(self):
+        m = parse_module("@ext = declare global i64")
+        assert m.get("ext").is_declaration()
+
+    def test_function_declaration_printed_without_names(self):
+        m = parse_module("declare i32 @printf(ptr, ...)")
+        text = print_module(m)
+        assert "declare i32 @printf(ptr, ...)" in text

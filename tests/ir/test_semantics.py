@@ -1,0 +1,139 @@
+"""Property-based tests: the shared integer semantics versus Python.
+
+These invariants are what the differential O0/O2 tests ultimately rest on:
+if :mod:`repro.ir.semantics` models two's-complement arithmetic correctly,
+both the constant folder and the VM do.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.semantics import eval_binary, eval_cast, eval_icmp
+from repro.ir.types import I16, I32, I64, I8, IntType
+
+TYPES = [I8, I16, I32, I64]
+
+
+def unsigned(type_):
+    return st.integers(min_value=0, max_value=type_.umax)
+
+
+@st.composite
+def typed_pair(draw):
+    type_ = draw(st.sampled_from(TYPES))
+    return type_, draw(unsigned(type_)), draw(unsigned(type_))
+
+
+class TestBinaryProperties:
+    @given(typed_pair())
+    def test_add_matches_python_mod(self, tpl):
+        type_, a, b = tpl
+        assert eval_binary("add", type_, a, b) == (a + b) % (type_.umax + 1)
+
+    @given(typed_pair())
+    def test_sub_add_roundtrip(self, tpl):
+        type_, a, b = tpl
+        s = eval_binary("add", type_, a, b)
+        assert eval_binary("sub", type_, s, b) == a
+
+    @given(typed_pair())
+    def test_mul_commutative(self, tpl):
+        type_, a, b = tpl
+        assert eval_binary("mul", type_, a, b) == eval_binary("mul", type_, b, a)
+
+    @given(typed_pair())
+    def test_xor_involutive(self, tpl):
+        type_, a, b = tpl
+        x = eval_binary("xor", type_, a, b)
+        assert eval_binary("xor", type_, x, b) == a
+
+    @given(typed_pair())
+    def test_sdiv_matches_c_truncation(self, tpl):
+        type_, a, b = tpl
+        if b == 0:
+            with pytest.raises(ZeroDivisionError):
+                eval_binary("sdiv", type_, a, b)
+            return
+        sa, sb = type_.to_signed(a), type_.to_signed(b)
+        if sa == type_.smin and sb == -1:
+            return  # overflow case wraps; C leaves it undefined
+        expected = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            expected = -expected
+        assert type_.to_signed(eval_binary("sdiv", type_, a, b)) == expected
+
+    @given(typed_pair())
+    def test_srem_identity(self, tpl):
+        """(a / b) * b + (a % b) == a, the C89 identity."""
+        type_, a, b = tpl
+        if b == 0:
+            return
+        sa, sb = type_.to_signed(a), type_.to_signed(b)
+        if sa == type_.smin and sb == -1:
+            return
+        q = eval_binary("sdiv", type_, a, b)
+        r = eval_binary("srem", type_, a, b)
+        back = eval_binary("add", type_, eval_binary("mul", type_, q, b), r)
+        assert back == a
+
+    @given(typed_pair())
+    def test_udiv_urem_identity(self, tpl):
+        type_, a, b = tpl
+        if b == 0:
+            return
+        q = eval_binary("udiv", type_, a, b)
+        r = eval_binary("urem", type_, a, b)
+        assert q * b + r == a
+
+    @given(st.sampled_from(TYPES), st.integers(0, 2**64 - 1), st.integers(0, 100))
+    def test_shifts_beyond_width_well_defined(self, type_, raw, amount):
+        a = type_.wrap(raw)
+        if amount >= type_.bits:
+            assert eval_binary("shl", type_, a, amount) == 0
+            assert eval_binary("lshr", type_, a, amount) == 0
+            expected = type_.umax if type_.to_signed(a) < 0 else 0
+            assert eval_binary("ashr", type_, a, amount) == expected
+
+    @given(typed_pair())
+    def test_results_in_range(self, tpl):
+        type_, a, b = tpl
+        for op in ("add", "sub", "mul", "and", "or", "xor"):
+            assert 0 <= eval_binary(op, type_, a, b) <= type_.umax
+
+
+class TestIcmpProperties:
+    @given(typed_pair())
+    def test_signed_total_order(self, tpl):
+        type_, a, b = tpl
+        lt = eval_icmp("slt", type_, a, b)
+        gt = eval_icmp("sgt", type_, a, b)
+        eq = eval_icmp("eq", type_, a, b)
+        assert lt + gt + eq == 1
+
+    @given(typed_pair())
+    def test_unsigned_matches_raw(self, tpl):
+        type_, a, b = tpl
+        assert eval_icmp("ult", type_, a, b) == int(a < b)
+        assert eval_icmp("uge", type_, a, b) == int(a >= b)
+
+    @given(typed_pair())
+    def test_signed_matches_signed_view(self, tpl):
+        type_, a, b = tpl
+        assert eval_icmp("sle", type_, a, b) == int(
+            type_.to_signed(a) <= type_.to_signed(b)
+        )
+
+
+class TestCastProperties:
+    @given(st.integers(0, 255))
+    def test_sext_then_trunc_roundtrips(self, a):
+        wide = eval_cast("sext", I8, I64, a)
+        assert eval_cast("trunc", I64, I8, wide) == a
+
+    @given(st.integers(0, 255))
+    def test_zext_preserves_value(self, a):
+        assert eval_cast("zext", I8, I32, a) == a
+
+    @given(st.integers(0, 255))
+    def test_sext_preserves_signed_value(self, a):
+        assert I64.to_signed(eval_cast("sext", I8, I64, a)) == I8.to_signed(a)

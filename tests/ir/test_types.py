@@ -1,0 +1,120 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.errors import IRTypeError
+from repro.ir.types import (
+    ArrayType,
+    FunctionType,
+    I1,
+    I16,
+    I32,
+    I64,
+    I8,
+    IntType,
+    PTR,
+    PointerType,
+    VOID,
+    VoidType,
+    type_by_name,
+)
+
+
+class TestInterning:
+    def test_int_types_are_interned(self):
+        assert IntType(32) is I32
+        assert IntType(8) is IntType(8)
+
+    def test_pointer_is_singleton(self):
+        assert PointerType() is PTR
+
+    def test_void_is_singleton(self):
+        assert VoidType() is VOID
+
+    def test_array_types_are_interned(self):
+        assert ArrayType(I8, 4) is ArrayType(I8, 4)
+        assert ArrayType(I8, 4) is not ArrayType(I8, 5)
+
+    def test_function_types_are_interned(self):
+        a = FunctionType(I32, (I8, PTR))
+        b = FunctionType(I32, (I8, PTR))
+        assert a is b
+        assert FunctionType(I32, (I8,), vararg=True) is not FunctionType(I32, (I8,))
+
+
+class TestSizes:
+    @pytest.mark.parametrize(
+        "type_, size",
+        [(I1, 1), (I8, 1), (I16, 2), (I32, 4), (I64, 8), (PTR, 8)],
+    )
+    def test_scalar_sizes(self, type_, size):
+        assert type_.size == size
+
+    def test_array_size(self):
+        assert ArrayType(I32, 10).size == 40
+        assert ArrayType(ArrayType(I8, 16), 4).size == 64
+
+    def test_void_has_no_size(self):
+        with pytest.raises(IRTypeError):
+            _ = VOID.size
+
+
+class TestIntegerSemantics:
+    def test_wrap(self):
+        assert I8.wrap(256) == 0
+        assert I8.wrap(-1) == 255
+        assert I32.wrap(2**32 + 5) == 5
+
+    def test_to_signed(self):
+        assert I8.to_signed(255) == -1
+        assert I8.to_signed(127) == 127
+        assert I16.to_signed(0x8000) == -(2**15)
+
+    def test_bounds(self):
+        assert I8.smin == -128
+        assert I8.smax == 127
+        assert I8.umax == 255
+        assert I64.smax == 2**63 - 1
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(IRTypeError):
+            IntType(7)
+
+
+class TestPredicates:
+    def test_first_class(self):
+        assert I32.is_first_class()
+        assert PTR.is_first_class()
+        assert not VOID.is_first_class()
+        assert not ArrayType(I8, 2).is_first_class()
+
+    def test_kind_predicates(self):
+        assert I32.is_integer() and not I32.is_pointer()
+        assert PTR.is_pointer() and not PTR.is_integer()
+        assert VOID.is_void()
+        assert ArrayType(I8, 1).is_array()
+        assert FunctionType(VOID).is_function()
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert type_by_name("i32") is I32
+        assert type_by_name("ptr") is PTR
+        assert type_by_name("void") is VOID
+
+    def test_unknown_name(self):
+        with pytest.raises(IRTypeError):
+            type_by_name("i33")
+
+
+class TestFunctionTypeValidation:
+    def test_void_parameter_rejected(self):
+        with pytest.raises(IRTypeError):
+            FunctionType(I32, (VOID,))
+
+    def test_array_return_rejected(self):
+        with pytest.raises(IRTypeError):
+            FunctionType(ArrayType(I8, 4))
+
+    def test_str(self):
+        assert str(FunctionType(I32, (I8, PTR), vararg=True)) == "i32 (i8, ptr, ...)"

@@ -1,0 +1,134 @@
+"""Tests for IR values: constants, globals, aliases."""
+
+import pytest
+
+from repro.errors import IRError, IRTypeError
+from repro.ir.module import Function, Module
+from repro.ir.types import ArrayType, FunctionType, I32, I8, VOID
+from repro.ir.values import (
+    ConstantArray,
+    ConstantData,
+    ConstantInt,
+    GlobalAlias,
+    GlobalVariable,
+    NullPtr,
+    UndefValue,
+)
+
+
+class TestConstantInt:
+    def test_wraps_to_width(self):
+        c = ConstantInt(I8, 300)
+        assert c.value == 44
+
+    def test_signed_view(self):
+        assert ConstantInt(I8, -1).value == 255
+        assert ConstantInt(I8, -1).signed == -1
+
+    def test_equality_by_type_and_value(self):
+        assert ConstantInt(I32, 7) == ConstantInt(I32, 7)
+        assert ConstantInt(I32, 7) != ConstantInt(I8, 7)
+        assert hash(ConstantInt(I32, 7)) == hash(ConstantInt(I32, 7))
+
+    def test_requires_int_type(self):
+        with pytest.raises(IRTypeError):
+            ConstantInt(VOID, 0)
+
+    def test_ref_renders_signed(self):
+        assert ConstantInt(I8, 255).ref() == "-1"
+
+
+class TestConstantData:
+    def test_from_string_appends_nul(self):
+        c = ConstantData.from_string("hi")
+        assert c.data == b"hi\x00"
+        assert c.type is ArrayType(I8, 3)
+
+    def test_escaping(self):
+        c = ConstantData(b"a\nb")
+        assert c.ref() == 'c"a\\0Ab"'
+
+
+class TestConstantArray:
+    def test_wraps_elements(self):
+        c = ConstantArray(I8, [300, -1])
+        assert c.values == [44, 255]
+        assert c.type is ArrayType(I8, 2)
+
+
+class TestGlobals:
+    def test_global_variable_is_pointer_valued(self):
+        g = GlobalVariable("g", I32, ConstantInt(I32, 0))
+        assert g.type.is_pointer()
+        assert not g.is_declaration()
+
+    def test_declaration(self):
+        g = GlobalVariable("g", I32, None)
+        assert g.is_declaration()
+
+    def test_invalid_linkage(self):
+        with pytest.raises(IRError):
+            GlobalVariable("g", I32, None, linkage="weak")
+
+    def test_unnamed_global_rejected(self):
+        with pytest.raises(IRError):
+            GlobalVariable("", I32, None)
+
+
+class TestAliases:
+    def test_alias_resolves(self):
+        fn = Function("f", FunctionType(VOID))
+        alias = GlobalAlias("g", fn)
+        assert alias.resolve() is fn
+        assert not alias.is_declaration()
+
+    def test_alias_to_alias_rejected(self):
+        fn = Function("f", FunctionType(VOID))
+        a1 = GlobalAlias("a1", fn)
+        with pytest.raises(IRError):
+            GlobalAlias("a2", a1)
+
+
+class TestModuleSymbolTable:
+    def test_duplicate_symbol_rejected(self):
+        m = Module("m")
+        m.add(GlobalVariable("x", I32, ConstantInt(I32, 1)))
+        with pytest.raises(IRError):
+            m.add(GlobalVariable("x", I32, ConstantInt(I32, 2)))
+
+    def test_get_missing(self):
+        with pytest.raises(IRError):
+            Module("m").get("nope")
+
+    def test_typed_views(self):
+        m = Module("m")
+        m.add(GlobalVariable("v", I32, ConstantInt(I32, 0)))
+        fn = m.add(Function("f", FunctionType(VOID)))
+        m.add(GlobalAlias("a", fn))
+        assert [g.name for g in m.global_variables()] == ["v"]
+        assert [f.name for f in m.functions()] == ["f"]
+        assert [a.name for a in m.aliases()] == ["a"]
+
+    def test_declare_function_idempotent(self):
+        m = Module("m")
+        ft = FunctionType(I32, (I32,))
+        f1 = m.declare_function("f", ft)
+        f2 = m.declare_function("f", ft)
+        assert f1 is f2
+
+    def test_declare_function_type_conflict(self):
+        m = Module("m")
+        m.declare_function("f", FunctionType(I32, (I32,)))
+        with pytest.raises(IRError):
+            m.declare_function("f", FunctionType(VOID))
+
+
+class TestMiscConstants:
+    def test_nullptr(self):
+        assert NullPtr() == NullPtr()
+        assert NullPtr().ref() == "null"
+
+    def test_undef(self):
+        u = UndefValue(I32)
+        assert u.type is I32
+        assert u.ref() == "undef"

@@ -1,0 +1,262 @@
+"""Tests for Dead Argument Elimination and Function Inlining — the two
+interprocedural passes whose requirements drive the partitioner (§2.3)."""
+
+from repro.ir.instructions import CallInst
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+from repro.opt.dae import DeadArgumentElimination
+from repro.opt.inline import FunctionInlining
+from repro.opt.pass_manager import OptContext, REQ_BOND
+
+FIG4 = """
+define internal void @neg(i32 %unused) {
+entry:
+  ret void
+}
+
+define i32 @main() {
+entry:
+  call void @neg(i32 1)
+  ret i32 0
+}
+"""
+
+
+class TestDeadArgumentElimination:
+    def test_removes_dead_argument_from_both_sides(self):
+        m = parse_module(FIG4)
+        changed = DeadArgumentElimination().run(m, OptContext())
+        verify_module(m)
+        assert changed
+        neg = m.get("neg")
+        assert neg.function_type.params == ()
+        call = next(
+            i for i in m.get("main").instructions() if isinstance(i, CallInst)
+        )
+        assert call.args == []
+
+    def test_external_function_untouched(self):
+        """§2.3's remedy: exported symbols keep their ABI."""
+        m = parse_module(FIG4.replace("define internal void @neg", "define void @neg"))
+        changed = DeadArgumentElimination().run(m, OptContext())
+        assert not changed
+        assert len(m.get("neg").function_type.params) == 1
+
+    def test_used_argument_kept(self):
+        m = parse_module(
+            """
+define internal i32 @id(i32 %x) {
+entry:
+  ret i32 %x
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @id(i32 7)
+  ret i32 %r
+}
+"""
+        )
+        assert not DeadArgumentElimination().run(m, OptContext())
+
+    def test_partial_removal(self):
+        m = parse_module(
+            """
+define internal i32 @f(i32 %dead1, i32 %live, i32 %dead2) {
+entry:
+  ret i32 %live
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @f(i32 1, i32 2, i32 3)
+  ret i32 %r
+}
+"""
+        )
+        DeadArgumentElimination().run(m, OptContext())
+        verify_module(m)
+        assert len(m.get("f").function_type.params) == 1
+        call = next(i for i in m.get("main").instructions() if isinstance(i, CallInst))
+        assert call.args[0].value == 2
+
+    def test_address_taken_blocks_transform(self):
+        m = parse_module(
+            """
+define internal void @f(i32 %unused) {
+entry:
+  ret void
+}
+
+@table = global ptr null
+
+define void @main() {
+entry:
+  store ptr @f, ptr @table
+  call void @f(i32 1)
+  ret void
+}
+"""
+        )
+        assert not DeadArgumentElimination().run(m, OptContext())
+
+    def test_logs_bond_requirement_in_trial(self):
+        m = parse_module(FIG4)
+        ctx = OptContext(trial=True)
+        DeadArgumentElimination().run(m, ctx)
+        assert any(
+            r.kind == REQ_BOND and r.subject == "neg" and r.peer == "main"
+            for r in ctx.requirements
+        )
+
+
+class TestInlining:
+    SIMPLE = """
+define internal i32 @twice(i32 %x) {
+entry:
+  %r = mul i32 %x, 2
+  ret i32 %r
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @twice(i32 21)
+  ret i32 %r
+}
+"""
+
+    def test_small_callee_inlined(self):
+        m = parse_module(self.SIMPLE)
+        changed = FunctionInlining().run(m, OptContext())
+        verify_module(m)
+        assert changed
+        assert not any(
+            isinstance(i, CallInst) for i in m.get("main").instructions()
+        )
+
+    def test_logs_bond_requirement(self):
+        m = parse_module(self.SIMPLE)
+        ctx = OptContext(trial=True)
+        FunctionInlining().run(m, ctx)
+        assert any(
+            r.kind == REQ_BOND and r.subject == "twice" and r.peer == "main"
+            for r in ctx.requirements
+        )
+
+    def test_declaration_never_inlined(self):
+        """The MaxPartition effect: a callee visible only as a declaration
+        cannot be inlined."""
+        m = parse_module(
+            """
+declare i32 @twice(i32)
+
+define i32 @main() {
+entry:
+  %r = call i32 @twice(i32 21)
+  ret i32 %r
+}
+"""
+        )
+        assert not FunctionInlining().run(m, OptContext())
+
+    def test_self_recursion_not_inlined(self):
+        m = parse_module(
+            """
+define internal i32 @fact(i32 %n) {
+entry:
+  %c = icmp sle i32 %n, 1
+  br i1 %c, label %base, label %rec
+base:
+  ret i32 1
+rec:
+  %n1 = sub i32 %n, 1
+  %r = call i32 @fact(i32 %n1)
+  %p = mul i32 %n, %r
+  ret i32 %p
+}
+"""
+        )
+        assert not FunctionInlining().run(m, OptContext())
+
+    def test_mutual_recursion_not_inlined(self):
+        m = parse_module(
+            """
+define internal i32 @a(i32 %n) {
+entry:
+  %r = call i32 @b(i32 %n)
+  ret i32 %r
+}
+
+define internal i32 @b(i32 %n) {
+entry:
+  %r = call i32 @a(i32 %n)
+  ret i32 %r
+}
+"""
+        )
+        assert not FunctionInlining().run(m, OptContext())
+
+    def test_multi_block_callee_with_multiple_returns(self):
+        m = parse_module(
+            """
+define internal i32 @absval(i32 %x) {
+entry:
+  %neg = icmp slt i32 %x, 0
+  br i1 %neg, label %flip, label %keep
+flip:
+  %f = sub i32 0, %x
+  ret i32 %f
+keep:
+  ret i32 %x
+}
+
+define i32 @main(i32 %v) {
+entry:
+  %r = call i32 @absval(i32 %v)
+  %r2 = add i32 %r, 1
+  ret i32 %r2
+}
+"""
+        )
+        FunctionInlining().run(m, OptContext())
+        verify_module(m)
+        main = m.get("main")
+        assert not any(isinstance(i, CallInst) for i in main.instructions())
+        # The merged return value must come through a phi.
+        assert any(i.opcode == "phi" for i in main.instructions())
+
+    def test_semantics_preserved_through_inlining(self):
+        """Differential: run main before and after inlining in the VM."""
+        from repro.backend.isel import lower_module
+        from repro.linker.linker import link
+        from repro.vm.interpreter import VM
+
+        def run(module):
+            exe = link([lower_module(module)])
+            return VM(exe).run("main").exit_code
+
+        m1 = parse_module(self.SIMPLE)
+        m2 = parse_module(self.SIMPLE)
+        FunctionInlining().run(m2, OptContext())
+        assert run(m1) == run(m2) == 42
+
+    def test_big_callee_not_inlined(self):
+        body = "\n".join(f"  %x{i} = add i32 %x, {i}" for i in range(60))
+        m = parse_module(
+            f"""
+define i32 @big(i32 %x) {{
+entry:
+{body}
+  ret i32 %x59
+}}
+
+define i32 @main() {{
+entry:
+  %r = call i32 @big(i32 1)
+  %r2 = call i32 @big(i32 2)
+  ret i32 %r
+}}
+"""
+        )
+        assert not FunctionInlining().run(m, OptContext())

@@ -1,0 +1,232 @@
+"""Tests for InstCombine, including the paper's Figure 2 and Figure 4."""
+
+import pytest
+
+from repro.ir.instructions import BinaryInst, CallInst, IcmpInst, SelectInst
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+from repro.opt.instcombine import InstCombine
+from repro.opt.pass_manager import OptContext, REQ_COPY_ON_USE
+from repro.opt.simplifycfg import SimplifyCFG
+
+
+def combine(source, trial=False):
+    m = parse_module(source)
+    ctx = OptContext(trial=trial)
+    InstCombine().run(m, ctx)
+    verify_module(m)
+    return m, ctx
+
+
+def opcodes_of(fn):
+    return [i.opcode for i in fn.instructions()]
+
+
+class TestConstantFolding:
+    def test_binary_fold(self):
+        m, _ = combine(
+            "define i32 @f() {\nentry:\n  %x = add i32 2, 3\n  ret i32 %x\n}"
+        )
+        assert "ret i32 5" in print_module(m)
+
+    def test_icmp_fold(self):
+        m, _ = combine(
+            "define i1 @f() {\nentry:\n  %x = icmp slt i32 2, 3\n  ret i1 %x\n}"
+        )
+        assert "ret i1 true" in print_module(m) or "ret i1 1" in print_module(m)
+
+    def test_division_by_zero_not_folded(self):
+        m, _ = combine(
+            "define i32 @f() {\nentry:\n  %x = sdiv i32 2, 0\n  ret i32 %x\n}"
+        )
+        assert "sdiv" in opcodes_of(m.get("f"))
+
+    def test_cast_fold(self):
+        m, _ = combine(
+            "define i64 @f() {\nentry:\n  %x = sext i8 -1 to i64\n  ret i64 %x\n}"
+        )
+        assert "ret i64 -1" in print_module(m)
+
+
+class TestAlgebraicIdentities:
+    @pytest.mark.parametrize(
+        "inst, expect_removed",
+        [
+            ("add i32 %a, 0", True),
+            ("mul i32 %a, 1", True),
+            ("sub i32 %a, 0", True),
+            ("or i32 %a, 0", True),
+            ("xor i32 %a, %a", True),
+            ("and i32 %a, %a", True),
+        ],
+    )
+    def test_identity(self, inst, expect_removed):
+        m, _ = combine(
+            f"define i32 @f(i32 %a) {{\nentry:\n  %x = {inst}\n  ret i32 %x\n}}"
+        )
+        fn = m.get("f")
+        has_binary = any(isinstance(i, BinaryInst) for i in fn.instructions())
+        assert has_binary != expect_removed
+
+    def test_mul_power_of_two_becomes_shift(self):
+        m, _ = combine(
+            "define i32 @f(i32 %a) {\nentry:\n  %x = mul i32 %a, 8\n  ret i32 %x\n}"
+        )
+        ops = opcodes_of(m.get("f"))
+        assert "shl" in ops and "mul" not in ops
+
+    def test_reassociation(self):
+        m, _ = combine(
+            "define i32 @f(i32 %a) {\nentry:\n"
+            "  %x = add i32 %a, 3\n  %y = add i32 %x, 4\n  ret i32 %y\n}"
+        )
+        assert ", 7" in print_module(m)
+
+
+class TestRangeFoldFigure2:
+    """§2.2 / Figure 2: islower folds into one unsigned comparison."""
+
+    ISLOWER = """
+define i1 @islower(i8 %chr) {
+test_lb:
+  %cmp1 = icmp sge i8 %chr, 97
+  br i1 %cmp1, label %test_ub, label %end
+test_ub:
+  %cmp2 = icmp sle i8 %chr, 122
+  br label %end
+end:
+  %r = phi i1 [ false, %test_lb ], [ %cmp2, %test_ub ]
+  ret i1 %r
+}
+"""
+
+    def optimized(self):
+        m = parse_module(self.ISLOWER)
+        ctx = OptContext()
+        for _ in range(3):
+            SimplifyCFG().run(m, ctx)
+            InstCombine().run(m, ctx)
+        from repro.opt.dce import DeadCodeElimination
+
+        DeadCodeElimination().run(m, ctx)
+        verify_module(m)
+        return m, ctx
+
+    def test_folds_to_single_block(self):
+        m, _ = self.optimized()
+        assert len(m.get("islower").blocks) == 1
+
+    def test_folds_to_offset_plus_ult(self):
+        """The exact Figure 2 output: add -97 then icmp ult 26."""
+        m, ctx = self.optimized()
+        text = print_module(m)
+        assert "add i8 %chr, -97" in text
+        assert "icmp ult" in text and ", 26" in text
+        assert ctx.stats.get("instcombine.range_fold", 0) >= 1
+
+    def test_semantics_preserved(self):
+        """The fold is correct: same boolean for every input byte."""
+        from repro.ir.semantics import eval_binary, eval_icmp
+        from repro.ir.types import I8
+
+        for chr_ in range(256):
+            reference = int(97 <= I8.to_signed(chr_) <= 122)
+            offset = eval_binary("add", I8, chr_, I8.wrap(-97))
+            folded = eval_icmp("ult", I8, offset, 26)
+            assert folded == reference
+
+    def test_feedback_distortion(self):
+        """The paper's correctness complaint: 3 feedback classes become 1.
+
+        Before optimization the CFG distinguishes fail-low / fail-high /
+        pass; afterwards a single block remains, so block coverage cannot
+        separate them.
+        """
+        m_before = parse_module(self.ISLOWER)
+        assert len(m_before.get("islower").blocks) == 3
+        m_after, _ = self.optimized()
+        assert len(m_after.get("islower").blocks) == 1
+
+
+class TestPrintfToPutsFigure4:
+    SOURCE = """
+@str = internal const [7 x i8] c"hello\\0A\\00"
+
+declare i32 @printf(ptr, ...)
+
+define void @foo() {
+entry:
+  %r = call i32 @printf(ptr @str)
+  ret void
+}
+"""
+
+    def test_rewrites_to_puts(self):
+        m, _ = combine(self.SOURCE)
+        text = print_module(m)
+        assert "@puts" in text
+        assert 'c"hello\\00"' in text  # newline stripped
+
+    def test_logs_copy_on_use_requirement(self):
+        _, ctx = combine(self.SOURCE, trial=True)
+        assert any(
+            r.kind == REQ_COPY_ON_USE and r.subject == "str" and r.peer == "foo"
+            for r in ctx.requirements
+        )
+
+    def test_requires_initializer_visibility(self):
+        """Figure 4's hazard: with @str only *declared*, no rewrite."""
+        source = self.SOURCE.replace(
+            '@str = internal const [7 x i8] c"hello\\0A\\00"',
+            "@str = declare const [7 x i8]",
+        ).replace("internal const", "declare const")
+        m, _ = combine(source)
+        assert "@puts" not in print_module(m)
+
+    def test_format_directives_block_rewrite(self):
+        source = self.SOURCE.replace('c"hello\\0A\\00"', 'c"hi %d\\0A\\00"')
+        m, _ = combine(source)
+        assert "@puts" not in print_module(m)
+
+
+class TestSelectAndPhi:
+    def test_select_const_cond(self):
+        m, _ = combine(
+            "define i32 @f(i32 %a, i32 %b) {\nentry:\n"
+            "  %x = select i1 true, i32 %a, i32 %b\n  ret i32 %x\n}"
+        )
+        assert not any(isinstance(i, SelectInst) for i in m.get("f").instructions())
+
+    def test_bool_select_becomes_and(self):
+        m, _ = combine(
+            "define i1 @f(i1 %a, i1 %b) {\nentry:\n"
+            "  %x = select i1 %a, i1 %b, i1 false\n  ret i1 %x\n}"
+        )
+        assert "and" in opcodes_of(m.get("f"))
+
+    def test_phi_with_undef_and_instruction_not_folded(self):
+        """Folding phi [v, a], [undef, b] to v can break dominance."""
+        m, _ = combine(
+            """
+define i32 @f(i1 %c, i32 %n) {
+entry:
+  br i1 %c, label %a, label %join
+a:
+  %v = add i32 %n, 1
+  br label %join
+join:
+  %r = phi i32 [ %v, %a ], [ undef, %entry ]
+  ret i32 %r
+}
+"""
+        )
+        verify_module(m)
+
+    def test_icmp_canonicalization_constant_right(self):
+        m, _ = combine(
+            "define i1 @f(i32 %a) {\nentry:\n  %x = icmp slt i32 3, %a\n  ret i1 %x\n}"
+        )
+        cmp = next(i for i in m.get("f").instructions() if isinstance(i, IcmpInst))
+        assert cmp.predicate == "sgt"
+        assert cmp.rhs.value == 3

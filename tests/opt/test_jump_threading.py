@@ -1,0 +1,202 @@
+"""Tests for the jump-threading pass."""
+
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+from repro.opt.jump_threading import JumpThreading
+from repro.opt.pass_manager import OptContext
+from repro.opt.simplifycfg import SimplifyCFG
+
+# The short-circuit `a && b` shape: the dispatch block's condition is a
+# boolean phi where the `entry` edge carries the constant false.
+SHORT_CIRCUIT = """
+declare void @left()
+
+declare void @right()
+
+define void @f(i1 %a, i1 %b) {
+entry:
+  br i1 %a, label %rhs, label %dispatch
+rhs:
+  br label %dispatch
+dispatch:
+  %c = phi i1 [ false, %entry ], [ %b, %rhs ]
+  br i1 %c, label %t, label %e
+t:
+  call void @left()
+  ret void
+e:
+  call void @right()
+  ret void
+}
+"""
+
+
+def thread(source):
+    m = parse_module(source)
+    ctx = OptContext()
+    changed = JumpThreading().run(m, ctx)
+    verify_module(m)
+    return m, changed, ctx
+
+
+class TestThreading:
+    def test_constant_edge_threaded(self):
+        m, changed, ctx = thread(SHORT_CIRCUIT)
+        assert changed
+        assert ctx.stats.get("jump_threading.threaded", 0) == 1
+        # entry now jumps straight to %e on the false arm.
+        fn = m.get("f")
+        entry_term = fn.get_block("entry").terminator
+        assert {b.name for b in entry_term.successors()} == {"rhs", "e"}
+
+    def test_dispatch_keeps_dynamic_edge(self):
+        m, _, _ = thread(SHORT_CIRCUIT)
+        fn = m.get("f")
+        dispatch = fn.get_block("dispatch")
+        assert [p.name for p in dispatch.predecessors()] == ["rhs"]
+
+    def test_semantics_preserved(self):
+        from repro.backend.isel import lower_module
+        from repro.linker.linker import link
+        from repro.vm.interpreter import VM
+
+        src = """
+define i32 @f(i1 %a, i1 %b) {
+entry:
+  br i1 %a, label %rhs, label %dispatch
+rhs:
+  br label %dispatch
+dispatch:
+  %c = phi i1 [ false, %entry ], [ %b, %rhs ]
+  br i1 %c, label %t, label %e
+t:
+  ret i32 1
+e:
+  ret i32 0
+}
+"""
+        threaded, changed, _ = thread(src)
+        assert changed
+        plain_exe = link([lower_module(parse_module(src))])
+        threaded_exe = link([lower_module(threaded)])
+        for a in (0, 1):
+            for b in (0, 1):
+                assert (
+                    VM(plain_exe).run("f", (a, b)).exit_code
+                    == VM(threaded_exe).run("f", (a, b)).exit_code
+                    == (a & b)
+                )
+
+    def test_phi_values_rerouted_to_targets(self):
+        src = """
+define i32 @f(i1 %a, i32 %x, i32 %y) {
+entry:
+  br i1 %a, label %other, label %dispatch
+other:
+  br label %dispatch
+dispatch:
+  %c = phi i1 [ true, %entry ], [ %a, %other ]
+  %v = phi i32 [ %x, %entry ], [ %y, %other ]
+  br i1 %c, label %t, label %e
+t:
+  %rt = phi i32 [ %v, %dispatch ]
+  ret i32 %rt
+e:
+  ret i32 0
+}
+"""
+        # %v is used outside dispatch (in %t's phi), but threading entry->t
+        # reroutes the value: t's phi must gain incoming (%x, entry).
+        m, changed, _ = thread(src)
+        if changed:
+            verify_module(m)
+            fn = m.get("f")
+            t = fn.get_block("t")
+            phi = t.phis()[0]
+            entry = fn.get_block("entry")
+            assert phi.incoming_for(entry).name == "x"
+
+
+class TestNonThreadable:
+    def test_dynamic_only_phi_untouched(self):
+        src = SHORT_CIRCUIT.replace("[ false, %entry ]", "[ %a, %entry ]")
+        _, changed, _ = thread(src)
+        assert not changed
+
+    def test_block_with_computation_untouched(self):
+        src = SHORT_CIRCUIT.replace(
+            "%c = phi i1 [ false, %entry ], [ %b, %rhs ]",
+            "%c = phi i1 [ false, %entry ], [ %b, %rhs ]\n  %junk = add i32 1, 2",
+        )
+        _, changed, _ = thread(src)
+        assert not changed
+
+    def test_phi_used_outside_blocks_threading(self):
+        """A non-phi use of the condition outside the dispatch block makes
+        threading unsound; the pass must refuse."""
+        src = """
+define i32 @f(i1 %a, i1 %b) {
+entry:
+  br i1 %a, label %rhs, label %dispatch
+rhs:
+  br label %dispatch
+dispatch:
+  %c = phi i1 [ false, %entry ], [ %b, %rhs ]
+  br i1 %c, label %t, label %e
+t:
+  %z = zext i1 %c to i32
+  ret i32 %z
+e:
+  ret i32 0
+}
+"""
+        m, changed, _ = thread(src)
+        assert not changed
+        verify_module(m)
+
+    def test_fully_threaded_block_removed(self):
+        src = """
+define i32 @f(i1 %sel) {
+entry:
+  br i1 %sel, label %p1, label %p2
+p1:
+  br label %dispatch
+p2:
+  br label %dispatch
+dispatch:
+  %c = phi i1 [ true, %p1 ], [ false, %p2 ]
+  br i1 %c, label %t, label %e
+t:
+  ret i32 1
+e:
+  ret i32 0
+}
+"""
+        m, changed, _ = thread(src)
+        assert changed
+        names = {b.name for b in m.get("f").blocks}
+        assert "dispatch" not in names
+        verify_module(m)
+
+    def test_o2_pipeline_with_jump_threading_is_sound(self):
+        """Short-circuit-heavy code through the full pipeline."""
+        from repro.toolchain import run_source
+
+        src = r"""
+static int check(int a, int b, int c) {
+    if ((a > 0 && b > 0) || (c != 0 && a < b)) return 1;
+    return 0;
+}
+int main() {
+    int r = 0;
+    r = r * 2 + check(1, 1, 0);
+    r = r * 2 + check(0, 1, 5);
+    r = r * 2 + check(-1, 0, 0);
+    r = r * 2 + check(-2, 3, 7);
+    return r;
+}
+"""
+        o0 = run_source(src, opt_level=0)
+        o2 = run_source(src, opt_level=2)
+        assert o0.exit_code == o2.exit_code

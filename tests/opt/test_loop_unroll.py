@@ -1,0 +1,178 @@
+"""Tests for full loop unrolling (§2.2 distortion class 3)."""
+
+from repro.ir.analysis import find_loops
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+from repro.opt.dce import DeadCodeElimination
+from repro.opt.instcombine import InstCombine
+from repro.opt.loop_unroll import LoopUnroll
+from repro.opt.pass_manager import OptContext
+from repro.opt.simplifycfg import SimplifyCFG
+
+COUNTED = """
+define i32 @sum() {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %latch ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %latch ]
+  %c = icmp slt i32 %i, 5
+  br i1 %c, label %latch, label %exit
+latch:
+  %acc2 = add i32 %acc, %i
+  %next = add i32 %i, 1
+  br label %header
+exit:
+  ret i32 %acc
+}
+"""
+
+
+def unroll_and_clean(source, **kwargs):
+    m = parse_module(source)
+    ctx = OptContext()
+    changed = LoopUnroll(**kwargs).run(m, ctx)
+    SimplifyCFG().run(m, ctx)
+    InstCombine().run(m, ctx)
+    SimplifyCFG().run(m, ctx)
+    DeadCodeElimination().run(m, ctx)
+    verify_module(m)
+    return m, changed, ctx
+
+
+class TestFullUnroll:
+    def test_counted_loop_folds_to_constant(self):
+        m, changed, _ = unroll_and_clean(COUNTED)
+        assert changed
+        assert "ret i32 10" in print_module(m)
+
+    def test_loop_disappears_from_cfg(self):
+        """The paper's point: after unrolling there is no loop left for a
+        probe to observe."""
+        m, _, _ = unroll_and_clean(COUNTED)
+        assert find_loops(m.get("sum")) == []
+
+    def test_trip_count_above_limit_not_unrolled(self):
+        source = COUNTED.replace("icmp slt i32 %i, 5", "icmp slt i32 %i, 100")
+        m, changed, _ = unroll_and_clean(source)
+        assert not changed
+
+    def test_variable_bound_not_unrolled(self):
+        source = COUNTED.replace(
+            "define i32 @sum() {", "define i32 @sum(i32 %n) {"
+        ).replace("icmp slt i32 %i, 5", "icmp slt i32 %i, %n")
+        m, changed, _ = unroll_and_clean(source)
+        assert not changed
+
+    def test_side_effects_preserved_in_order(self):
+        """Unrolled stores must execute the same number of times."""
+        source = """
+@log = global [8 x i32] c"\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00\\00"
+
+define void @f() {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i32 %i, 3
+  br i1 %c, label %body, label %exit
+body:
+  %w = sext i32 %i to i64
+  %p = gep i32, ptr @log, i64 %w
+  store i32 %i, ptr %p
+  %next = add i32 %i, 1
+  br label %header
+exit:
+  ret void
+}
+"""
+        m, changed, _ = unroll_and_clean(source)
+        assert changed
+        stores = [
+            i for i in m.get("f").instructions() if i.opcode == "store"
+        ]
+        assert len(stores) == 3
+
+    def test_unroll_semantics_via_vm(self):
+        from repro.backend.isel import lower_module
+        from repro.linker.linker import link
+        from repro.vm.interpreter import VM
+
+        source = """
+define i32 @compute(i32 %seed) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %h = phi i32 [ %seed, %entry ], [ %h2, %body ]
+  %c = icmp slt i32 %i, 6
+  br i1 %c, label %body, label %exit
+body:
+  %m = mul i32 %h, 31
+  %h2 = add i32 %m, %i
+  %next = add i32 %i, 1
+  br label %header
+exit:
+  ret i32 %h
+}
+"""
+        plain = parse_module(source)
+        unrolled, changed, _ = unroll_and_clean(source)
+        assert changed
+        for seed in (0, 1, 12345):
+            r1 = VM(link([lower_module(parse_module(source))])).run("compute", (seed,))
+            r2 = VM(link([lower_module(unrolled)])).run("compute", (seed,))
+            assert r1.exit_code == r2.exit_code
+
+    def test_multi_block_body_unrolled(self):
+        source = """
+@acc = global i32 0
+
+define void @f() {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %latch ]
+  %c = icmp slt i32 %i, 4
+  br i1 %c, label %mid, label %exit
+mid:
+  %v = load i32, ptr @acc
+  %v2 = add i32 %v, %i
+  br label %latch
+latch:
+  store i32 %v2, ptr @acc
+  %next = add i32 %i, 1
+  br label %header
+exit:
+  ret void
+}
+"""
+        m, changed, _ = unroll_and_clean(source)
+        assert changed
+        assert find_loops(m.get("f")) == []
+
+    def test_loop_with_internal_branch_not_unrolled(self):
+        """Bodies with data-dependent control flow are out of scope."""
+        source = """
+define i32 @f(i32 %x) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %latch ]
+  %c = icmp slt i32 %i, 4
+  br i1 %c, label %body, label %exit
+body:
+  %odd = icmp eq i32 %x, %i
+  br i1 %odd, label %then, label %latch
+then:
+  br label %latch
+latch:
+  %next = add i32 %i, 1
+  br label %header
+exit:
+  ret i32 %i
+}
+"""
+        m, changed, _ = unroll_and_clean(source)
+        assert not changed

@@ -1,0 +1,297 @@
+"""Tests for mem2reg, DCE, EarlyCSE and GlobalDCE/Internalize."""
+
+from repro.ir.instructions import AllocaInst, LoadInst, PhiInst, StoreInst
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+from repro.opt.cse import EarlyCSE
+from repro.opt.dce import DeadCodeElimination
+from repro.opt.internalize import GlobalDCE, Internalize
+from repro.opt.mem2reg import PromoteMem2Reg, promotable_allocas
+from repro.opt.pass_manager import OptContext
+
+
+def run_pass(pass_, source):
+    m = parse_module(source)
+    changed = pass_.run(m, OptContext())
+    verify_module(m)
+    return m, changed
+
+
+class TestMem2Reg:
+    def test_scalar_alloca_promoted(self):
+        m, changed = run_pass(
+            PromoteMem2Reg(),
+            """
+define i32 @f(i32 %a) {
+entry:
+  %slot = alloca i32
+  store i32 %a, ptr %slot
+  %v = load i32, ptr %slot
+  ret i32 %v
+}
+""",
+        )
+        assert changed
+        ops = [i.opcode for i in m.get("f").instructions()]
+        assert "alloca" not in ops and "load" not in ops and "store" not in ops
+
+    def test_phi_inserted_at_join(self):
+        m, _ = run_pass(
+            PromoteMem2Reg(),
+            """
+define i32 @f(i1 %c) {
+entry:
+  %slot = alloca i32
+  br i1 %c, label %a, label %b
+a:
+  store i32 1, ptr %slot
+  br label %join
+b:
+  store i32 2, ptr %slot
+  br label %join
+join:
+  %v = load i32, ptr %slot
+  ret i32 %v
+}
+""",
+        )
+        fn = m.get("f")
+        phis = [i for i in fn.instructions() if isinstance(i, PhiInst)]
+        assert len(phis) == 1
+        assert sorted(v.value for v, _ in phis[0].incoming) == [1, 2]
+
+    def test_loop_carried_value(self):
+        m, _ = run_pass(
+            PromoteMem2Reg(),
+            """
+define i32 @f(i32 %n) {
+entry:
+  %i = alloca i32
+  store i32 0, ptr %i
+  br label %header
+header:
+  %iv = load i32, ptr %i
+  %c = icmp slt i32 %iv, %n
+  br i1 %c, label %body, label %exit
+body:
+  %iv2 = load i32, ptr %i
+  %next = add i32 %iv2, 1
+  store i32 %next, ptr %i
+  br label %header
+exit:
+  %r = load i32, ptr %i
+  ret i32 %r
+}
+""",
+        )
+        fn = m.get("f")
+        assert not any(isinstance(i, AllocaInst) for i in fn.instructions())
+        # Loop-carried value needs a phi in the header.
+        header = fn.get_block("header")
+        assert header.phis()
+
+    def test_escaped_alloca_not_promoted(self):
+        source = """
+declare void @escape(ptr)
+
+define i32 @f() {
+entry:
+  %slot = alloca i32
+  call void @escape(ptr %slot)
+  %v = load i32, ptr %slot
+  ret i32 %v
+}
+"""
+        m = parse_module(source)
+        assert promotable_allocas(m.get("f")) == []
+
+    def test_load_before_store_becomes_undef(self):
+        m, _ = run_pass(
+            PromoteMem2Reg(),
+            """
+define i32 @f() {
+entry:
+  %slot = alloca i32
+  %v = load i32, ptr %slot
+  ret i32 %v
+}
+""",
+        )
+        assert "undef" in print_module(m)
+
+
+class TestDCE:
+    def test_unused_pure_instruction_removed(self):
+        m, changed = run_pass(
+            DeadCodeElimination(),
+            """
+define i32 @f(i32 %a) {
+entry:
+  %dead = mul i32 %a, 3
+  ret i32 %a
+}
+""",
+        )
+        assert changed
+        assert m.get("f").count_instructions() == 1
+
+    def test_dead_chain_removed_transitively(self):
+        m, _ = run_pass(
+            DeadCodeElimination(),
+            """
+define i32 @f(i32 %a) {
+entry:
+  %x = add i32 %a, 1
+  %y = mul i32 %x, 2
+  %z = sub i32 %y, 3
+  ret i32 %a
+}
+""",
+        )
+        assert m.get("f").count_instructions() == 1
+
+    def test_calls_and_stores_kept(self):
+        m, changed = run_pass(
+            DeadCodeElimination(),
+            """
+@g = global i32 0
+
+declare i32 @ext()
+
+define void @f() {
+entry:
+  %r = call i32 @ext()
+  store i32 1, ptr @g
+  ret void
+}
+""",
+        )
+        assert not changed
+
+
+class TestEarlyCSE:
+    def test_duplicate_pure_instructions_merged(self):
+        m, changed = run_pass(
+            EarlyCSE(),
+            """
+define i32 @f(i8 %c) {
+entry:
+  %a = sext i8 %c to i32
+  %b = sext i8 %c to i32
+  %r = add i32 %a, %b
+  ret i32 %r
+}
+""",
+        )
+        assert changed
+        ops = [i.opcode for i in m.get("f").instructions()]
+        assert ops.count("sext") == 1
+
+    def test_cse_respects_dominance_scope(self):
+        """Expressions in sibling branches must not merge."""
+        m, changed = run_pass(
+            EarlyCSE(),
+            """
+define i32 @f(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %u = add i32 %x, 1
+  ret i32 %u
+b:
+  %v = add i32 %x, 1
+  ret i32 %v
+}
+""",
+        )
+        assert not changed
+
+    def test_dominating_expression_reused_in_successor(self):
+        m, changed = run_pass(
+            EarlyCSE(),
+            """
+define i32 @f(i32 %x) {
+entry:
+  %u = add i32 %x, 1
+  br label %next
+next:
+  %v = add i32 %x, 1
+  ret i32 %v
+}
+""",
+        )
+        assert changed
+
+    def test_commutative_keys_match(self):
+        m, changed = run_pass(
+            EarlyCSE(),
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %x = add i32 %a, %b
+  %y = add i32 %b, %a
+  %r = mul i32 %x, %y
+  ret i32 %r
+}
+""",
+        )
+        assert changed
+
+    def test_freeze_never_cse(self):
+        m, changed = run_pass(
+            EarlyCSE(),
+            """
+define i32 @f(i32 %a) {
+entry:
+  %x = freeze i32 %a
+  %y = freeze i32 %a
+  %r = add i32 %x, %y
+  ret i32 %r
+}
+""",
+        )
+        assert not changed
+
+
+class TestInternalizeGlobalDCE:
+    SOURCE = """
+@used = global i32 1
+@unused = internal global i32 2
+
+define internal i32 @helper() {
+entry:
+  %v = load i32, ptr @used
+  ret i32 %v
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @helper()
+  ret i32 %r
+}
+
+define void @orphan() {
+entry:
+  ret void
+}
+"""
+
+    def test_internalize_preserves_main(self):
+        m, _ = run_pass(Internalize(preserve=("main",)), self.SOURCE)
+        assert not m.get("main").is_internal
+        assert m.get("orphan").is_internal
+        assert m.get("used").is_internal
+
+    def test_globaldce_removes_unreferenced_internal(self):
+        m = parse_module(self.SOURCE)
+        Internalize(preserve=("main",)).run(m, OptContext())
+        GlobalDCE().run(m, OptContext())
+        assert "unused" not in m
+        assert "orphan" not in m
+        assert "helper" in m  # still called
+
+    def test_globaldce_keeps_external(self):
+        m, changed = run_pass(GlobalDCE(), self.SOURCE)
+        assert "orphan" in m  # external: might be used elsewhere
+        assert "unused" not in m

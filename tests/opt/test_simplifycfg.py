@@ -1,0 +1,234 @@
+"""Tests for SimplifyCFG, including the probe-as-barrier property."""
+
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+from repro.opt.pass_manager import OptContext
+from repro.opt.simplifycfg import SimplifyCFG
+
+
+def simplify(source):
+    m = parse_module(source)
+    ctx = OptContext()
+    SimplifyCFG().run(m, ctx)
+    verify_module(m)
+    return m, ctx
+
+
+class TestUnreachable:
+    def test_unreachable_blocks_removed(self):
+        m, _ = simplify(
+            """
+define i32 @f() {
+entry:
+  ret i32 1
+dead:
+  br label %dead2
+dead2:
+  ret i32 2
+}
+"""
+        )
+        assert len(m.get("f").blocks) == 1
+
+    def test_phi_incomings_from_dead_blocks_dropped(self):
+        m, _ = simplify(
+            """
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+dead:
+  br label %join
+join:
+  %r = phi i32 [ 1, %a ], [ 2, %b ], [ 3, %dead ]
+  ret i32 %r
+}
+"""
+        )
+        verify_module(m)
+
+
+class TestConstantBranches:
+    def test_constant_condbr_folds(self):
+        m, _ = simplify(
+            """
+define i32 @f() {
+entry:
+  br i1 true, label %yes, label %no
+yes:
+  ret i32 1
+no:
+  ret i32 2
+}
+"""
+        )
+        assert len(m.get("f").blocks) == 1
+        assert "ret i32 1" in print_module(m)
+
+    def test_constant_switch_folds(self):
+        m, _ = simplify(
+            """
+define i32 @f() {
+entry:
+  switch i32 2, label %d [ i32 1, label %one i32 2, label %two ]
+one:
+  ret i32 10
+two:
+  ret i32 20
+d:
+  ret i32 0
+}
+"""
+        )
+        assert "ret i32 20" in print_module(m)
+        assert len(m.get("f").blocks) == 1
+
+    def test_same_target_condbr_to_br(self):
+        m, _ = simplify(
+            """
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %next, label %next
+next:
+  ret i32 1
+}
+"""
+        )
+        assert len(m.get("f").blocks) == 1
+
+
+class TestMergeAndForward:
+    def test_linear_chain_merges(self):
+        m, _ = simplify(
+            """
+define i32 @f(i32 %a) {
+entry:
+  %x = add i32 %a, 1
+  br label %b
+b:
+  %y = add i32 %x, 2
+  br label %c
+c:
+  ret i32 %y
+}
+"""
+        )
+        assert len(m.get("f").blocks) == 1
+
+    def test_forwarding_block_skipped(self):
+        m, _ = simplify(
+            """
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %fwd, label %other
+fwd:
+  br label %target
+other:
+  %x = call i32 @ext()
+  br label %target
+target:
+  %r = phi i32 [ 0, %fwd ], [ %x, %other ]
+  ret i32 %r
+}
+
+declare i32 @ext()
+"""
+        )
+        names = {b.name for b in m.get("f").blocks}
+        assert "fwd" not in names
+        verify_module(m)
+
+
+class TestSpeculation:
+    DIAMOND = """
+define i32 @f(i1 %c, i32 %a, i32 %b) {
+entry:
+  br i1 %c, label %t, label %e
+t:
+  %x = add i32 %a, 1
+  br label %join
+e:
+  %y = mul i32 %b, 2
+  br label %join
+join:
+  %r = phi i32 [ %x, %t ], [ %y, %e ]
+  ret i32 %r
+}
+"""
+
+    def test_diamond_becomes_select(self):
+        m, ctx = simplify(self.DIAMOND)
+        assert len(m.get("f").blocks) == 1
+        assert "select" in print_module(m)
+        assert ctx.stats.get("simplifycfg.speculated_diamond", 0) == 1
+
+    def test_triangle_becomes_select(self):
+        m, ctx = simplify(
+            """
+define i32 @f(i1 %c, i32 %a) {
+entry:
+  br i1 %c, label %t, label %join
+t:
+  %x = add i32 %a, 5
+  br label %join
+join:
+  %r = phi i32 [ %x, %t ], [ %a, %entry ]
+  ret i32 %r
+}
+"""
+        )
+        assert len(m.get("f").blocks) == 1
+        assert ctx.stats.get("simplifycfg.speculated_triangle", 0) == 1
+
+    def test_call_blocks_speculation(self):
+        """The crux of instrument-first (§2.2): an opaque call — exactly
+        what a probe lowers to — pins its block."""
+        source = self.DIAMOND.replace(
+            "%x = add i32 %a, 1",
+            "call void @__odin_cov_hit(i64 3)\n  %x = add i32 %a, 1",
+        ) + "\ndeclare void @__odin_cov_hit(i64)\n"
+        m, ctx = simplify(source)
+        assert len(m.get("f").blocks) == 4  # nothing merged
+        assert ctx.stats.get("simplifycfg.speculated_diamond", 0) == 0
+
+    def test_store_blocks_speculation(self):
+        source = self.DIAMOND.replace(
+            "%y = mul i32 %b, 2",
+            "store i32 %b, ptr @g\n  %y = mul i32 %b, 2",
+        ) + "\n@g = global i32 0\n"
+        m, _ = simplify(source)
+        assert len(m.get("f").blocks) == 4
+
+    def test_load_blocks_speculation(self):
+        """Loads may fault; never hoisted past a branch."""
+        source = self.DIAMOND.replace(
+            "%x = add i32 %a, 1",
+            "%l = load i32, ptr @g\n  %x = add i32 %l, 1",
+        ) + "\n@g = global i32 0\n"
+        m, _ = simplify(source)
+        assert len(m.get("f").blocks) == 4
+
+    def test_division_by_variable_blocks_speculation(self):
+        source = self.DIAMOND.replace("%x = add i32 %a, 1", "%x = sdiv i32 %a, %b")
+        m, _ = simplify(source)
+        assert len(m.get("f").blocks) == 4
+
+    def test_division_by_nonzero_constant_speculates(self):
+        source = self.DIAMOND.replace("%x = add i32 %a, 1", "%x = sdiv i32 %a, 4")
+        m, _ = simplify(source)
+        assert len(m.get("f").blocks) == 1
+
+    def test_oversized_arm_not_speculated(self):
+        big_arm = "\n".join(
+            f"  %x{i} = add i32 %a, {i}" for i in range(8)
+        )
+        source = self.DIAMOND.replace(
+            "  %x = add i32 %a, 1",
+            big_arm + "\n  %x = add i32 %x7, 1",
+        )
+        m, _ = simplify(source)
+        assert len(m.get("f").blocks) == 4

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sqlite" in out and "harfbuzz" in out
+        assert len(out.strip().splitlines()) == 13
+
+    def test_run_program(self, capsys):
+        assert main(["run", "woff2"]) == 0
+        out = capsys.readouterr().out
+        assert "main: exit=0" in out
+        assert "total replay cycles:" in out
+
+    def test_run_program_o0(self, capsys):
+        assert main(["run", "x509", "--opt", "0"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_partition(self, capsys):
+        assert main(["partition", "x509"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy=odin" in out
+        assert "worst fragment" in out
+
+    def test_partition_max(self, capsys):
+        assert main(["partition", "woff2", "--strategy", "max"]) == 0
+        assert "strategy=max" in capsys.readouterr().out
+
+    def test_fuzz(self, capsys):
+        assert main(["fuzz", "woff2", "--executions", "60",
+                     "--prune-interval", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "rebuilds:" in out
+        assert "corpus:" in out
+
+    def test_experiment_subset(self, capsys):
+        assert main(["experiment", "fig11", "woff2"]) == 0
+        out = capsys.readouterr().out
+        assert "Odin-MaxPartition" in out
+
+    def test_experiment_fig3(self, capsys):
+        assert main(["experiment", "fig3", "json"]) == 0
+        assert "opt_instrument" in capsys.readouterr().out
+
+    def test_unknown_program_errors(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["run", "nope"])
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

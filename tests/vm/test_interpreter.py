@@ -1,0 +1,288 @@
+"""Tests for the VM: execution semantics, traps, cycle accounting, hooks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backend.isel import lower_module
+from repro.errors import VMError
+from repro.ir.parser import parse_module
+from repro.linker.linker import link
+from repro.vm.interpreter import VM, CompositeProbeRuntime, ProbeRuntime
+
+
+def build_exe(source):
+    return link([lower_module(parse_module(source))])
+
+
+def run_fn(source, name, args=(), **kwargs):
+    return VM(build_exe(source), **kwargs).run(name, args)
+
+
+class TestExecution:
+    def test_return_value(self):
+        assert run_fn("define i32 @f() {\nentry:\n  ret i32 7\n}", "f").exit_code == 7
+
+    def test_arguments_passed(self):
+        src = "define i32 @f(i32 %a, i32 %b) {\nentry:\n  %r = sub i32 %a, %b\n  ret i32 %r\n}"
+        assert run_fn(src, "f", (10, 3)).exit_code == 7
+
+    def test_memory_roundtrip(self):
+        src = """
+@slot = global i64 0
+
+define i64 @f(i64 %v) {
+entry:
+  store i64 %v, ptr @slot
+  %r = load i64, ptr @slot
+  ret i64 %r
+}
+"""
+        result = run_fn(src, "f", (0xDEADBEEF,))
+        assert result.exit_code == 0xDEADBEEF & 0xFFFFFFFF
+
+    def test_call_and_frame_isolation(self):
+        src = """
+define i32 @inner(i32 %x) {
+entry:
+  %slot = alloca i32
+  store i32 %x, ptr %slot
+  %v = load i32, ptr %slot
+  %r = mul i32 %v, 3
+  ret i32 %r
+}
+
+define i32 @outer() {
+entry:
+  %slot = alloca i32
+  store i32 99, ptr %slot
+  %a = call i32 @inner(i32 5)
+  %keep = load i32, ptr %slot
+  %r = add i32 %a, %keep
+  ret i32 %r
+}
+"""
+        assert run_fn(src, "outer").exit_code == 114
+
+    def test_indirect_call_through_function_address(self):
+        src = """
+define i32 @target(i32 %x) {
+entry:
+  %r = add i32 %x, 100
+  ret i32 %r
+}
+
+@fp = global ptr null
+
+define i32 @f() {
+entry:
+  store ptr @target, ptr @fp
+  %callee = load ptr, ptr @fp
+  %r = call i32 %callee(i32 1)
+  ret i32 %r
+}
+"""
+        assert run_fn(src, "f").exit_code == 101
+
+    def test_recursion_depth(self):
+        src = """
+define i32 @count(i32 %n) {
+entry:
+  %z = icmp eq i32 %n, 0
+  br i1 %z, label %done, label %rec
+rec:
+  %n1 = sub i32 %n, 1
+  %r = call i32 @count(i32 %n1)
+  %r1 = add i32 %r, 1
+  ret i32 %r1
+done:
+  ret i32 0
+}
+"""
+        assert run_fn(src, "count", (50,)).exit_code == 50
+
+
+class TestTraps:
+    def test_null_deref(self):
+        src = "define i32 @f() {\nentry:\n  %v = load i32, ptr null\n  ret i32 %v\n}"
+        assert run_fn(src, "f").trap == "bad-memory"
+
+    def test_out_of_bounds(self):
+        src = """
+define i32 @f() {
+entry:
+  %p = inttoptr i64 99999999 to ptr
+  %v = load i32, ptr %p
+  ret i32 %v
+}
+"""
+        assert run_fn(src, "f").trap == "bad-memory"
+
+    def test_division_by_zero(self):
+        src = "define i32 @f(i32 %a) {\nentry:\n  %v = sdiv i32 1, %a\n  ret i32 %v\n}"
+        assert run_fn(src, "f", (0,)).trap == "div-by-zero"
+
+    def test_unreachable(self):
+        src = "define void @f() {\nentry:\n  unreachable\n}"
+        assert run_fn(src, "f").trap == "unreachable"
+
+    def test_write_to_const(self):
+        src = """
+@ro = const [2 x i8] c"a\\00"
+
+define void @f() {
+entry:
+  store i8 98, ptr @ro
+  ret void
+}
+"""
+        assert run_fn(src, "f").trap == "bad-memory"
+
+    def test_runaway_execution_raises(self):
+        src = """
+define void @f() {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}
+"""
+        with pytest.raises(VMError, match="exceeded"):
+            run_fn(src, "f", max_steps=1000)
+
+
+class TestCycleAccounting:
+    def test_cycles_deterministic(self):
+        src = """
+define i32 @f(i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %header ]
+  %next = add i32 %i, 1
+  %c = icmp slt i32 %next, %n
+  br i1 %c, label %header, label %done
+done:
+  ret i32 %i
+}
+"""
+        exe = build_exe(src)
+        a = VM(exe).run("f", (100,))
+        b = VM(exe).run("f", (100,))
+        assert a.cycles == b.cycles > 0
+
+    def test_cycles_scale_with_work(self):
+        src = """
+define i32 @f(i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %header ]
+  %next = add i32 %i, 1
+  %c = icmp slt i32 %next, %n
+  br i1 %c, label %header, label %done
+done:
+  ret i32 %i
+}
+"""
+        exe = build_exe(src)
+        small = VM(exe).run("f", (10,)).cycles
+        large = VM(exe).run("f", (1000,)).cycles
+        assert large > small * 50
+
+    def test_block_tax_charged(self):
+        src = "define i32 @f() {\nentry:\n  ret i32 0\n}"
+        exe = build_exe(src)
+        plain = VM(exe).run("f").cycles
+        taxed = VM(exe, block_tax=100).run("f").cycles
+        assert taxed == plain + 100  # one block
+
+
+class TestHooks:
+    PROBED = """
+declare void @__odin_cov_hit(i64)
+
+define i32 @f(i1 %c) {
+entry:
+  call void @__odin_cov_hit(i64 1)
+  br i1 %c, label %a, label %b
+a:
+  call void @__odin_cov_hit(i64 2)
+  ret i32 1
+b:
+  call void @__odin_cov_hit(i64 3)
+  ret i32 2
+}
+"""
+
+    def test_probe_runtime_receives_events(self):
+        events = []
+
+        class Recorder(ProbeRuntime):
+            def on_probe(self, kind, probe_id, args, vm):
+                events.append((kind, probe_id))
+
+        exe = build_exe(self.PROBED)
+        VM(exe, probe_runtime=Recorder()).run("f", (1,))
+        assert events == [("cov", 1), ("cov", 2)]
+
+    def test_composite_runtime_fans_out(self):
+        seen_a, seen_b = [], []
+
+        class A(ProbeRuntime):
+            def on_probe(self, kind, probe_id, args, vm):
+                seen_a.append(probe_id)
+
+        class B(ProbeRuntime):
+            def on_probe(self, kind, probe_id, args, vm):
+                seen_b.append(probe_id)
+
+        exe = build_exe(self.PROBED)
+        VM(exe, probe_runtime=CompositeProbeRuntime(A(), B())).run("f", (0,))
+        assert seen_a == seen_b == [1, 3]
+
+    def test_block_hook_sees_executed_blocks(self):
+        blocks = []
+        exe = build_exe(self.PROBED)
+        vm = VM(exe, block_hook=lambda f, b: blocks.append(b))
+        vm.run("f", (0,))
+        assert blocks == [0, 2]  # entry then %b
+
+    def test_reset_restores_globals(self):
+        src = """
+@g = global i32 0
+
+define i32 @f() {
+entry:
+  %v = load i32, ptr @g
+  %v2 = add i32 %v, 1
+  store i32 %v2, ptr @g
+  ret i32 %v2
+}
+"""
+        vm = VM(build_exe(src))
+        assert vm.run("f").exit_code == 1
+        assert vm.run("f").exit_code == 1  # run() resets
+
+
+class TestDifferentialArithmetic:
+    """Property test: VM arithmetic equals the shared semantics module."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sampled_from(["add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr"]),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_binary_matches_semantics(self, op, a, b):
+        from repro.ir.semantics import eval_binary
+        from repro.ir.types import I32
+
+        src = f"""
+define i32 @f(i32 %a, i32 %b) {{
+entry:
+  %r = {op} i32 %a, %b
+  ret i32 %r
+}}
+"""
+        got = run_fn(src, "f", (a, b)).exit_code
+        assert got == eval_binary(op, I32, a, b)
