@@ -1,0 +1,131 @@
+"""Recompilation-service throughput: N clients x M probe flips.
+
+The service batches and deduplicates concurrent probe-change requests,
+compiles a batch's fragments on a worker pool, and answers repeat probe
+states from a content-addressed code cache.  This bench drives a
+synthetic multi-client workload and reports the three wins:
+
+* **dedup ratio** — ops submitted / ops applied (overlapping requests
+  collapse into one rebuild);
+* **cache hit rate** — fragments served from the content cache instead
+  of recompiling;
+* **pool speedup** — simulated batch wall-clock (LPT makespan over the
+  per-fragment cost model) of a multi-worker pool vs serial rebuilds.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from conftest import write_result
+
+from repro.instrument.coverage import OdinCov
+from repro.programs.registry import get_program
+from repro.service import RecompilationService
+from repro.utils.rng import DeterministicRNG
+
+PRESERVED = ("main", "run_input")
+PROGRAM = "re2"
+CLIENTS = 4
+FLIPS = 6
+
+
+def run_workload(workers: int, worker_mode: str) -> dict:
+    """CLIENTS threads x FLIPS disable/enable rounds against one service."""
+    program = get_program(PROGRAM)
+    service = RecompilationService(workers=workers, worker_mode=worker_mode)
+    engine = service.register_target(
+        PROGRAM, program.compile(), preserve=PRESERVED
+    )
+    tool = OdinCov(engine)
+    tool.add_all_block_probes()
+    build = service.build(PROGRAM)
+    probe_ids = sorted(tool.probes)
+
+    def client_loop(index: int) -> None:
+        client = service.client(PROGRAM, f"client-{index}")
+        rng = DeterministicRNG(100 + index)
+        for _ in range(FLIPS):
+            picked = [
+                probe_ids[rng.randint(0, len(probe_ids) - 1)] for _ in range(4)
+            ]
+            client.disable(*picked).result(60.0)
+            client.enable(*picked).result(60.0)
+
+    with service:
+        threads = [
+            threading.Thread(target=client_loop, args=(i,))
+            for i in range(CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    stats = service.stats()
+    rebuild_wall_ms = sum(r.wall_ms for r in engine.history)
+    rebuild_total_ms = sum(r.total_ms for r in engine.history)
+    return {
+        "initial_build_ms": build.total_ms,
+        "initial_wall_ms": build.wall_ms,
+        "requests": stats["counters"]["requests_total"],
+        "batches": stats["counters"]["batches_total"],
+        "dedup_ratio": stats["derived"]["dedup_ratio"],
+        "cache_hit_rate": stats["derived"]["cache_hit_rate"],
+        "fragments_compiled": stats["derived"]["fragments_compiled"],
+        "rebuild_wall_ms": rebuild_wall_ms,
+        "rebuild_total_ms": rebuild_total_ms,
+    }
+
+
+def test_service_throughput(benchmark):
+    serial = run_workload(workers=1, worker_mode="serial")
+    pooled = benchmark.pedantic(
+        run_workload, args=(4, "thread"), rounds=1, iterations=1
+    )
+
+    # The workload is deterministic, so both runs see the same requests.
+    assert serial["requests"] == pooled["requests"] == CLIENTS * FLIPS * 2
+
+    # Concurrent clients overlap: some batches carry more than one request.
+    assert pooled["dedup_ratio"] >= 1.0
+    assert pooled["batches"] <= pooled["requests"]
+
+    # Re-visited probe states come from the content cache.
+    assert serial["cache_hit_rate"] > 0
+    assert pooled["cache_hit_rate"] > 0
+
+    # Pool speedup on the initial build (the one guaranteed-identical
+    # multi-fragment batch): makespan over 4 workers beats the serial sum.
+    assert pooled["initial_wall_ms"] < pooled["initial_build_ms"]
+    speedup = serial["initial_build_ms"] / pooled["initial_wall_ms"]
+    assert speedup > 1.5
+
+    # And across the whole campaign the pooled wall-clock never loses.
+    total_speedup = (
+        (serial["initial_build_ms"] + serial["rebuild_total_ms"])
+        / (pooled["initial_wall_ms"] + pooled["rebuild_wall_ms"])
+    )
+    assert total_speedup >= 1.0
+
+    lines = [
+        f"service throughput: {CLIENTS} clients x {FLIPS} flips on {PROGRAM}",
+        "",
+        f"{'':>22}  {'serial':>10}  {'4 workers':>10}",
+        f"{'requests':>22}  {serial['requests']:>10}  {pooled['requests']:>10}",
+        f"{'batches':>22}  {serial['batches']:>10}  {pooled['batches']:>10}",
+        f"{'dedup ratio':>22}  {serial['dedup_ratio']:>10.2f}  "
+        f"{pooled['dedup_ratio']:>10.2f}",
+        f"{'cache hit rate':>22}  {serial['cache_hit_rate']:>9.1%}  "
+        f"{pooled['cache_hit_rate']:>9.1%}",
+        f"{'fragment compiles':>22}  {serial['fragments_compiled']:>10g}  "
+        f"{pooled['fragments_compiled']:>10g}",
+        f"{'initial build (ms)':>22}  {serial['initial_build_ms']:>10.1f}  "
+        f"{pooled['initial_wall_ms']:>10.1f}",
+        f"{'rebuild wall (ms)':>22}  {serial['rebuild_total_ms']:>10.1f}  "
+        f"{pooled['rebuild_wall_ms']:>10.1f}",
+        "",
+        f"initial-build pool speedup: {speedup:.2f}x "
+        f"(campaign: {total_speedup:.2f}x)",
+    ]
+    write_result("service_throughput.txt", "\n".join(lines))

@@ -1,0 +1,12 @@
+"""Build-system cost model (Fig. 3).
+
+The paper's Figure 3 breaks a full libxml2 build into build-system
+(autogen + configure), frontend, optimize + instrument, codegen and link
+stages to show that Odin's on-the-fly path can skip everything above the
+middle end.  :mod:`repro.buildsim.buildcost` reproduces that breakdown
+with a deterministic, calibrated stage model over the MiniC targets.
+"""
+
+from repro.buildsim.buildcost import BuildBreakdown, measure_build
+
+__all__ = ["BuildBreakdown", "measure_build"]

@@ -1,0 +1,125 @@
+"""Calibrated build-stage cost breakdown (Fig. 3, §2.3).
+
+Figure 3 measures a full libxml2 build: autogen 10.83 s + configure
+4.56 s (38% together), frontend ~16%, optimize + instrument ~38%,
+codegen ~7%, linker 0.15%.  §2.3's argument is that the build system and
+frontend — roughly 45% of the build — are pure overhead for an
+instrumentation change, because Odin recompiles from cached bitcode.
+
+``measure_build`` runs the *real* frontend over a target's MiniC source
+(so the breakdown reflects the program actually being built), then
+charges each stage with deterministic per-line / per-instruction costs
+calibrated once against the paper's libxml2 fractions and frozen:
+
+* build system — fixed project-setup cost plus a per-line term
+  (autotools walks every source file); autogen/configure split matches
+  the paper's 10.83 s : 4.56 s ratio.
+* frontend — :func:`repro.backend.costmodel.frontend_cost_ms`, the same
+  per-line model the recompile experiments use.
+* optimize + instrument / codegen — per-instruction over the IR the
+  frontend produced, in the paper's ~5.4 : 1 ratio.
+* link — :func:`repro.backend.costmodel.link_cost_ms` over the module's
+  symbol table, like the real linker stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.backend.costmodel import frontend_cost_ms, link_cost_ms
+from repro.frontend.codegen import compile_source
+
+# Build system (autotools): fixed project setup + per-source-line walk.
+# Ratio autogen:configure ~ 2.37, per the paper's 10.83 s : 4.56 s.
+AUTOGEN_FIXED_MS = 120.0
+AUTOGEN_MS_PER_LINE = 1.70
+CONFIGURE_FIXED_MS = 55.0
+CONFIGURE_MS_PER_LINE = 0.70
+
+# Middle end + instrumentation vs. back end, per unoptimized instruction.
+# Calibrated so libxml2 lands on the paper's 38% : 7% split.
+OPT_INSTRUMENT_MS_PER_INST = 0.81
+CODEGEN_MS_PER_INST = 0.149
+
+
+@dataclass
+class BuildBreakdown:
+    """Per-stage cost of one full (classic) build, in simulated ms."""
+
+    program: str
+    source_lines: int
+    instructions: int
+    autogen_ms: float
+    configure_ms: float
+    frontend_ms: float
+    opt_instrument_ms: float
+    codegen_ms: float
+    link_ms: float
+
+    @property
+    def build_system_ms(self) -> float:
+        return self.autogen_ms + self.configure_ms
+
+    @property
+    def total_ms(self) -> float:
+        return (
+            self.build_system_ms
+            + self.frontend_ms
+            + self.opt_instrument_ms
+            + self.codegen_ms
+            + self.link_ms
+        )
+
+    def fractions(self) -> Dict[str, float]:
+        """Stage -> fraction of the total build.
+
+        ``build_system`` aggregates ``autogen`` + ``configure`` (the
+        paper reports both views), so the values sum to > 1.
+        """
+        total = self.total_ms
+        return {
+            "autogen": self.autogen_ms / total,
+            "configure": self.configure_ms / total,
+            "build_system": self.build_system_ms / total,
+            "frontend": self.frontend_ms / total,
+            "opt_instrument": self.opt_instrument_ms / total,
+            "codegen": self.codegen_ms / total,
+            "link": self.link_ms / total,
+        }
+
+    def odin_savings(self) -> float:
+        """Fraction of the build Odin's cached-bitcode path eliminates:
+        the build system and the frontend (§2.3, ~45% in the paper)."""
+        return (self.build_system_ms + self.frontend_ms) / self.total_ms
+
+    def recompile_scope_ms(self) -> float:
+        """Cost of the stages an on-the-fly recompile actually re-runs
+        (optimize + instrument, codegen, link) for the *whole* program —
+        fragment partitioning then shrinks this further (Fig. 11)."""
+        return self.opt_instrument_ms + self.codegen_ms + self.link_ms
+
+
+def measure_build(name: str, source: str) -> BuildBreakdown:
+    """Break one full build of *source* into Fig. 3's stages.
+
+    Runs the real frontend (so instruction counts reflect the program),
+    then applies the calibrated stage cost model.
+    """
+    module = compile_source(source, name)
+    lines = source.count("\n") + 1
+    instructions = sum(
+        fn.count_instructions() for fn in module.defined_functions()
+    )
+    num_symbols = len(module.symbols)
+    return BuildBreakdown(
+        program=name,
+        source_lines=lines,
+        instructions=instructions,
+        autogen_ms=AUTOGEN_FIXED_MS + AUTOGEN_MS_PER_LINE * lines,
+        configure_ms=CONFIGURE_FIXED_MS + CONFIGURE_MS_PER_LINE * lines,
+        frontend_ms=frontend_cost_ms(lines),
+        opt_instrument_ms=OPT_INSTRUMENT_MS_PER_INST * instructions,
+        codegen_ms=CODEGEN_MS_PER_INST * instructions,
+        link_ms=link_cost_ms(num_symbols, instructions),
+    )

@@ -7,12 +7,17 @@ Commands:
 * ``partition PROGRAM`` — show the fragment definition (Figure 6 style)
 * ``fuzz PROGRAM`` — a coverage-guided campaign with on-the-fly pruning
 * ``experiment NAME`` — regenerate one of the paper's tables/figures
+* ``serve PROGRAM`` — run the recompilation service under a synthetic
+  multi-client probe-flip workload and report its metrics
+* ``stats [FILE]`` — pretty-print a stats snapshot written by ``serve``
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import threading
 from typing import List, Optional
 
 from repro.core.engine import Odin
@@ -70,16 +75,34 @@ def cmd_partition(args) -> int:
 
 def cmd_fuzz(args) -> int:
     program = get_program(args.program)
-    engine = Odin(program.compile(), preserve=PRESERVED)
-    tool = OdinCov(engine)
-    probes = tool.add_all_block_probes()
-    tool.build()
+    service = None
+    if args.service:
+        from repro.service import RecompilationService
+
+        service = RecompilationService(
+            workers=args.workers, worker_mode=args.mode
+        )
+        engine = service.register_target(
+            program.name, program.compile(), preserve=PRESERVED
+        )
+        client = service.client(program.name, "fuzzer")
+        tool = OdinCov(engine, rebuild_fn=client.rebuild_report)
+        probes = tool.add_all_block_probes()
+        service.build(program.name)
+        service.start()
+    else:
+        engine = Odin(program.compile(), preserve=PRESERVED)
+        tool = OdinCov(engine)
+        probes = tool.add_all_block_probes()
+        tool.build()
     executor = OdinCovExecutor(tool)
     fuzzer = Fuzzer(
         executor, program.seeds(args.seed), seed=args.seed,
         prune_interval=args.prune_interval,
     )
     stats = fuzzer.run(args.executions)
+    if service is not None:
+        service.close()
     print(f"target:      {program.name} ({probes} probes, "
           f"{engine.num_fragments} fragments)")
     print(f"executions:  {stats.executions}")
@@ -88,6 +111,79 @@ def cmd_fuzz(args) -> int:
     print(f"rebuilds:    {stats.rebuilds} "
           f"(avg {stats.rebuild_ms / max(stats.rebuilds, 1):.1f} ms)")
     print(f"probes left: {len(tool.probes)}")
+    if service is not None:
+        derived = service.stats()["derived"]
+        print(f"service:     cache hit rate {derived['cache_hit_rate']:.1%}, "
+              f"mean batch {derived['mean_batch_size']:.2f}, "
+              f"{derived['fragments_compiled']:g} fragment compiles")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the recompilation service under a multi-client workload."""
+    from repro.service import RecompilationService, format_stats
+    from repro.utils.rng import DeterministicRNG
+
+    program = get_program(args.program)
+    service = RecompilationService(
+        workers=args.workers,
+        worker_mode=args.mode,
+        cache_dir=args.cache_dir,
+    )
+    engine = service.register_target(
+        program.name, program.compile(), preserve=PRESERVED
+    )
+    tool = OdinCov(engine)
+    probes = tool.add_all_block_probes()
+    build = service.build(program.name)
+    print(f"serving {program.name}: {probes} probes, "
+          f"{engine.num_fragments} fragments, initial build "
+          f"{build.total_compile_ms:.1f} ms compile + {build.link_ms:.1f} ms link")
+
+    probe_ids = sorted(tool.probes)
+
+    def client_loop(index: int) -> None:
+        client = service.client(program.name, f"client-{index}")
+        rng = DeterministicRNG(args.seed + index)
+        for _ in range(args.flips):
+            picked = [
+                probe_ids[rng.randint(0, len(probe_ids) - 1)]
+                for _ in range(min(4, len(probe_ids)))
+            ]
+            client.disable(*picked).result(60.0)
+            client.enable(*picked).result(60.0)
+
+    with service:
+        threads = [
+            threading.Thread(target=client_loop, args=(i,), daemon=True)
+            for i in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    stats = service.stats()
+    print()
+    print(format_stats(stats))
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            json.dump(stats, fh, indent=2, sort_keys=True)
+        print(f"\nstats written to {args.stats_json}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Pretty-print a stats snapshot produced by ``serve --stats-json``."""
+    from repro.service import format_stats
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            stats = json.load(fh)
+    except OSError as error:
+        print(f"cannot read stats file: {error}", file=sys.stderr)
+        return 2
+    print(format_stats(stats))
     return 0
 
 
@@ -168,7 +264,36 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--executions", type=int, default=1000)
     p_fuzz.add_argument("--prune-interval", type=int, default=250)
     p_fuzz.add_argument("--seed", type=int, default=1)
+    p_fuzz.add_argument(
+        "--service", action="store_true",
+        help="route on-the-fly rebuilds through the recompilation service",
+    )
+    p_fuzz.add_argument("--workers", type=int, default=2)
+    p_fuzz.add_argument(
+        "--mode", default="thread", choices=("serial", "thread", "process")
+    )
     p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the recompilation service under a client workload"
+    )
+    p_serve.add_argument("program")
+    p_serve.add_argument("--clients", type=int, default=4)
+    p_serve.add_argument("--flips", type=int, default=8)
+    p_serve.add_argument("--workers", type=int, default=2)
+    p_serve.add_argument(
+        "--mode", default="thread", choices=("serial", "thread", "process")
+    )
+    p_serve.add_argument("--cache-dir", default=None)
+    p_serve.add_argument("--seed", type=int, default=1)
+    p_serve.add_argument("--stats-json", default=None)
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_stats = sub.add_parser(
+        "stats", help="pretty-print a stats snapshot from serve --stats-json"
+    )
+    p_stats.add_argument("file", nargs="?", default="service-stats.json")
+    p_stats.set_defaults(fn=cmd_stats)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper figure")
     p_exp.add_argument(

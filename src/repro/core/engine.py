@@ -14,12 +14,21 @@
 The engine never mutates the original module: every rebuild works on
 extracted clones, which is how instrumentation changes are reverted — the
 paper's "functional approach" (§4).
+
+Fragment compilation is factored into the pure, module-level
+:func:`compile_fragment` so the recompilation service
+(:mod:`repro.service`) can run it on worker pools; the engine accepts a
+pluggable content-addressed *object cache*, a *fragment compiler* and a
+*link cache* for that path.  With the defaults (no caches, inline serial
+compiler) behaviour and every reported number are identical to the
+original single-threaded engine.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
 from repro.backend.isel import lower_module
 from repro.backend.machine import ObjectFile
@@ -34,13 +43,84 @@ from repro.core.partition import (
 from repro.errors import PartitionError
 from repro.ir.clone import extract_module
 from repro.ir.module import Module
+from repro.ir.printer import print_module
 from repro.ir.verifier import verify_module
 from repro.linker.linker import Executable, link
 from repro.opt.pipeline import optimize
 from repro.utils.clock import SimClock
 
-if False:  # pragma: no cover - typing only
+if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.scheduler import Scheduler
+    from repro.linker.cache import LinkCache
+
+
+# -- pure fragment compilation ---------------------------------------------------
+
+
+def compile_fragment(
+    frag_module: Module, opt_level: int = 2, verify: bool = True
+) -> ObjectFile:
+    """Optimize (post-instrumentation) and lower one fragment module.
+
+    Pure with respect to everything but *frag_module* (which it consumes:
+    optimization rewrites it in place), so it can run on any worker —
+    the engine's inline path, a thread pool, or a forked process.
+    """
+    from repro.backend.costmodel import compile_cost_ms
+
+    # The middle end pays for the *unoptimized* input it receives.
+    pre_opt_cost = compile_cost_ms(frag_module)
+    optimize(frag_module, opt_level)
+    if verify:
+        verify_module(frag_module)
+    obj = lower_module(frag_module)
+    if verify:
+        verify_module(frag_module)  # lowering must not break the IR
+    obj.compile_ms = pre_opt_cost
+    return obj
+
+
+def compile_fragment_text(
+    ir_text: str, opt_level: int = 2, verify: bool = True
+) -> ObjectFile:
+    """Process-pool entry point: parse shipped IR text, then compile.
+
+    Fragment modules hold interned types and parent links that do not
+    pickle, so cross-process workers receive the *printed* IR — the same
+    canonical text content addressing hashes — and re-parse it.
+    """
+    from repro.ir.parser import parse_module
+
+    return compile_fragment(parse_module(ir_text), opt_level, verify)
+
+
+def fragment_content_key(
+    frag_module: Module, opt_level: int, probe_signature: str = ""
+) -> str:
+    """Content address of one fragment compile: hash(IR + probes + opt).
+
+    The printed IR already embeds applied probes (they are real calls in
+    the instrumented fragment), but the probe signature is hashed too so
+    logically distinct probe states can never collide even if a probe
+    scheme emits no IR.
+    """
+    h = hashlib.sha256()
+    h.update(print_module(frag_module).encode())
+    h.update(f"\n;; probes={probe_signature} opt={opt_level}\n".encode())
+    return h.hexdigest()
+
+
+def compile_makespan(costs: Iterable[float], workers: int) -> float:
+    """Simulated wall-clock of compiling *costs* on *workers* lanes.
+
+    Longest-processing-time greedy assignment — deterministic, and the
+    schedule a work-stealing pool converges to.  With one worker this is
+    exactly the serial sum.
+    """
+    loads = [0.0] * max(workers, 1)
+    for cost in sorted(costs, reverse=True):
+        loads[loads.index(min(loads))] += cost
+    return max(loads) if loads else 0.0
 
 
 @dataclass
@@ -52,6 +132,16 @@ class RebuildReport:
     link_ms: float = 0.0
     probes_applied: int = 0
     cache_reused: int = 0
+    # Content-addressed code-cache hits among the recompiled fragments
+    # (their compile was skipped; they charge 0 ms).
+    cache_hits: int = 0
+    # Whether the final link was satisfied from the executable cache.
+    link_reused: bool = False
+    # Compile lanes used; >1 only on the service's worker-pool path.
+    workers: int = 1
+    # Simulated wall-clock of the compile stage: equals total_compile_ms
+    # for one worker, the parallel makespan for a pool.
+    compile_wall_ms: float = 0.0
 
     @property
     def total_compile_ms(self) -> float:
@@ -65,6 +155,22 @@ class RebuildReport:
     def total_ms(self) -> float:
         return self.total_compile_ms + self.link_ms
 
+    @property
+    def wall_ms(self) -> float:
+        """Elapsed (simulated) time of this rebuild under `workers` lanes."""
+        return self.compile_wall_ms + self.link_ms
+
+
+class InlineFragmentCompiler:
+    """Default compiler: serial, in-process — the original engine path."""
+
+    workers = 1
+
+    def compile_batch(
+        self, modules: List[Module], opt_level: int, verify: bool
+    ) -> List[ObjectFile]:
+        return [compile_fragment(m, opt_level, verify) for m in modules]
+
 
 class Odin:
     """On-demand instrumentation engine over one target program."""
@@ -77,6 +183,9 @@ class Odin:
         preserve: Iterable[str] = ("main",),
         opt_level: int = 2,
         verify: bool = True,
+        object_cache=None,
+        compiler=None,
+        link_cache: Optional["LinkCache"] = None,
     ):
         if verify:
             verify_module(module)
@@ -87,6 +196,15 @@ class Odin:
         self.fragdef: FragmentDefinition = partition(module, strategy, preserve)
         self.manager = PatchManager(self)
         self.cache: Dict[int, ObjectFile] = {}
+        # Pluggable service-path collaborators.  `object_cache` is any
+        # mapping-like with get(key)/put(key, obj) (see repro.service.cache),
+        # `compiler` anything with compile_batch(...) and a `workers` count.
+        self.object_cache = object_cache
+        self.compiler = compiler or InlineFragmentCompiler()
+        self.link_cache = link_cache
+        # Fragment id -> content key of the object currently in `cache`
+        # (only tracked when content addressing is on).
+        self._frag_keys: Dict[int, str] = {}
         self.executable: Optional[Executable] = None
         self.clock = SimClock()
         self.history: List[RebuildReport] = []
@@ -124,15 +242,59 @@ class Odin:
     def _rebuild_from(self, scheduler: "Scheduler") -> RebuildReport:
         """Split the instrumented temporary IR, compile fragments, relink."""
         report = RebuildReport(probes_applied=len(scheduler.active_probes))
+        report.workers = self.compiler.workers
         temp = scheduler.temp_module
 
+        # Split every changed fragment up front and probe the content
+        # cache; the remaining misses form one batch for the compiler
+        # (which may fan it out across workers).
+        pending = []  # [fragment, frag_module, content_key, object|None]
         for fragment in scheduler.changed_fragments:
             frag_module = self._split_fragment(temp, fragment)
-            obj = self._compile_fragment(frag_module)
+            key = obj = None
+            if self.object_cache is not None:
+                key = fragment_content_key(
+                    frag_module,
+                    self.opt_level,
+                    self._probe_signature(scheduler, fragment),
+                )
+                obj = self.object_cache.get(key)
+            pending.append([fragment, frag_module, key, obj])
+
+        misses = [entry for entry in pending if entry[3] is None]
+        if misses:
+            compiled = self.compiler.compile_batch(
+                [entry[1] for entry in misses], self.opt_level, self.verify
+            )
+            for entry, obj in zip(misses, compiled):
+                entry[3] = obj
+                if self.object_cache is not None:
+                    self.object_cache.put(entry[2], obj)
+
+        miss_ids = {id(entry) for entry in misses}
+        compiled_costs: List[float] = []
+        for entry in pending:
+            fragment, _frag_module, key, obj = entry
             self.cache[fragment.id] = obj
+            if key is not None:
+                self._frag_keys[fragment.id] = key
             report.fragment_ids.append(fragment.id)
-            report.fragment_compile_ms[fragment.id] = obj.compile_ms
-            self.clock.advance(obj.compile_ms, "compile")
+            if id(entry) in miss_ids:
+                report.fragment_compile_ms[fragment.id] = obj.compile_ms
+                compiled_costs.append(obj.compile_ms)
+                if report.workers == 1:
+                    # Original serial behaviour: the clock moves per
+                    # fragment, in schedule order.
+                    self.clock.advance(obj.compile_ms, "compile")
+            else:
+                # Content-cache hit: no compilation happened, charge 0.
+                report.fragment_compile_ms[fragment.id] = 0.0
+                report.cache_hits += 1
+
+        report.compile_wall_ms = compile_makespan(compiled_costs, report.workers)
+        if report.workers > 1:
+            # A pool's elapsed time is its makespan, not the lane sum.
+            self.clock.advance(report.compile_wall_ms, "compile")
 
         report.cache_reused = len(self.fragdef.fragments) - len(report.fragment_ids)
         if len(self.cache) != len(self.fragdef.fragments):
@@ -144,12 +306,42 @@ class Odin:
                 f"(run initial_build first)"
             )
 
+        self._link(report)
+        self.history.append(report)
+        return report
+
+    def _link(self, report: RebuildReport) -> None:
+        """Relink the object cache, via the executable cache if possible."""
+        link_key = None
+        if self.link_cache is not None and len(self._frag_keys) == len(
+            self.fragdef.fragments
+        ):
+            link_key = tuple(
+                self._frag_keys[f.id] for f in self.fragdef.fragments
+            )
+            cached = self.link_cache.get(link_key)
+            if cached is not None:
+                self.executable = cached
+                report.link_reused = True
+                report.link_ms = 0.0
+                return
+
         objects = [self.cache[f.id] for f in self.fragdef.fragments]
         self.executable = link(objects)
         report.link_ms = self.executable.link_ms
         self.clock.advance(report.link_ms, "link")
-        self.history.append(report)
-        return report
+        if link_key is not None:
+            self.link_cache.put(link_key, self.executable)
+
+    def _probe_signature(self, scheduler: "Scheduler", fragment: Fragment) -> str:
+        """Canonical description of the probe state compiled into *fragment*."""
+        symbols = set(fragment.symbols)
+        parts = sorted(
+            f"{type(p).__name__}#{p.id}"
+            for p in scheduler.active_probes
+            if p.target_symbol() in symbols
+        )
+        return ",".join(parts)
 
     def _split_fragment(self, temp: Module, fragment: Fragment) -> Module:
         """Extract one fragment's (instrumented) module from the temp IR."""
@@ -164,18 +356,7 @@ class Odin:
 
     def _compile_fragment(self, frag_module: Module) -> ObjectFile:
         """Optimize (post-instrumentation) and lower one fragment."""
-        from repro.backend.costmodel import compile_cost_ms
-
-        # The middle end pays for the *unoptimized* input it receives.
-        pre_opt_cost = compile_cost_ms(frag_module)
-        optimize(frag_module, self.opt_level)
-        if self.verify:
-            verify_module(frag_module)
-        obj = lower_module(frag_module)
-        if self.verify:
-            verify_module(frag_module)  # lowering must not break the IR
-        obj.compile_ms = pre_opt_cost
-        return obj
+        return compile_fragment(frag_module, self.opt_level, self.verify)
 
     # -- introspection ------------------------------------------------------------------
 

@@ -86,11 +86,16 @@ class OdinCov:
     ``prune=False`` gives OdinCov-NoPrune: probes stay in forever.
     """
 
-    def __init__(self, engine: Odin, *, prune: bool = True):
+    def __init__(self, engine: Odin, *, prune: bool = True, rebuild_fn=None):
         self.engine = engine
         self.prune = prune
         self.runtime = CoverageRuntime()
         self.probes: Dict[int, CovProbe] = {}
+        # How on-the-fly recompiles run: directly on the engine (default)
+        # or through a recompilation-service client
+        # (``rebuild_fn=client.rebuild_report``), which batches this
+        # tool's rebuilds with every other client's.
+        self._rebuild = rebuild_fn if rebuild_fn is not None else engine.rebuild
 
     # -- setup -----------------------------------------------------------------
 
@@ -153,5 +158,5 @@ class OdinCov:
         self.runtime.clear()
         report.remaining = len(self.probes)
         if report.pruned:
-            report.rebuild = self.engine.rebuild()
+            report.rebuild = self._rebuild()
         return report

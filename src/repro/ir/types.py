@@ -72,11 +72,15 @@ class IntType(Type):
     def __new__(cls, bits: int) -> "IntType":
         if bits not in (1, 8, 16, 32, 64):
             raise IRTypeError(f"unsupported integer width: i{bits}")
-        if bits not in cls._cache:
+        hit = cls._cache.get(bits)
+        if hit is None:
             obj = super().__new__(cls)
             obj.bits = bits
-            cls._cache[bits] = obj
-        return cls._cache[bits]
+            # setdefault keeps interning race-free when fragment compiles
+            # run on a thread pool: the first insert wins, every thread
+            # sees the same object, and equality stays identity.
+            hit = cls._cache.setdefault(bits, obj)
+        return hit
 
     bits: int
 
@@ -139,12 +143,13 @@ class ArrayType(Type):
         if not (element.is_integer() or element.is_pointer() or element.is_array()):
             raise IRTypeError(f"invalid array element type: {element}")
         key = (element, count)
-        if key not in cls._cache:
+        hit = cls._cache.get(key)
+        if hit is None:
             obj = super().__new__(cls)
             obj.element = element
             obj.count = count
-            cls._cache[key] = obj
-        return cls._cache[key]
+            hit = cls._cache.setdefault(key, obj)  # thread-safe interning
+        return hit
 
     element: Type
     count: int
@@ -170,13 +175,14 @@ class FunctionType(Type):
         if not (ret.is_void() or ret.is_first_class()):
             raise IRTypeError(f"invalid return type: {ret}")
         key = (ret, params, vararg)
-        if key not in cls._cache:
+        hit = cls._cache.get(key)
+        if hit is None:
             obj = super().__new__(cls)
             obj.ret = ret
             obj.params = params
             obj.vararg = vararg
-            cls._cache[key] = obj
-        return cls._cache[key]
+            hit = cls._cache.setdefault(key, obj)  # thread-safe interning
+        return hit
 
     ret: Type
     params: Tuple[Type, ...]

@@ -1,0 +1,63 @@
+"""Executable image cache: skip relinking identical object sets.
+
+The linker already supports Odin's *object* reuse (cached object files
+participate in many links, §3.3).  The recompilation service adds one
+level above that: when every fragment of a rebuild hits the
+content-addressed code cache, the set of objects being linked is
+byte-identical to an earlier link — so the executable image itself can
+be reused and the link stage skipped entirely.
+
+Keys are tuples of the fragments' content-cache keys in fragment order,
+so this cache only engages when the engine runs with a content cache
+(it is the content keys that prove the objects are identical).  The
+cache is in-memory and bounded; eviction is LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.linker.linker import Executable
+
+LinkKey = Tuple[str, ...]
+
+
+class LinkCache:
+    """Bounded LRU of linked executables keyed by object content keys."""
+
+    def __init__(self, max_entries: int = 32):
+        if max_entries <= 0:
+            raise ValueError("LinkCache needs max_entries >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[LinkKey, Executable]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: LinkKey) -> Optional[Executable]:
+        exe = self._entries.get(key)
+        if exe is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return exe
+
+    def put(self, key: LinkKey, exe: Executable) -> None:
+        self._entries[key] = exe
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

@@ -1,0 +1,57 @@
+"""On-demand recompilation as a service.
+
+The paper's engine answers one caller at a time; a fuzzing fleet wants a
+long-lived compile server.  This package wraps :class:`repro.core.engine.Odin`
+in one, structured like an inference server:
+
+* :mod:`repro.service.jobs` — request queue; concurrent probe-change
+  requests per target are **batched** and **deduplicated** (one rebuild,
+  one compile per dirty fragment, no matter how many clients asked).
+* :mod:`repro.service.workers` — **parallel fragment compile pool**
+  (serial / thread / process); independent fragments of a batch no
+  longer serialize behind the worst one.
+* :mod:`repro.service.cache` — **persistent content-addressed code
+  cache** keyed by hash(fragment IR + probe state + opt level); hits
+  skip compilation, survive restarts, and are shared across clients.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  service facade and the handle fuzzers hold instead of calling
+  ``Odin.rebuild()`` directly.
+* :mod:`repro.service.metrics` — queue depth, batch size, cache hit
+  rate, per-stage latency percentiles; exported via ``stats()`` and the
+  ``repro serve`` / ``repro stats`` CLI.
+"""
+
+from repro.service.cache import (
+    InMemoryCodeCache,
+    PersistentCodeCache,
+    fragment_content_key,
+)
+from repro.service.client import ServiceClient
+from repro.service.jobs import CompileRequest, Job, ProbeOp, ServiceReply
+from repro.service.metrics import ServiceMetrics, format_stats
+from repro.service.server import RecompilationService, ServiceError
+from repro.service.workers import (
+    MODE_PROCESS,
+    MODE_SERIAL,
+    MODE_THREAD,
+    make_compiler,
+)
+
+__all__ = [
+    "CompileRequest",
+    "InMemoryCodeCache",
+    "Job",
+    "MODE_PROCESS",
+    "MODE_SERIAL",
+    "MODE_THREAD",
+    "PersistentCodeCache",
+    "ProbeOp",
+    "RecompilationService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceReply",
+    "fragment_content_key",
+    "format_stats",
+    "make_compiler",
+]

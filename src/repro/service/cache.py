@@ -1,0 +1,240 @@
+"""Content-addressed machine-code caches for the recompilation service.
+
+The engine's per-fragment cache (`Odin.cache`) remembers *which object is
+currently linked*; these caches remember *every object ever compiled*,
+keyed by ``hash(fragment IR + probe state + opt level)``
+(:func:`repro.core.engine.fragment_content_key`).  Two consequences:
+
+* flipping a probe off and later back on replays the earlier object
+  instead of recompiling (fuzzers toggle the same probe sets constantly —
+  prune, then re-add on coverage regression);
+* with :class:`PersistentCodeCache` the objects live on disk, so hits
+  survive service restarts and are shared by every client of the
+  directory.
+
+Both caches are size-bounded with LRU eviction and thread-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.backend.machine import ObjectFile
+from repro.core.engine import fragment_content_key  # re-export for callers
+
+__all__ = [
+    "CodeCache",
+    "InMemoryCodeCache",
+    "PersistentCodeCache",
+    "fragment_content_key",
+]
+
+
+class CodeCache:
+    """Interface + shared bookkeeping: get/put with hit/miss accounting."""
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        self._lock = threading.RLock()
+
+    # Subclasses implement the raw storage.
+    def _load(self, key: str) -> Optional[ObjectFile]:
+        raise NotImplementedError
+
+    def _store(self, key: str, obj: ObjectFile) -> None:
+        raise NotImplementedError
+
+    def get(self, key: str) -> Optional[ObjectFile]:
+        with self._lock:
+            obj = self._load(key)
+            if obj is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return obj
+
+    def put(self, key: str, obj: ObjectFile) -> None:
+        with self._lock:
+            self.puts += 1
+            self._store(key, obj)
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "entries": len(self),
+                "bytes": self.size_bytes(),
+            }
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def size_bytes(self) -> int:
+        raise NotImplementedError
+
+
+class InMemoryCodeCache(CodeCache):
+    """Process-local LRU over pickled-size-bounded object files."""
+
+    def __init__(self, max_bytes: int = 16 * 1024 * 1024):
+        super().__init__()
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[str, tuple]" = OrderedDict()  # key -> (obj, size)
+        self._total = 0
+
+    def _load(self, key: str) -> Optional[ObjectFile]:
+        hit = self._entries.get(key)
+        if hit is None:
+            return None
+        self._entries.move_to_end(key)
+        return hit[0]
+
+    def _store(self, key: str, obj: ObjectFile) -> None:
+        size = len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._total -= old[1]
+        self._entries[key] = (obj, size)
+        self._total += size
+        while self._total > self.max_bytes and len(self._entries) > 1:
+            _, (_, evicted_size) = self._entries.popitem(last=False)
+            self._total -= evicted_size
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def size_bytes(self) -> int:
+        return self._total
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._total = 0
+
+
+class PersistentCodeCache(CodeCache):
+    """Disk-backed content-addressed cache, shared across restarts.
+
+    Layout: ``<dir>/<key>.obj`` pickled object files plus an
+    ``index.json`` carrying sizes and a monotone LRU tick per entry.
+    Writes are atomic (temp file + rename), so a crashed writer never
+    corrupts the store; a missing or stale index entry degrades to a
+    cache miss, never an error.
+    """
+
+    INDEX = "index.json"
+
+    def __init__(self, directory: str, max_bytes: int = 64 * 1024 * 1024):
+        super().__init__()
+        self.directory = directory
+        self.max_bytes = max_bytes
+        os.makedirs(directory, exist_ok=True)
+        self._index: Dict[str, dict] = {}
+        self._tick = 0
+        self._read_index()
+
+    # -- index persistence ----------------------------------------------------
+
+    def _index_path(self) -> str:
+        return os.path.join(self.directory, self.INDEX)
+
+    def _read_index(self) -> None:
+        try:
+            with open(self._index_path(), "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
+        except (OSError, ValueError):
+            raw = {}
+        # Drop index entries whose object file vanished.
+        self._index = {
+            key: meta
+            for key, meta in raw.items()
+            if os.path.exists(self._entry_path(key))
+        }
+        self._tick = max(
+            (meta.get("tick", 0) for meta in self._index.values()), default=0
+        )
+
+    def _write_index(self) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".idx")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(self._index, fh)
+            os.replace(tmp, self._index_path())
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.obj")
+
+    # -- storage ---------------------------------------------------------------
+
+    def _load(self, key: str) -> Optional[ObjectFile]:
+        meta = self._index.get(key)
+        if meta is None:
+            return None
+        try:
+            with open(self._entry_path(key), "rb") as fh:
+                obj = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            self._index.pop(key, None)
+            self._write_index()
+            return None
+        self._tick += 1
+        meta["tick"] = self._tick
+        self._write_index()
+        return obj
+
+    def _store(self, key: str, obj: ObjectFile) -> None:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+        os.replace(tmp, self._entry_path(key))
+        self._tick += 1
+        self._index[key] = {"size": len(payload), "tick": self._tick}
+        self._evict()
+        self._write_index()
+
+    def _evict(self) -> None:
+        while self.size_bytes() > self.max_bytes and len(self._index) > 1:
+            victim = min(self._index, key=lambda k: self._index[k]["tick"])
+            self._index.pop(victim)
+            try:
+                os.unlink(self._entry_path(victim))
+            except OSError:
+                pass
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def size_bytes(self) -> int:
+        return sum(meta["size"] for meta in self._index.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            for key in list(self._index):
+                try:
+                    os.unlink(self._entry_path(key))
+                except OSError:
+                    pass
+            self._index.clear()
+            self._write_index()

@@ -1,0 +1,80 @@
+"""Client handle: what a fuzzer holds instead of calling ``Odin.rebuild()``.
+
+A :class:`ServiceClient` turns probe-state changes into
+:class:`~repro.service.jobs.CompileRequest`s.  Submissions return
+:class:`~repro.service.jobs.Job` futures; ``rebuild()`` is the blocking
+convenience.  Many clients of one target are expected and encouraged —
+overlapping requests are batched and deduplicated server-side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.engine import RebuildReport
+from repro.service.jobs import (
+    OP_DISABLE,
+    OP_ENABLE,
+    OP_MARK_CHANGED,
+    OP_REMOVE,
+    CompileRequest,
+    Job,
+    ProbeOp,
+    ServiceReply,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.server import RecompilationService
+
+
+class ServiceClient:
+    """Handle on one target of a :class:`RecompilationService`."""
+
+    def __init__(
+        self, service: "RecompilationService", target: str, client_id: str = "anon"
+    ):
+        self.service = service
+        self.target = target
+        self.client_id = client_id
+
+    # -- async submissions -----------------------------------------------------
+
+    def submit(self, ops: Iterable[ProbeOp] = ()) -> Job:
+        request = CompileRequest(
+            target=self.target, ops=tuple(ops), client_id=self.client_id
+        )
+        return self.service.submit(request)
+
+    def enable(self, *probe_ids: int) -> Job:
+        return self.submit(ProbeOp(OP_ENABLE, pid) for pid in probe_ids)
+
+    def disable(self, *probe_ids: int) -> Job:
+        return self.submit(ProbeOp(OP_DISABLE, pid) for pid in probe_ids)
+
+    def remove(self, *probe_ids: int) -> Job:
+        return self.submit(ProbeOp(OP_REMOVE, pid) for pid in probe_ids)
+
+    def mark_changed(self, *probe_ids: int) -> Job:
+        return self.submit(ProbeOp(OP_MARK_CHANGED, pid) for pid in probe_ids)
+
+    # -- blocking conveniences -------------------------------------------------
+
+    def rebuild(
+        self, ops: Iterable[ProbeOp] = (), timeout: Optional[float] = 60.0
+    ) -> ServiceReply:
+        """Submit (possibly empty) ops and wait for the batch's reply."""
+        return self.submit(ops).result(timeout)
+
+    def rebuild_report(self, timeout: Optional[float] = 60.0) -> RebuildReport:
+        """Blocking rebuild returning a plain :class:`RebuildReport`.
+
+        Signature-compatible with ``engine.rebuild()`` so instrumentation
+        tools (e.g. ``OdinCov(rebuild_fn=client.rebuild_report)``) route
+        their on-the-fly recompiles through the service unchanged.  When
+        the batch required no rebuild an empty report is returned.
+        """
+        reply = self.rebuild(timeout=timeout)
+        return reply.report if reply.report is not None else RebuildReport()
+
+    def stats(self) -> dict:
+        return self.service.stats()

@@ -1,0 +1,168 @@
+"""Request queue: batching and deduplication of probe-change requests.
+
+Inference-server shape: clients enqueue :class:`CompileRequest`s and get
+a :class:`Job` future back; the dispatcher drains *everything pending for
+one target* as a single batch, merges the probe operations (deduplicating
+identical ops from different clients), applies them to the engine's
+PatchManager once, and runs **one** rebuild whose report answers every
+job in the batch.  Two clients dirtying the same fragment therefore cost
+one compile — the dedup the issue tracker calls out — and a client that
+requests a rebuild while one is already queued simply joins the batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine import RebuildReport
+
+# Probe operation kinds understood by the dispatcher.
+OP_ENABLE = "enable"
+OP_DISABLE = "disable"
+OP_REMOVE = "remove"
+OP_MARK_CHANGED = "mark_changed"
+OP_KINDS = (OP_ENABLE, OP_DISABLE, OP_REMOVE, OP_MARK_CHANGED)
+
+
+@dataclass(frozen=True)
+class ProbeOp:
+    """One probe mutation: (kind, probe id).  Hashable, so batches dedup."""
+
+    kind: str
+    probe_id: int
+
+    def __post_init__(self):
+        if self.kind not in OP_KINDS:
+            raise ValueError(
+                f"unknown probe op {self.kind!r}; expected one of {OP_KINDS}"
+            )
+
+
+@dataclass
+class CompileRequest:
+    """What one client wants from the service.
+
+    ``ops`` may be empty: that is a plain "rebuild whatever is dirty"
+    request (instrumentation tools often mutate the PatchManager
+    directly, then ask the service to make it so).
+    """
+
+    target: str
+    ops: Tuple[ProbeOp, ...] = ()
+    client_id: str = "anon"
+
+
+@dataclass
+class ServiceReply:
+    """Shared answer for every job in one batch."""
+
+    report: Optional[RebuildReport]
+    batch_size: int
+    batch_clients: int
+    ops_submitted: int
+    ops_applied: int
+    ops_skipped: int = 0
+    queue_wait_ms: float = 0.0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Submitted / applied ops: >1 means the batch deduplicated."""
+        return self.ops_submitted / self.ops_applied if self.ops_applied else 1.0
+
+
+class Job:
+    """Client-side future for one submitted request."""
+
+    def __init__(self, request: CompileRequest):
+        self.request = request
+        self._event = threading.Event()
+        self._reply: Optional[ServiceReply] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def set_reply(self, reply: ServiceReply) -> None:
+        self._reply = reply
+        self._event.set()
+
+    def set_error(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> ServiceReply:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"job for target {self.request.target!r} not finished "
+                f"within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._reply is not None
+        return self._reply
+
+
+class JobQueue:
+    """Thread-safe queue of jobs, drained in per-target batches."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._jobs: List[Job] = []
+        self.submitted = 0
+        self.peak_depth = 0
+
+    def submit(self, request: CompileRequest) -> Job:
+        job = Job(request)
+        with self._not_empty:
+            self._jobs.append(job)
+            self.submitted += 1
+            self.peak_depth = max(self.peak_depth, len(self._jobs))
+            self._not_empty.notify_all()
+        return job
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def pop_batch(
+        self, timeout: Optional[float] = None
+    ) -> Tuple[Optional[str], List[Job]]:
+        """Block until work is pending, then drain one target's batch.
+
+        Returns ``(target, jobs)`` — every queued job for the target of
+        the oldest pending request — or ``(None, [])`` on timeout.
+        """
+        with self._not_empty:
+            if not self._jobs and not self._not_empty.wait(timeout):
+                return None, []
+            if not self._jobs:
+                return None, []
+            target = self._jobs[0].request.target
+            batch = [j for j in self._jobs if j.request.target == target]
+            self._jobs = [j for j in self._jobs if j.request.target != target]
+            return target, batch
+
+
+def merge_batch(jobs: List[Job]) -> Tuple[List[ProbeOp], int, int]:
+    """Merge a batch's ops, dropping duplicates.
+
+    Returns ``(unique ops in first-submission order, submitted, applied)``.
+    Order is preserved so a client's enable-then-disable sequence keeps
+    its meaning; only *identical* (kind, probe_id) pairs collapse.
+    """
+    merged: "OrderedDict[ProbeOp, None]" = OrderedDict()
+    submitted = 0
+    for job in jobs:
+        for op in job.request.ops:
+            submitted += 1
+            merged.setdefault(op)
+    unique = list(merged)
+    return unique, submitted, len(unique)
+
+
+def batch_clients(jobs: List[Job]) -> int:
+    return len({job.request.client_id for job in jobs})

@@ -1,0 +1,300 @@
+"""The recompilation service: many clients, one engine per target.
+
+Structure (inference-server style)::
+
+    clients ──▶ JobQueue ──▶ dispatcher ──▶ batch merge (dedup)
+                                         ──▶ PatchManager mutations
+                                         ──▶ Odin.rebuild
+                                               ├─ content cache (hits skip compile)
+                                               ├─ fragment worker pool (misses)
+                                               └─ link cache (skip relink)
+                                         ──▶ ServiceReply fan-out to jobs
+
+The dispatcher drains *all* pending requests for a target into one
+batch: concurrent probe-change requests are merged, duplicate ops are
+deduplicated, and a single rebuild answers every client.  The engine
+runs with the service's shared content-addressed code cache (optionally
+persistent, so warm state survives restarts) and fragment compile pool.
+
+``RecompilationService`` can run its dispatcher on a background thread
+(``start()``/``stop()``, or as a context manager) or be stepped
+deterministically with ``process_once()`` — tests and the benchmark use
+the latter to control batching exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.core.engine import Odin, RebuildReport
+from repro.errors import ReproError, ScheduleError
+from repro.ir.module import Module
+from repro.linker.cache import LinkCache
+from repro.service.cache import CodeCache, InMemoryCodeCache, PersistentCodeCache
+from repro.service.jobs import (
+    OP_DISABLE,
+    OP_ENABLE,
+    OP_MARK_CHANGED,
+    OP_REMOVE,
+    CompileRequest,
+    Job,
+    JobQueue,
+    ProbeOp,
+    ServiceReply,
+    batch_clients,
+    merge_batch,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.workers import MODE_SERIAL, make_compiler
+
+
+class ServiceError(ReproError):
+    pass
+
+
+class _Target:
+    """One registered target: engine + serialization lock."""
+
+    def __init__(self, name: str, engine: Odin):
+        self.name = name
+        self.engine = engine
+        self.lock = threading.Lock()
+
+
+class RecompilationService:
+    """Long-running compile server for on-the-fly recompilation."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        worker_mode: str = MODE_SERIAL,
+        cache: Optional[CodeCache] = None,
+        cache_dir: Optional[str] = None,
+        cache_max_bytes: int = 64 * 1024 * 1024,
+        link_cache_entries: int = 32,
+        metrics: Optional[ServiceMetrics] = None,
+        poll_interval_s: float = 0.02,
+    ):
+        if cache is not None and cache_dir is not None:
+            raise ServiceError("pass either cache or cache_dir, not both")
+        if cache is None:
+            cache = (
+                PersistentCodeCache(cache_dir, max_bytes=cache_max_bytes)
+                if cache_dir is not None
+                else InMemoryCodeCache(max_bytes=cache_max_bytes)
+            )
+        self.cache = cache
+        self.compiler = make_compiler(worker_mode, workers)
+        self.link_cache_entries = link_cache_entries
+        self.metrics = metrics or ServiceMetrics()
+        self.queue = JobQueue()
+        self.poll_interval_s = poll_interval_s
+        self._targets: Dict[str, _Target] = {}
+        self._dispatcher: Optional[threading.Thread] = None
+        self._running = threading.Event()
+
+    # -- target management -----------------------------------------------------
+
+    def register_target(self, name: str, module: Module, **odin_kwargs) -> Odin:
+        """Create a target's engine wired to the service's caches/pool."""
+        if name in self._targets:
+            raise ServiceError(f"target {name!r} is already registered")
+        engine = Odin(
+            module,
+            object_cache=self.cache,
+            compiler=self.compiler,
+            link_cache=LinkCache(self.link_cache_entries),
+            **odin_kwargs,
+        )
+        self._targets[name] = _Target(name, engine)
+        self.metrics.set_gauge("targets", len(self._targets))
+        return engine
+
+    def engine(self, target: str) -> Odin:
+        try:
+            return self._targets[target].engine
+        except KeyError:
+            raise ServiceError(f"unknown target {target!r}") from None
+
+    def build(self, target: str) -> RebuildReport:
+        """Run a target's initial build through the service pipeline."""
+        entry = self._target(target)
+        with entry.lock:
+            start = time.perf_counter()
+            report = entry.engine.initial_build()
+            self._record_rebuild(report, time.perf_counter() - start)
+        return report
+
+    def client(self, target: str, client_id: str = "anon") -> "ServiceClient":
+        from repro.service.client import ServiceClient
+
+        self._target(target)  # validate early
+        return ServiceClient(self, target, client_id)
+
+    def _target(self, name: str) -> _Target:
+        try:
+            return self._targets[name]
+        except KeyError:
+            raise ServiceError(f"unknown target {name!r}") from None
+
+    # -- request path ----------------------------------------------------------
+
+    def submit(self, request: CompileRequest) -> Job:
+        self._target(request.target)
+        job = self.queue.submit(request)
+        job.submitted_at = time.perf_counter()
+        self.metrics.set_gauge("queue_depth", self.queue.depth())
+        return job
+
+    def process_once(self, timeout: Optional[float] = 0.0) -> int:
+        """Drain and execute one batch synchronously; returns jobs served."""
+        target, batch = self.queue.pop_batch(timeout)
+        if not batch:
+            return 0
+        self._execute_batch(target, batch)
+        return len(batch)
+
+    # -- background dispatcher -------------------------------------------------
+
+    def start(self) -> "RecompilationService":
+        if self._dispatcher is not None:
+            return self
+        self._running.set()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="odin-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        if self._dispatcher is None:
+            return
+        if drain:
+            while self.queue.depth():
+                time.sleep(self.poll_interval_s)
+        self._running.clear()
+        self._dispatcher.join()
+        self._dispatcher = None
+
+    def close(self) -> None:
+        self.stop()
+        close = getattr(self.compiler, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "RecompilationService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _dispatch_loop(self) -> None:
+        while self._running.is_set():
+            self.process_once(timeout=self.poll_interval_s)
+
+    # -- batch execution -------------------------------------------------------
+
+    def _execute_batch(self, target: str, batch: List[Job]) -> None:
+        entry = self._target(target)
+        now = time.perf_counter()
+        waits_ms = [
+            (now - getattr(job, "submitted_at", now)) * 1000.0 for job in batch
+        ]
+        for wait in waits_ms:
+            self.metrics.observe("queue_wait_ms", wait)
+        self.metrics.set_gauge("queue_depth", self.queue.depth())
+
+        try:
+            ops, submitted, applied = merge_batch(batch)
+            skipped = 0
+            start = time.perf_counter()
+            with entry.lock:
+                for op in ops:
+                    if not self._apply_op(entry.engine, op):
+                        skipped += 1
+                report = entry.engine.rebuild_if_needed()
+            real_ms = (time.perf_counter() - start) * 1000.0
+
+            self.metrics.inc("requests_total", len(batch))
+            self.metrics.inc("batches_total")
+            self.metrics.inc("ops_submitted", submitted)
+            self.metrics.inc("ops_applied", applied - skipped)
+            self.metrics.inc("ops_skipped", skipped)
+            self.metrics.observe("batch_size", len(batch))
+            if report is not None:
+                self._record_rebuild(report, real_ms / 1000.0)
+
+            reply = ServiceReply(
+                report=report,
+                batch_size=len(batch),
+                batch_clients=batch_clients(batch),
+                ops_submitted=submitted,
+                ops_applied=applied - skipped,
+                ops_skipped=skipped,
+                queue_wait_ms=max(waits_ms, default=0.0),
+            )
+            for job in batch:
+                job.set_reply(reply)
+        except BaseException as error:  # answer every waiter, then surface
+            self.metrics.inc("batch_errors")
+            for job in batch:
+                job.set_error(error)
+            if not isinstance(error, Exception):  # pragma: no cover
+                raise
+
+    def _apply_op(self, engine: Odin, op: ProbeOp) -> bool:
+        """Apply one probe op; False when the probe is gone (stale id)."""
+        manager = engine.manager
+        try:
+            probe = manager.get_probe(op.probe_id)
+            if op.kind == OP_ENABLE:
+                manager.enable(probe)
+            elif op.kind == OP_DISABLE:
+                manager.disable(probe)
+            elif op.kind == OP_REMOVE:
+                manager.remove(probe)
+            elif op.kind == OP_MARK_CHANGED:
+                manager.mark_changed(probe)
+            return True
+        except ScheduleError:
+            return False
+
+    def _record_rebuild(self, report: RebuildReport, real_s: float) -> None:
+        m = self.metrics
+        m.inc("rebuilds_total")
+        m.inc("fragments_compiled", len(report.fragment_ids) - report.cache_hits)
+        m.inc("cache_hits", report.cache_hits)
+        m.inc("cache_misses", len(report.fragment_ids) - report.cache_hits)
+        m.inc("probes_applied", report.probes_applied)
+        if report.link_reused:
+            m.inc("links_reused")
+        m.observe("compile_sim_ms", report.compile_wall_ms)
+        m.observe("link_sim_ms", report.link_ms)
+        m.observe("rebuild_sim_ms", report.wall_ms)
+        m.observe("rebuild_real_ms", real_s * 1000.0)
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The ``stats()`` endpoint: metrics + cache + queue snapshot."""
+        snapshot = self.metrics.stats()
+        snapshot["code_cache"] = self.cache.stats()
+        snapshot["queue"] = {
+            "depth": self.queue.depth(),
+            "submitted": self.queue.submitted,
+            "peak_depth": self.queue.peak_depth,
+        }
+        snapshot["service"] = {
+            "targets": sorted(self._targets),
+            "workers": self.compiler.workers,
+            "running": self._dispatcher is not None,
+        }
+        link_stats = {}
+        for name, entry in self._targets.items():
+            if entry.engine.link_cache is not None:
+                link_stats[name] = entry.engine.link_cache.stats()
+        snapshot["link_cache"] = link_stats
+        return snapshot

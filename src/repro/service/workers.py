@@ -1,0 +1,120 @@
+"""Parallel fragment compile pools.
+
+Fragments are independent compilation units (each is split into its own
+module and lowered to its own object file), so a rebuild's cache-miss
+batch can fan out across workers: Fig. 12's worst-case fragment no
+longer serializes the whole batch behind it.
+
+Three pool flavours, all order-preserving (results come back in batch
+order regardless of completion order, which keeps reports and the
+simulated clock deterministic for any worker count):
+
+* ``serial``  — in-process loop; byte-identical to the classic engine.
+* ``thread``  — ``concurrent.futures.ThreadPoolExecutor``; fragments
+  compile concurrently in-process (type interning is thread-safe, see
+  ``repro.ir.types``).
+* ``process`` — ``ProcessPoolExecutor``; fragment IR is shipped as
+  printed text (module graphs hold interned types that must not cross
+  process boundaries) and re-parsed in the worker, the same canonical
+  text content addressing hashes.
+
+Reported durations always come from the deterministic cost model: a
+pool's simulated batch wall-clock is its LPT makespan
+(:func:`repro.core.engine.compile_makespan`), so figures reproduce
+identically on any host while the real execution genuinely overlaps.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import List, Optional
+
+from repro.backend.machine import ObjectFile
+from repro.core.engine import (
+    InlineFragmentCompiler,
+    compile_fragment,
+    compile_fragment_text,
+)
+from repro.ir.module import Module
+from repro.ir.printer import print_module
+
+MODE_SERIAL = "serial"
+MODE_THREAD = "thread"
+MODE_PROCESS = "process"
+MODES = (MODE_SERIAL, MODE_THREAD, MODE_PROCESS)
+
+
+class ThreadFragmentCompiler:
+    """Compile a batch on a shared thread pool."""
+
+    def __init__(self, workers: int = 2):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="odin-frag"
+            )
+        return self._pool
+
+    def compile_batch(
+        self, modules: List[Module], opt_level: int, verify: bool
+    ) -> List[ObjectFile]:
+        if len(modules) <= 1 or self.workers == 1:
+            return [compile_fragment(m, opt_level, verify) for m in modules]
+        pool = self._ensure_pool()
+        return list(
+            pool.map(lambda m: compile_fragment(m, opt_level, verify), modules)
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessFragmentCompiler:
+    """Compile a batch on a process pool, shipping printed IR text."""
+
+    def __init__(self, workers: int = 2):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def compile_batch(
+        self, modules: List[Module], opt_level: int, verify: bool
+    ) -> List[ObjectFile]:
+        if len(modules) <= 1 or self.workers == 1:
+            return [compile_fragment(m, opt_level, verify) for m in modules]
+        pool = self._ensure_pool()
+        texts = [print_module(m) for m in modules]
+        futures = [
+            pool.submit(compile_fragment_text, text, opt_level, verify)
+            for text in texts
+        ]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_compiler(mode: str = MODE_SERIAL, workers: int = 1):
+    """Build the fragment compiler for *mode* / *workers*."""
+    if mode == MODE_SERIAL or workers <= 1:
+        return InlineFragmentCompiler()
+    if mode == MODE_THREAD:
+        return ThreadFragmentCompiler(workers)
+    if mode == MODE_PROCESS:
+        return ProcessFragmentCompiler(workers)
+    raise ValueError(f"unknown worker mode {mode!r}; expected one of {MODES}")

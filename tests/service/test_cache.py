@@ -1,0 +1,157 @@
+"""Content-addressed code cache behaviour: keys, LRU, persistence."""
+
+import pytest
+
+from repro.backend.machine import DataSymbol, MachineFunction, MachineInst, ObjectFile
+from repro.core.engine import Odin, fragment_content_key
+from repro.instrument.coverage import OdinCov
+from repro.programs.registry import get_program
+from repro.service.cache import InMemoryCodeCache, PersistentCodeCache
+
+PRESERVED = ("main", "run_input")
+
+
+def make_object(name: str, payload: bytes = b"") -> ObjectFile:
+    obj = ObjectFile(name)
+    mf = MachineFunction(name=f"{name}_fn", linkage="external")
+    mf.insts = [MachineInst("ret")]
+    obj.add_function(mf)
+    if payload:
+        obj.add_data(DataSymbol(f"{name}_data", payload, "internal"))
+    obj.compile_ms = 1.0
+    return obj
+
+
+def split_probed_fragment(engine: Odin):
+    """Schedule a full build and split one fragment that carries probes
+    (falls back to fragment #0 for engines without probes)."""
+    engine.manager._dirty_symbols.update(engine.fragdef.owner.keys())
+    sched = engine.manager.schedule()
+    sched.apply_probes()
+    probed_symbols = {p.target_symbol() for p in engine.manager}
+    fragment = next(
+        (
+            f
+            for f in sched.changed_fragments
+            if probed_symbols & set(f.symbols)
+        ),
+        sched.changed_fragments[0],
+    )
+    return engine._split_fragment(sched.temp_module, fragment), fragment
+
+
+class TestContentKey:
+    def test_same_ir_same_probes_same_key(self):
+        """Content addressing is stable across engine instances — that is
+        what makes the cache shareable between clients and restarts."""
+        keys = []
+        for _ in range(2):
+            engine = Odin(get_program("libjpeg").compile(), preserve=PRESERVED)
+            tool = OdinCov(engine)
+            tool.add_all_block_probes()
+            frag, _ = split_probed_fragment(engine)
+            keys.append(fragment_content_key(frag, 2))
+        assert keys[0] == keys[1]
+
+    def test_opt_level_changes_key(self):
+        engine = Odin(get_program("libjpeg").compile(), preserve=PRESERVED)
+        frag, _ = split_probed_fragment(engine)
+        assert fragment_content_key(frag, 2) != fragment_content_key(frag, 0)
+
+    def test_probe_signature_changes_key(self):
+        engine = Odin(get_program("libjpeg").compile(), preserve=PRESERVED)
+        frag, _ = split_probed_fragment(engine)
+        assert fragment_content_key(frag, 2, "CovProbe#1") != fragment_content_key(
+            frag, 2, "CovProbe#2"
+        )
+
+    def test_probe_state_changes_key(self):
+        """Disabling a probe changes the instrumented IR, hence the key."""
+        engine = Odin(get_program("libjpeg").compile(), preserve=PRESERVED)
+        tool = OdinCov(engine)
+        tool.add_all_block_probes()
+        frag_a, fragment = split_probed_fragment(engine)
+        engine.manager.clear_dirty()
+        # Disable every probe of that fragment and re-split.
+        symbols = set(fragment.symbols)
+        for probe in list(engine.manager):
+            if probe.target_symbol() in symbols:
+                engine.manager.disable(probe)
+        frag_b, _ = split_probed_fragment(engine)
+        assert fragment_content_key(frag_a, 2) != fragment_content_key(frag_b, 2)
+
+
+class TestInMemoryCache:
+    def test_roundtrip_and_stats(self):
+        cache = InMemoryCodeCache()
+        assert cache.get("k") is None
+        cache.put("k", make_object("a"))
+        assert cache.get("k").name == "a"
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["puts"] == 1
+        assert 0 < stats["hit_rate"] < 1
+
+    def test_lru_eviction_under_size_bound(self):
+        probe = len(
+            __import__("pickle").dumps(make_object("x", b"y" * 256))
+        )
+        cache = InMemoryCodeCache(max_bytes=probe * 3)
+        for i in range(4):
+            cache.put(f"k{i}", make_object(f"o{i}", b"y" * 256))
+        assert cache.evictions >= 1
+        assert cache.get("k0") is None          # oldest evicted
+        assert cache.get("k3") is not None      # newest kept
+        assert cache.size_bytes() <= probe * 3
+
+    def test_get_refreshes_lru_order(self):
+        probe = len(
+            __import__("pickle").dumps(make_object("x", b"y" * 256))
+        )
+        cache = InMemoryCodeCache(max_bytes=int(probe * 2.5))
+        cache.put("k0", make_object("o0", b"y" * 256))
+        cache.put("k1", make_object("o1", b"y" * 256))
+        cache.get("k0")                          # k0 now most recent
+        cache.put("k2", make_object("o2", b"y" * 256))
+        assert cache.get("k1") is None           # k1 was the LRU victim
+        assert cache.get("k0") is not None
+
+
+class TestPersistentCache:
+    def test_roundtrip(self, tmp_path):
+        cache = PersistentCodeCache(str(tmp_path))
+        cache.put("deadbeef", make_object("a", b"xyz"))
+        loaded = cache.get("deadbeef")
+        assert loaded is not None
+        assert loaded.data["a_data"].data == b"xyz"
+
+    def test_survives_restart(self, tmp_path):
+        PersistentCodeCache(str(tmp_path)).put("k", make_object("a"))
+        reopened = PersistentCodeCache(str(tmp_path))
+        assert len(reopened) == 1
+        assert reopened.get("k") is not None
+
+    def test_eviction_under_size_bound(self, tmp_path):
+        cache = PersistentCodeCache(str(tmp_path), max_bytes=1)
+        cache.put("k0", make_object("o0", b"y" * 128))
+        cache.put("k1", make_object("o1", b"y" * 128))
+        # The bound admits at most one entry; the older one is evicted
+        # from disk as well as from the index.
+        assert cache.evictions >= 1
+        assert len(cache) == 1
+        assert cache.get("k0") is None
+        reopened = PersistentCodeCache(str(tmp_path), max_bytes=1)
+        assert len(reopened) == 1
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = PersistentCodeCache(str(tmp_path))
+        cache.put("k", make_object("a"))
+        (tmp_path / "k.obj").write_bytes(b"not a pickle")
+        assert cache.get("k") is None
+        assert "k" not in cache._index
+
+    def test_missing_file_dropped_on_restart(self, tmp_path):
+        cache = PersistentCodeCache(str(tmp_path))
+        cache.put("k", make_object("a"))
+        (tmp_path / "k.obj").unlink()
+        reopened = PersistentCodeCache(str(tmp_path))
+        assert len(reopened) == 0
