@@ -72,6 +72,22 @@ class MachineInst:
             parts.append(f"#{self.imm}")
         return f"<{' '.join(parts)}>"
 
+    def canonical(self) -> str:
+        """Deterministic full-field encoding (repro check equivalence)."""
+        return "|".join((
+            self.op,
+            str(self.dst),
+            ",".join(map(str, self.srcs)),
+            str(self.imm),
+            self.sym or "",
+            ",".join(map(str, self.targets)),
+            ";".join(f"{v}:{t}" for v, t in self.table),
+            str(self.cost),
+            ",".join(map(str, self.args)),
+            self.probe_kind,
+            str(self.probe_id),
+        ))
+
 
 @dataclass
 class MachineFunction:
@@ -90,6 +106,18 @@ class MachineFunction:
     @property
     def code_size(self) -> int:
         return len(self.insts)
+
+    def canonical_dump(self) -> str:
+        """Deterministic text form of the generated code and frame layout."""
+        lines = [
+            f"fn {self.name} linkage={self.linkage} regs={self.num_regs} "
+            f"frame={self.frame_size} blocks={self.num_blocks}",
+            "names " + " ".join(
+                f"{bid}={name}" for bid, name in sorted(self.block_names.items())
+            ),
+        ]
+        lines.extend(inst.canonical() for inst in self.insts)
+        return "\n".join(lines)
 
 
 @dataclass
@@ -151,3 +179,26 @@ class ObjectFile:
     @property
     def code_size(self) -> int:
         return sum(f.code_size for f in self.functions.values())
+
+    def canonical_bytes(self) -> bytes:
+        """Deterministic serialization of everything that *is* the object.
+
+        Timing metadata (``compile_ms``) is excluded: two objects are
+        equivalent iff they would execute identically after linking.
+        This is the byte-equivalence currency of the ``repro check``
+        differential oracle.
+        """
+        parts = [f"object {self.name}"]
+        for name in sorted(self.functions):
+            parts.append(self.functions[name].canonical_dump())
+        for name in sorted(self.data):
+            sym = self.data[name]
+            parts.append(
+                f"data {name} linkage={sym.linkage} const={sym.is_const} "
+                f"bytes={sym.data.hex()}"
+            )
+        for alias in sorted(self.aliases):
+            target, linkage = self.aliases[alias]
+            parts.append(f"alias {alias} -> {target} linkage={linkage}")
+        parts.append("imports " + " ".join(sorted(self.imports)))
+        return "\n".join(parts).encode()

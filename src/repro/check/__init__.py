@@ -1,0 +1,66 @@
+"""``repro check``: the differential rebuild oracle (PR 2).
+
+Odin's central claim — an incremental rebuild is semantically identical
+to recompiling the world (§3.3, Algorithm 2) — was unfalsifiable in this
+repo until now.  This package makes it testable, in the spirit of
+FuzzyFlow's cutout-based differential testing of program transformations:
+
+* :mod:`repro.check.schedules` — deterministic random probe-state
+  schedules (enable/disable/remove/prune sequences, seeded RNG);
+* :mod:`repro.check.oracle` — replays each schedule incrementally (engine
+  or recompilation service) and from scratch, asserting object-byte,
+  linked-image and behavioural equivalence over a seed corpus;
+* :mod:`repro.check.faults` — injects persistent-cache faults (truncated
+  objects, torn writes, corrupt/stale index) and asserts every fault
+  degrades to a cache miss, never to wrong code;
+* :mod:`repro.check.invariants` — direct checks of the scheduler's
+  stage-3 back propagation and content-key determinism.
+
+Surfaced as ``python -m repro check`` and a bounded CI sweep.
+"""
+
+from repro.check.faults import run_fault_checks
+from repro.check.invariants import (
+    RecordingCache,
+    check_backpropagation,
+    check_content_key_determinism,
+    run_invariant_checks,
+)
+from repro.check.oracle import (
+    CheckReport,
+    DifferentialOracle,
+    ScheduleOutcome,
+    StepOutcome,
+)
+from repro.check.schedules import (
+    STEP_DISABLE,
+    STEP_ENABLE,
+    STEP_KINDS,
+    STEP_PRUNE,
+    STEP_REMOVE,
+    ProbeSchedule,
+    ScheduleStep,
+    generate_schedules,
+    pick_targets,
+)
+
+__all__ = [
+    "CheckReport",
+    "DifferentialOracle",
+    "ProbeSchedule",
+    "RecordingCache",
+    "STEP_DISABLE",
+    "STEP_ENABLE",
+    "STEP_KINDS",
+    "STEP_PRUNE",
+    "STEP_REMOVE",
+    "ScheduleOutcome",
+    "ScheduleStep",
+    "StepOutcome",
+    "check_backpropagation",
+    "check_content_key_determinism",
+    "generate_schedules",
+    "pick_targets",
+    "run_fault_checks",
+    "run_invariant_checks",
+]

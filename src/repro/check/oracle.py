@@ -1,0 +1,348 @@
+"""The differential rebuild oracle (Algorithm 2's missing referee).
+
+Odin's correctness claim is that an incremental rebuild is semantically
+identical to recompiling the world (§3.3).  The oracle makes that claim
+falsifiable, FuzzyFlow-style: replay a probe-state schedule two ways —
+
+* **incrementally**, through the live engine (or the recompilation
+  service, batching and caches included), exactly as a fuzzing campaign
+  would drive it;
+* **from scratch**, by compiling a fresh engine from the original source
+  into the same probe state with a single full build;
+
+and after every effective step assert three layers of equivalence:
+
+1. *object bytes* — every fragment's canonical object serialization;
+2. *linked image* — the executable's canonical bytes;
+3. *behaviour* — exit code, stdout, trap, cycle count and per-input
+   coverage maps over a seed corpus.
+
+Any divergence is reported with the schedule, step and layer that
+exposed it, which is what makes the report actionable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.core.engine import Odin
+from repro.check.schedules import (
+    STEP_DISABLE,
+    STEP_ENABLE,
+    STEP_PRUNE,
+    STEP_REMOVE,
+    ProbeSchedule,
+    pick_targets,
+)
+from repro.fuzz.executor import ENTRY, OdinCovExecutor
+from repro.instrument.coverage import CoverageRuntime, OdinCov
+from repro.linker.linker import Executable
+from repro.programs.registry import TargetProgram
+from repro.utils.rng import DeterministicRNG
+from repro.vm.interpreter import VM
+
+PRESERVED = ("main", "run_input")
+
+
+@dataclass
+class StepOutcome:
+    """One replayed step: what ran and whether equivalence held."""
+
+    index: int
+    kind: str
+    applied: int            # probe ops actually applied (0 = no-op step)
+    rebuilt: bool           # did the incremental side rebuild?
+    compared: bool          # was a from-scratch reference built?
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+@dataclass
+class ScheduleOutcome:
+    schedule: ProbeSchedule
+    steps: List[StepOutcome] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and all(step.ok for step in self.steps)
+
+    @property
+    def comparisons(self) -> int:
+        return sum(1 for step in self.steps if step.compared)
+
+
+@dataclass
+class CheckReport:
+    """Everything ``repro check`` learned about one program."""
+
+    program: str
+    schedules: List[ScheduleOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.schedules)
+
+    @property
+    def comparisons(self) -> int:
+        return sum(outcome.comparisons for outcome in self.schedules)
+
+    @property
+    def mismatches(self) -> List[str]:
+        out = []
+        for outcome in self.schedules:
+            if outcome.error is not None:
+                out.append(
+                    f"schedule #{outcome.schedule.schedule_id}: {outcome.error}"
+                )
+            for step in outcome.steps:
+                for mismatch in step.mismatches:
+                    out.append(
+                        f"schedule #{outcome.schedule.schedule_id} "
+                        f"step {step.index} ({step.kind}): {mismatch}"
+                    )
+        return out
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.mismatches)} MISMATCHES"
+        return (
+            f"{self.program}: {len(self.schedules)} schedules, "
+            f"{self.comparisons} rebuild comparisons, {status}"
+        )
+
+
+class DifferentialOracle:
+    """Replays schedules incrementally and against from-scratch builds."""
+
+    def __init__(
+        self,
+        program: TargetProgram,
+        *,
+        use_service: bool = False,
+        workers: int = 1,
+        worker_mode: str = "serial",
+        max_inputs: int = 4,
+        corpus_seed: int = 0,
+    ):
+        self.program = program
+        self.use_service = use_service
+        self.workers = workers
+        self.worker_mode = worker_mode
+        inputs = program.seeds(corpus_seed)
+        if not inputs:
+            raise ValueError(f"program {program.name!r} has an empty seed corpus")
+        self.inputs: List[bytes] = inputs[:max_inputs]
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, schedules: List[ProbeSchedule]) -> CheckReport:
+        report = CheckReport(self.program.name)
+        for schedule in schedules:
+            report.schedules.append(self.check_schedule(schedule))
+        return report
+
+    def check_schedule(self, schedule: ProbeSchedule) -> ScheduleOutcome:
+        outcome = ScheduleOutcome(schedule)
+        session = _IncrementalSession(self)
+        try:
+            rng = DeterministicRNG(schedule.seed)
+            cursor = 0
+            for index, step in enumerate(schedule.steps):
+                for _ in range(step.inputs):
+                    session.executor.execute(self.inputs[cursor % len(self.inputs)])
+                    cursor += 1
+                applied, rebuilt = session.apply_step(step, rng)
+                step_outcome = StepOutcome(index, step.kind, applied, rebuilt, False)
+                # A no-op step (nothing eligible, nothing pruned) leaves
+                # the probe state untouched, so the previous comparison
+                # still vouches for it; skip the expensive reference.
+                if applied or rebuilt:
+                    step_outcome.compared = True
+                    step_outcome.mismatches = self.compare_to_reference(
+                        session.engine
+                    )
+                outcome.steps.append(step_outcome)
+        except Exception as error:  # surface, do not crash the sweep
+            outcome.error = f"{type(error).__name__}: {error}"
+        finally:
+            session.close()
+        return outcome
+
+    # -- equivalence ------------------------------------------------------------
+
+    def compare_to_reference(self, engine: Odin) -> List[str]:
+        """Build the same probe state from scratch and diff all layers."""
+        mismatches: List[str] = []
+        ref_engine, aligned = self._build_reference(engine)
+        if not aligned:
+            return ["probe id universe diverged between engines"]
+
+        inc_objs = engine.object_fingerprints()
+        ref_objs = ref_engine.object_fingerprints()
+        for fid in sorted(ref_objs):
+            if inc_objs.get(fid) != ref_objs[fid]:
+                mismatches.append(
+                    f"fragment #{fid} object bytes differ "
+                    f"(incremental {str(inc_objs.get(fid))[:12]} != "
+                    f"from-scratch {ref_objs[fid][:12]})"
+                )
+        inc_fp = engine.executable_fingerprint()
+        ref_fp = ref_engine.executable_fingerprint()
+        if inc_fp != ref_fp:
+            mismatches.append(
+                f"linked image differs (incremental {str(inc_fp)[:12]} != "
+                f"from-scratch {str(ref_fp)[:12]})"
+            )
+        mismatches.extend(
+            self._compare_behaviour(engine.executable, ref_engine.executable)
+        )
+        return mismatches
+
+    def _build_reference(self, incremental: Odin) -> Tuple[Odin, bool]:
+        """Fresh engine + single full build reproducing the probe state.
+
+        Probe ids are assigned deterministically by
+        ``add_all_block_probes`` (module iteration order), so the fresh
+        engine's probes align with the incremental engine's by id; we
+        then remove/disable until the states match.
+        """
+        engine = Odin(self.program.compile(), preserve=PRESERVED)
+        tool = OdinCov(engine)
+        tool.add_all_block_probes()
+        state = {p.id: p.enabled for p in incremental.manager}
+        if not set(state) <= set(tool.probes):
+            return engine, False
+        for pid in sorted(tool.probes):
+            probe = tool.probes[pid]
+            if pid not in state:
+                engine.manager.remove(probe)
+                tool.probes.pop(pid)
+            elif not state[pid]:
+                engine.manager.disable(probe)
+        tool.build()
+        return engine, True
+
+    def _compare_behaviour(
+        self, inc_exe: Optional[Executable], ref_exe: Optional[Executable]
+    ) -> List[str]:
+        mismatches: List[str] = []
+        if inc_exe is None or ref_exe is None:
+            return ["an engine has no executable to compare"]
+        for data in self.inputs:
+            inc = self._run_one(inc_exe, data)
+            ref = self._run_one(ref_exe, data)
+            for name, a, b in zip(
+                ("exit_code", "stdout", "trap", "cycles", "coverage"), inc, ref
+            ):
+                if a != b:
+                    mismatches.append(
+                        f"input {data[:16]!r}: {name} differs ({a!r} != {b!r})"
+                    )
+        return mismatches
+
+    def _run_one(
+        self, executable: Executable, data: bytes
+    ) -> Tuple[int, bytes, Optional[str], int, FrozenSet[int]]:
+        """Run one input on a fresh VM + coverage runtime."""
+        runtime = CoverageRuntime()
+        vm = VM(executable, probe_runtime=runtime)
+        vm.reset()
+        addr = vm.alloc(max(len(data), 1) + 1)
+        vm.write_bytes(addr, data)
+        result = vm.run(ENTRY, (addr, len(data)), reset=False)
+        covered = frozenset(pid for pid, hits in runtime.counters.items() if hits)
+        return (result.exit_code, result.stdout, result.trap, result.cycles, covered)
+
+
+class _IncrementalSession:
+    """The live side of one schedule replay: engine, tool, executor.
+
+    With ``use_service`` the engine is registered on a
+    :class:`~repro.service.server.RecompilationService` (background
+    dispatcher, shared content cache, link cache, worker pool) and every
+    probe op travels through a client — the full production path.
+    """
+
+    def __init__(self, oracle: DifferentialOracle):
+        self.oracle = oracle
+        self.service = None
+        self.client = None
+        module = oracle.program.compile()
+        if oracle.use_service:
+            from repro.service import RecompilationService
+
+            self.service = RecompilationService(
+                workers=oracle.workers, worker_mode=oracle.worker_mode
+            )
+            self.engine = self.service.register_target(
+                oracle.program.name, module, preserve=PRESERVED
+            )
+            self.client = self.service.client(oracle.program.name, "oracle")
+            self.tool = OdinCov(self.engine, rebuild_fn=self.client.rebuild_report)
+            self.tool.add_all_block_probes()
+            self.service.build(oracle.program.name)
+            self.service.start()
+        else:
+            self.engine = Odin(module, preserve=PRESERVED)
+            self.tool = OdinCov(self.engine)
+            self.tool.add_all_block_probes()
+            self.tool.build()
+        self.executor = OdinCovExecutor(self.tool)
+
+    def close(self) -> None:
+        if self.service is not None:
+            self.service.close()
+
+    # -- steps ------------------------------------------------------------------
+
+    def apply_step(self, step, rng: DeterministicRNG) -> Tuple[int, bool]:
+        """Apply one schedule step; returns (ops applied, rebuilt?)."""
+        manager = self.engine.manager
+        before_exe = self.engine.executable
+        if step.kind == STEP_PRUNE:
+            report = self.executor.prune()
+            return report.pruned, report.rebuild is not None
+
+        if step.kind == STEP_DISABLE:
+            eligible = [p for p in manager if p.enabled]
+        elif step.kind == STEP_ENABLE:
+            eligible = [p for p in manager if not p.enabled]
+        else:  # STEP_REMOVE
+            eligible = list(manager)
+        eligible.sort(key=lambda p: p.id)
+        picked = pick_targets(rng, eligible, step.count)
+        if not picked:
+            return 0, False
+
+        if self.client is not None:
+            self._apply_via_service(step.kind, picked)
+        else:
+            for probe in picked:
+                if step.kind == STEP_DISABLE:
+                    manager.disable(probe)
+                elif step.kind == STEP_ENABLE:
+                    manager.enable(probe)
+                else:
+                    self.tool.probes.pop(probe.id, None)
+                    manager.remove(probe)
+            self.engine.rebuild_if_needed()
+        self.executor._refresh_vm()
+        return len(picked), self.engine.executable is not before_exe
+
+    def _apply_via_service(self, kind: str, picked) -> None:
+        from repro.service.jobs import OP_DISABLE, OP_ENABLE, OP_REMOVE, ProbeOp
+
+        op_kind = {
+            STEP_DISABLE: OP_DISABLE,
+            STEP_ENABLE: OP_ENABLE,
+            STEP_REMOVE: OP_REMOVE,
+        }[kind]
+        ids = [p.id for p in picked]
+        if kind == STEP_REMOVE:
+            for pid in ids:
+                self.tool.probes.pop(pid, None)
+        self.client.rebuild([ProbeOp(op_kind, pid) for pid in ids])

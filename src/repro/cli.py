@@ -6,6 +6,9 @@ Commands:
 * ``run PROGRAM`` — compile and run a target's smoke test + seed corpus
 * ``partition PROGRAM`` — show the fragment definition (Figure 6 style)
 * ``fuzz PROGRAM`` — a coverage-guided campaign with on-the-fly pruning
+* ``check [PROGRAMS]`` — the differential rebuild oracle: replay random
+  probe-state schedules incrementally and from scratch, assert byte- and
+  behaviour-equivalence, and run cache-fault + invariant suites
 * ``experiment NAME`` — regenerate one of the paper's tables/figures
 * ``serve PROGRAM`` — run the recompilation service under a synthetic
   multi-client probe-flip workload and report its metrics
@@ -117,6 +120,66 @@ def cmd_fuzz(args) -> int:
               f"mean batch {derived['mean_batch_size']:.2f}, "
               f"{derived['fragments_compiled']:g} fragment compiles")
     return 0
+
+
+DEFAULT_CHECK_PROGRAMS = ("libjpeg", "lcms")
+
+
+def cmd_check(args) -> int:
+    """Differential rebuild oracle + fault injection + invariants."""
+    from repro.check import (
+        DifferentialOracle,
+        generate_schedules,
+        run_fault_checks,
+        run_invariant_checks,
+    )
+
+    programs = [
+        get_program(name) for name in (args.programs or DEFAULT_CHECK_PROGRAMS)
+    ]
+    schedules = generate_schedules(
+        args.schedules,
+        args.seed,
+        max_steps=args.max_steps,
+        include_prune=not args.no_prune,
+    )
+    failed = False
+    for program in programs:
+        oracle = DifferentialOracle(
+            program,
+            use_service=args.service,
+            workers=args.workers,
+            worker_mode=args.mode,
+            max_inputs=args.max_inputs,
+        )
+        report = oracle.run(schedules)
+        print(report.summary())
+        for mismatch in report.mismatches:
+            print(f"  MISMATCH {mismatch}")
+        failed = failed or not report.ok
+
+        invariant_failures = run_invariant_checks(program)
+        if invariant_failures:
+            failed = True
+            for failure in invariant_failures:
+                print(f"  INVARIANT {failure}")
+        else:
+            print(f"{program.name}: invariants ok "
+                  f"(back propagation, content-key determinism)")
+
+    if not args.no_faults:
+        fault_failures = run_fault_checks()
+        if fault_failures:
+            failed = True
+            for failure in fault_failures:
+                print(f"  FAULT {failure}")
+        else:
+            from repro.service.cache import PersistentCodeCache
+
+            print(f"cache faults: {len(PersistentCodeCache.FAULT_KINDS)} "
+                  f"scenarios, all degraded to a miss")
+    print("FAIL" if failed else "PASS")
+    return 1 if failed else 0
 
 
 def cmd_serve(args) -> int:
@@ -273,6 +336,32 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--mode", default="thread", choices=("serial", "thread", "process")
     )
     p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    p_check = sub.add_parser(
+        "check", help="differential rebuild oracle + fault/invariant suites"
+    )
+    p_check.add_argument(
+        "programs", nargs="*",
+        help=f"targets to check (default: {' '.join(DEFAULT_CHECK_PROGRAMS)})",
+    )
+    p_check.add_argument("--schedules", type=int, default=25)
+    p_check.add_argument("--seed", type=int, default=1)
+    p_check.add_argument("--max-steps", type=int, default=6)
+    p_check.add_argument("--max-inputs", type=int, default=4,
+                         help="corpus inputs per behaviour comparison")
+    p_check.add_argument(
+        "--service", action="store_true",
+        help="drive the incremental side through the recompilation service",
+    )
+    p_check.add_argument("--workers", type=int, default=1)
+    p_check.add_argument(
+        "--mode", default="serial", choices=("serial", "thread", "process")
+    )
+    p_check.add_argument("--no-prune", action="store_true",
+                         help="exclude prune steps from generated schedules")
+    p_check.add_argument("--no-faults", action="store_true",
+                         help="skip the persistent-cache fault suite")
+    p_check.set_defaults(fn=cmd_check)
 
     p_serve = sub.add_parser(
         "serve", help="run the recompilation service under a client workload"

@@ -110,6 +110,16 @@ def fragment_content_key(
     return h.hexdigest()
 
 
+def object_fingerprint(obj: ObjectFile) -> str:
+    """Digest of an object's canonical bytes (timing metadata excluded).
+
+    Two fragments with equal fingerprints link into identical code; the
+    ``repro check`` oracle uses this to assert incremental rebuilds are
+    byte-equivalent to from-scratch builds.
+    """
+    return hashlib.sha256(obj.canonical_bytes()).hexdigest()
+
+
 def compile_makespan(costs: Iterable[float], workers: int) -> float:
     """Simulated wall-clock of compiling *costs* on *workers* lanes.
 
@@ -142,6 +152,10 @@ class RebuildReport:
     # Simulated wall-clock of the compile stage: equals total_compile_ms
     # for one worker, the parallel makespan for a pool.
     compile_wall_ms: float = 0.0
+    # fragment id -> canonical-bytes digest of the object produced by this
+    # rebuild; only filled when the engine runs with
+    # ``record_fingerprints=True`` (the repro check oracle does).
+    object_fingerprints: Dict[int, str] = field(default_factory=dict)
 
     @property
     def total_compile_ms(self) -> float:
@@ -186,6 +200,7 @@ class Odin:
         object_cache=None,
         compiler=None,
         link_cache: Optional["LinkCache"] = None,
+        record_fingerprints: bool = False,
     ):
         if verify:
             verify_module(module)
@@ -202,6 +217,7 @@ class Odin:
         self.object_cache = object_cache
         self.compiler = compiler or InlineFragmentCompiler()
         self.link_cache = link_cache
+        self.record_fingerprints = record_fingerprints
         # Fragment id -> content key of the object currently in `cache`
         # (only tracked when content addressing is on).
         self._frag_keys: Dict[int, str] = {}
@@ -279,6 +295,8 @@ class Odin:
             if key is not None:
                 self._frag_keys[fragment.id] = key
             report.fragment_ids.append(fragment.id)
+            if self.record_fingerprints:
+                report.object_fingerprints[fragment.id] = object_fingerprint(obj)
             if id(entry) in miss_ids:
                 report.fragment_compile_ms[fragment.id] = obj.compile_ms
                 compiled_costs.append(obj.compile_ms)
@@ -357,6 +375,16 @@ class Odin:
     def _compile_fragment(self, frag_module: Module) -> ObjectFile:
         """Optimize (post-instrumentation) and lower one fragment."""
         return compile_fragment(frag_module, self.opt_level, self.verify)
+
+    # -- equivalence hooks (repro check) ----------------------------------------------
+
+    def object_fingerprints(self) -> Dict[int, str]:
+        """Canonical digest of every currently linked fragment object."""
+        return {fid: object_fingerprint(obj) for fid, obj in self.cache.items()}
+
+    def executable_fingerprint(self) -> Optional[str]:
+        """Canonical digest of the current executable (None before build)."""
+        return None if self.executable is None else self.executable.fingerprint()
 
     # -- introspection ------------------------------------------------------------------
 

@@ -126,12 +126,12 @@ class BlockHookExecutor(Executor):
         self.vm = tool.make_vm()
 
     def execute(self, data: bytes) -> ExecOutcome:
-        before = len(self.tool.coverage)
+        # Report only this execution's newly covered blocks (as block
+        # identity hashes); the tool's cumulative set would make every
+        # input look like it covers everything ever covered.
+        before = set(self.tool.coverage)
         result = self._run_vm(self.vm, data)
-        covered = {hash(key) & 0x7FFFFFFF for key in self.tool.coverage} \
-            if len(self.tool.coverage) != before else set()
-        # Report the full covered set as ids (block identity hashes).
-        covered = {hash(key) & 0x7FFFFFFF for key in self.tool.coverage}
+        covered = {hash(key) & 0x7FFFFFFF for key in self.tool.coverage - before}
         return ExecOutcome(result, covered)
 
 

@@ -32,6 +32,7 @@ class FuzzStats:
     corpus_size: int = 0
     coverage: int = 0
     crashes: int = 0
+    prunes: int = 0
     rebuilds: int = 0
     rebuild_ms: float = 0.0
     solved_comparisons: int = 0
@@ -72,8 +73,12 @@ class Fuzzer:
             if (
                 self.prune_interval
                 and isinstance(self.executor, OdinCovExecutor)
-                and self.stats.executions % self.prune_interval == 0
+                # The executor's live counter, not stats.executions: the
+                # latter only syncs after the loop, so reading it here
+                # made the prune fire on every single iteration.
+                and self.executor.executions % self.prune_interval == 0
             ):
+                self.stats.prunes += 1
                 report = self.executor.prune()
                 if report.rebuild is not None:
                     self._note_rebuild(report.rebuild)

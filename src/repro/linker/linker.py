@@ -17,6 +17,7 @@ what lets one cached object participate in many links.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -83,6 +84,40 @@ class Executable:
         if index >= len(self.functions):
             raise LinkError(f"function address {address:#x} out of range")
         return index
+
+    def canonical_bytes(self) -> bytes:
+        """Deterministic serialization of the linked image.
+
+        Everything the VM can observe is included — code, resolution
+        maps, data image, entry points — while link timing is not.  Two
+        executables with equal canonical bytes behave identically on
+        every input, which is the property the ``repro check``
+        differential oracle asserts between incremental and from-scratch
+        builds.
+        """
+        parts = []
+        for lf in self.functions:
+            parts.append(f"func {lf.name} from {lf.object_name}")
+            parts.append(lf.mf.canonical_dump())
+            for sym in sorted(lf.resolution):
+                kind, value = lf.resolution[sym]
+                parts.append(f"  {sym} -> {kind}:{value}")
+        parts.append(
+            "entry " + " ".join(f"{n}:{i}" for n, i in sorted(self.entry_points.items()))
+        )
+        parts.append(f"data_base {self.data_base}")
+        parts.append("data " + self.data_image.hex())
+        parts.append(
+            "symbols "
+            + " ".join(f"{n}:{a}" for n, a in sorted(self.symbol_addresses.items()))
+        )
+        parts.append(
+            "const " + " ".join(f"{a}:{b}" for a, b in sorted(self.const_ranges))
+        )
+        return "\n".join(parts).encode()
+
+    def fingerprint(self) -> str:
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
 
 
 def link(objects: List[ObjectFile]) -> Executable:

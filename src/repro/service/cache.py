@@ -44,6 +44,11 @@ class CodeCache:
         self.misses = 0
         self.puts = 0
         self.evictions = 0
+        # Entries refused because they alone exceed the size budget.
+        self.rejected = 0
+        # Loads that found a corrupt/truncated/unreadable stored entry
+        # and degraded it to a miss.
+        self.integrity_failures = 0
         self._lock = threading.RLock()
 
     # Subclasses implement the raw storage.
@@ -75,6 +80,8 @@ class CodeCache:
                 "misses": self.misses,
                 "puts": self.puts,
                 "evictions": self.evictions,
+                "rejected": self.rejected,
+                "integrity_failures": self.integrity_failures,
                 "hit_rate": self.hits / lookups if lookups else 0.0,
                 "entries": len(self),
                 "bytes": self.size_bytes(),
@@ -108,9 +115,15 @@ class InMemoryCodeCache(CodeCache):
         old = self._entries.pop(key, None)
         if old is not None:
             self._total -= old[1]
+        if size > self.max_bytes:
+            # An entry that alone exceeds the budget can never fit;
+            # admitting it would pin the cache over budget forever.
+            self.rejected += 1
+            return
         self._entries[key] = (obj, size)
         self._total += size
-        while self._total > self.max_bytes and len(self._entries) > 1:
+        # The newest entry fits alone, so this never empties the cache.
+        while self._total > self.max_bytes and self._entries:
             _, (_, evicted_size) = self._entries.popitem(last=False)
             self._total -= evicted_size
             self.evictions += 1
@@ -133,19 +146,32 @@ class PersistentCodeCache(CodeCache):
     Layout: ``<dir>/<key>.obj`` pickled object files plus an
     ``index.json`` carrying sizes and a monotone LRU tick per entry.
     Writes are atomic (temp file + rename), so a crashed writer never
-    corrupts the store; a missing or stale index entry degrades to a
-    cache miss, never an error.
+    corrupts the store; a missing, stale or corrupt entry degrades to a
+    cache miss, never an error and never wrong code (``repro check``
+    injects exactly these faults to prove it).
+
+    LRU recency ticks are persisted lazily: a hit only bumps the
+    in-memory tick, and the index is flushed on stores, evictions and
+    every ``flush_interval`` hits.  A crash loses at most that much
+    recency — never an object.
     """
 
     INDEX = "index.json"
 
-    def __init__(self, directory: str, max_bytes: int = 64 * 1024 * 1024):
+    def __init__(
+        self,
+        directory: str,
+        max_bytes: int = 64 * 1024 * 1024,
+        flush_interval: int = 64,
+    ):
         super().__init__()
         self.directory = directory
         self.max_bytes = max_bytes
+        self.flush_interval = max(flush_interval, 1)
         os.makedirs(directory, exist_ok=True)
         self._index: Dict[str, dict] = {}
         self._tick = 0
+        self._pending_ticks = 0
         self._read_index()
 
     # -- index persistence ----------------------------------------------------
@@ -175,11 +201,22 @@ class PersistentCodeCache(CodeCache):
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(self._index, fh)
             os.replace(tmp, self._index_path())
+            self._pending_ticks = 0
         except OSError:
+            pass  # best-effort persistence; recency is reconstructible
+        finally:
+            # Covers both the OSError path and non-OSError failures
+            # (which propagate) — the temp file must never leak.
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+
+    def flush(self) -> None:
+        """Persist deferred LRU ticks to the on-disk index."""
+        with self._lock:
+            if self._pending_ticks:
+                self._write_index()
 
     def _entry_path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.obj")
@@ -193,17 +230,39 @@ class PersistentCodeCache(CodeCache):
         try:
             with open(self._entry_path(key), "rb") as fh:
                 obj = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError):
+            if not isinstance(obj, ObjectFile):
+                raise pickle.UnpicklingError("stored entry is not an ObjectFile")
+        except Exception:
+            # Unpickling corrupt bytes can raise almost anything
+            # (EOFError, UnpicklingError, AttributeError, struct.error,
+            # ...).  Whatever the fault, drop the entry and report a
+            # miss — never wrong code.
             self._index.pop(key, None)
+            self.integrity_failures += 1
             self._write_index()
             return None
+        # Defer tick persistence: rewriting the whole index on every hit
+        # made each lookup O(index) in JSON work.
         self._tick += 1
         meta["tick"] = self._tick
-        self._write_index()
+        self._pending_ticks += 1
+        if self._pending_ticks >= self.flush_interval:
+            self._write_index()
         return obj
 
     def _store(self, key: str, obj: ObjectFile) -> None:
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(payload) > self.max_bytes:
+            # Refuse entries that alone exceed the budget (and drop any
+            # stale resident copy under the same key).
+            self.rejected += 1
+            if self._index.pop(key, None) is not None:
+                try:
+                    os.unlink(self._entry_path(key))
+                except OSError:
+                    pass
+                self._write_index()
+            return
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         with os.fdopen(fd, "wb") as fh:
             fh.write(payload)
@@ -214,7 +273,10 @@ class PersistentCodeCache(CodeCache):
         self._write_index()
 
     def _evict(self) -> None:
-        while self.size_bytes() > self.max_bytes and len(self._index) > 1:
+        # The entry just stored fits alone, so this cannot evict it; but
+        # an oversized entry inherited from an older store on disk is
+        # evictable — no "keep at least one" guard.
+        while self.size_bytes() > self.max_bytes and self._index:
             victim = min(self._index, key=lambda k: self._index[k]["tick"])
             self._index.pop(victim)
             try:
@@ -238,3 +300,68 @@ class PersistentCodeCache(CodeCache):
                     pass
             self._index.clear()
             self._write_index()
+
+    # -- fault injection (repro check) ----------------------------------------
+
+    FAULT_KINDS = (
+        "truncate-obj",   # entry file cut short mid-payload
+        "corrupt-obj",    # entry bytes overwritten with garbage
+        "delete-obj",     # entry file vanished under the index
+        "torn-obj",       # partial write: valid prefix, zero-filled tail
+        "corrupt-index",  # index.json is not JSON at all
+        "torn-index",     # index.json cut short (crashed non-atomic writer)
+        "stale-index",    # index names an entry whose file never existed
+    )
+
+    def inject_fault(self, kind: str, key: Optional[str] = None) -> None:
+        """Damage the on-disk store the way a crash or torn write would.
+
+        This is a test hook for the differential fault suite
+        (:mod:`repro.check.faults`): every kind must degrade the next
+        lookup to a cache miss, never to wrong code.  Index faults are
+        observed by *reopening* the directory, like a service restart.
+        """
+        if kind not in self.FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        with self._lock:
+            if kind.endswith("-obj"):
+                if key is None:
+                    raise ValueError(f"fault {kind!r} needs a key")
+                path = self._entry_path(key)
+                data = b""
+                try:
+                    with open(path, "rb") as fh:
+                        data = fh.read()
+                except OSError:
+                    pass
+                if kind == "truncate-obj":
+                    with open(path, "wb") as fh:
+                        fh.write(data[: max(len(data) // 2, 1)])
+                elif kind == "corrupt-obj":
+                    with open(path, "wb") as fh:
+                        fh.write(b"\xde\xad" * max(len(data) // 2, 8))
+                elif kind == "torn-obj":
+                    with open(path, "wb") as fh:
+                        fh.write(data[: max(len(data) // 2, 1)])
+                        fh.write(b"\x00" * (len(data) - len(data) // 2))
+                else:  # delete-obj
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+            elif kind == "corrupt-index":
+                with open(self._index_path(), "w", encoding="utf-8") as fh:
+                    fh.write("{ this is not json")
+            elif kind == "torn-index":
+                try:
+                    with open(self._index_path(), "r", encoding="utf-8") as fh:
+                        text = fh.read()
+                except OSError:
+                    text = json.dumps(self._index)
+                with open(self._index_path(), "w", encoding="utf-8") as fh:
+                    fh.write(text[: max(len(text) // 2, 1)])
+            else:  # stale-index
+                stale = dict(self._index)
+                stale["0" * 64] = {"size": 123, "tick": self._tick + 1}
+                with open(self._index_path(), "w", encoding="utf-8") as fh:
+                    json.dump(stale, fh)

@@ -184,6 +184,10 @@ class RecompilationService:
         close = getattr(self.compiler, "close", None)
         if close is not None:
             close()
+        # Persist any deferred LRU ticks (persistent cache only).
+        flush = getattr(self.cache, "flush", None)
+        if flush is not None:
+            flush()
 
     def __enter__(self) -> "RecompilationService":
         return self.start()

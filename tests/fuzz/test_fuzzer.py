@@ -93,6 +93,24 @@ class TestExecutors:
             executor.execute(b"FUZZ")
             assert executor.tool.blocks_covered > 0
 
+    def test_baseline_coverage_is_per_execution_delta(self):
+        """Regression: DrCov/LibInst used to report the full cumulative
+        covered set on every input, so everything looked novel forever."""
+        exe = build(TARGET).executable
+        for cls in (DrCovExecutor, LibInstExecutor):
+            executor = cls(exe)
+            first = executor.execute(b"FUZZ")
+            assert first.coverage  # a fresh tool sees new blocks
+            repeat = executor.execute(b"FUZZ")
+            assert repeat.coverage == set()  # same path: no delta
+            # An input on a previously seen path also reports no delta.
+            executor.execute(b"FxZZ")
+            covered_before = executor.tool.blocks_covered
+            again = executor.execute(b"FxZZ")
+            assert again.coverage == set()
+            # The tool's cumulative map is unaffected by the delta fix.
+            assert executor.tool.blocks_covered == covered_before
+
 
 class TestFuzzerLoop:
     def test_coverage_guided_progress(self):
@@ -110,6 +128,24 @@ class TestFuzzerLoop:
         stats = fuzzer.run(120)
         assert stats.rebuilds >= 1
         assert stats.rebuild_ms > 0
+
+    def test_prune_fires_every_interval_not_every_iteration(self):
+        """Regression: the loop used to read ``stats.executions`` (synced
+        only after the loop, so 0 throughout) and pruned on EVERY
+        iteration instead of every ``prune_interval`` executions."""
+        executor = odincov_executor(prune=True)
+        prune_calls = []
+        original_prune = executor.prune
+        executor.prune = lambda: prune_calls.append(1) or original_prune()
+        fuzzer = Fuzzer(
+            executor, seeds=[b"AAAA", b"FUZ", b"xy"], prune_interval=50
+        )
+        stats = fuzzer.run(120)
+        # 3 seed executions + 120 mutations = executions 4..123, which
+        # cross exactly two multiples of 50 (50 and 100).
+        assert len(prune_calls) == 2
+        assert stats.prunes == 2
+        assert stats.executions == 123
 
     def test_replay_mode(self):
         executor = odincov_executor(prune=False)

@@ -131,15 +131,18 @@ class TestPersistentCache:
         assert reopened.get("k") is not None
 
     def test_eviction_under_size_bound(self, tmp_path):
-        cache = PersistentCodeCache(str(tmp_path), max_bytes=1)
+        entry_size = len(
+            __import__("pickle").dumps(make_object("o0", b"y" * 128))
+        )
+        cache = PersistentCodeCache(str(tmp_path), max_bytes=int(entry_size * 1.5))
         cache.put("k0", make_object("o0", b"y" * 128))
         cache.put("k1", make_object("o1", b"y" * 128))
-        # The bound admits at most one entry; the older one is evicted
+        # The bound admits one entry at a time; the older one is evicted
         # from disk as well as from the index.
         assert cache.evictions >= 1
         assert len(cache) == 1
         assert cache.get("k0") is None
-        reopened = PersistentCodeCache(str(tmp_path), max_bytes=1)
+        reopened = PersistentCodeCache(str(tmp_path), max_bytes=int(entry_size * 1.5))
         assert len(reopened) == 1
 
     def test_corrupt_entry_degrades_to_miss(self, tmp_path):
@@ -155,3 +158,119 @@ class TestPersistentCache:
         (tmp_path / "k.obj").unlink()
         reopened = PersistentCodeCache(str(tmp_path))
         assert len(reopened) == 0
+
+
+class TestOversizedEntries:
+    """Regression: a single entry larger than the whole budget used to be
+    admitted (the eviction loop refused to drop the last entry) and then
+    pinned the cache over budget forever."""
+
+    def test_inmemory_rejects_oversized_entry(self):
+        cache = InMemoryCodeCache(max_bytes=64)
+        cache.put("big", make_object("big", b"y" * 4096))
+        assert len(cache) == 0
+        assert cache.size_bytes() == 0
+        assert cache.stats()["rejected"] == 1
+        assert cache.get("big") is None
+
+    def test_inmemory_oversized_does_not_evict_good_entries(self):
+        probe = len(
+            __import__("pickle").dumps(make_object("x", b"y" * 64))
+        )
+        cache = InMemoryCodeCache(max_bytes=probe * 2)
+        cache.put("good", make_object("o0", b"y" * 64))
+        cache.put("big", make_object("big", b"y" * 8192))
+        assert cache.get("good") is not None
+        assert cache.get("big") is None
+        assert cache.stats()["rejected"] == 1
+
+    def test_persistent_rejects_oversized_entry(self, tmp_path):
+        cache = PersistentCodeCache(str(tmp_path), max_bytes=64)
+        cache.put("big", make_object("big", b"y" * 4096))
+        assert len(cache) == 0
+        assert cache.stats()["rejected"] == 1
+        assert cache.get("big") is None
+        assert not (tmp_path / "big.obj").exists()
+
+    def test_persistent_oversized_replaces_nothing_on_disk(self, tmp_path):
+        entry_size = len(
+            __import__("pickle").dumps(make_object("o0", b"y" * 128))
+        )
+        cache = PersistentCodeCache(str(tmp_path), max_bytes=entry_size * 2)
+        cache.put("k", make_object("o0", b"y" * 128))
+        # Re-storing the same key with an oversized payload must not leave
+        # the stale small copy behind pretending to be the new content.
+        cache.put("k", make_object("o0", b"y" * 65536))
+        assert cache.get("k") is None
+        assert not (tmp_path / "k.obj").exists()
+
+
+class TestIndexPersistence:
+    """Regression: every cache hit used to rewrite the whole index.json
+    just to persist an LRU tick."""
+
+    def test_hits_do_not_rewrite_index_eagerly(self, tmp_path):
+        cache = PersistentCodeCache(str(tmp_path), flush_interval=64)
+        cache.put("k", make_object("a"))
+        index = tmp_path / "index.json"
+        before = index.read_bytes()
+        for _ in range(10):
+            assert cache.get("k") is not None
+        assert index.read_bytes() == before  # ticks deferred in memory
+
+    def test_flush_persists_pending_ticks(self, tmp_path):
+        cache = PersistentCodeCache(str(tmp_path), flush_interval=64)
+        cache.put("k", make_object("a"))
+        index = tmp_path / "index.json"
+        before = index.read_bytes()
+        cache.get("k")
+        cache.flush()
+        assert index.read_bytes() != before
+        cache.flush()  # idempotent: nothing pending, no rewrite
+
+    def test_flush_interval_triggers_persistence(self, tmp_path):
+        cache = PersistentCodeCache(str(tmp_path), flush_interval=3)
+        cache.put("k", make_object("a"))
+        index = tmp_path / "index.json"
+        before = index.read_bytes()
+        cache.get("k")
+        cache.get("k")
+        assert index.read_bytes() == before  # 2 pending < interval
+        cache.get("k")
+        assert index.read_bytes() != before  # 3rd hit crosses the interval
+
+    def test_lru_order_survives_restart_after_flush(self, tmp_path):
+        probe = len(
+            __import__("pickle").dumps(make_object("x", b"y" * 128))
+        )
+        cache = PersistentCodeCache(
+            str(tmp_path), max_bytes=int(probe * 2.5), flush_interval=64
+        )
+        cache.put("k0", make_object("o0", b"y" * 128))
+        cache.put("k1", make_object("o1", b"y" * 128))
+        cache.get("k0")  # k0 most recent, but only in memory
+        cache.flush()
+        reopened = PersistentCodeCache(
+            str(tmp_path), max_bytes=int(probe * 2.5)
+        )
+        reopened.put("k2", make_object("o2", b"y" * 128))
+        assert reopened.get("k1") is None  # k1 was the LRU victim
+        assert reopened.get("k0") is not None
+
+    def test_write_index_cleans_temp_on_failure(self, tmp_path, monkeypatch):
+        """Regression: a non-OSError during serialisation leaked the
+        mkstemp temp file next to index.json forever."""
+        import json as json_module
+
+        cache = PersistentCodeCache(str(tmp_path))
+        cache.put("k", make_object("a"))
+
+        def boom(*args, **kwargs):
+            raise ValueError("unserialisable")
+
+        monkeypatch.setattr(json_module, "dump", boom)
+        with pytest.raises(ValueError):
+            cache.put("k2", make_object("b"))
+        monkeypatch.undo()
+        leftovers = [p for p in tmp_path.iterdir() if p.name.endswith(".idx")]
+        assert leftovers == []
