@@ -1,0 +1,64 @@
+"""Static analysis layer: dataflow engine, probe-integrity sanitizer, lints.
+
+The paper's whole-program-IR design is what "enables sophisticated online
+static analysis" (§1); this package supplies that layer for the repro:
+
+* :mod:`repro.analysis.dataflow` — a generic worklist dataflow engine plus
+  the concrete analyses (liveness, reaching stores, value ranges) the rest
+  of the package is built on;
+* :mod:`repro.analysis.sanitizer` — the probe-integrity sanitizer: a
+  static complement to the dynamic differential oracle in
+  :mod:`repro.check`, run between optimization passes;
+* :mod:`repro.analysis.lints` — an IR lint suite reporting likely source
+  defects (and feeding guided UBSan probe placement);
+* :mod:`repro.analysis.diagnostics` — the structured :class:`Diagnostic`
+  record every check reports through.
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    SEVERITY_ERROR,
+    SEVERITY_NOTE,
+    SEVERITY_WARNING,
+)
+from repro.analysis.dataflow import (
+    BACKWARD,
+    DataflowProblem,
+    DataflowResult,
+    FORWARD,
+    Liveness,
+    ReachingStores,
+    UNINIT,
+    ValueRange,
+    compute_value_ranges,
+    escaping_allocas,
+    may_overflow,
+    solve,
+)
+from repro.analysis.lints import run_lints
+from repro.analysis.sanitizer import (
+    DEFAULT_PROBE_RUNTIMES,
+    ProbeIntegritySanitizer,
+)
+
+__all__ = [
+    "BACKWARD",
+    "DEFAULT_PROBE_RUNTIMES",
+    "DataflowProblem",
+    "DataflowResult",
+    "Diagnostic",
+    "FORWARD",
+    "Liveness",
+    "ProbeIntegritySanitizer",
+    "ReachingStores",
+    "SEVERITY_ERROR",
+    "SEVERITY_NOTE",
+    "SEVERITY_WARNING",
+    "UNINIT",
+    "ValueRange",
+    "compute_value_ranges",
+    "escaping_allocas",
+    "may_overflow",
+    "run_lints",
+    "solve",
+]

@@ -1,0 +1,611 @@
+"""Generic worklist dataflow engine and the concrete analyses built on it.
+
+The engine solves any monotone framework instance over a function's CFG:
+a :class:`DataflowProblem` supplies the direction, the boundary/initial
+states, the meet, and the per-block transfer function; :func:`solve`
+iterates a worklist seeded in reverse-postorder (postorder for backward
+problems) to a fixpoint and returns per-block in/out states.
+
+Concrete instances used by the lint suite and the sanitizer:
+
+* :class:`Liveness` — backward live-variable analysis with SSA-aware
+  edge states (phi uses are live only on their incoming edge);
+* :class:`ReachingStores` — forward may-analysis over non-escaping
+  allocas, tracking which stores (or the :data:`UNINIT` marker) may
+  reach each program point;
+* :func:`compute_value_ranges` — an SCCP-style signed interval analysis
+  with aggressive phi widening, conservative enough to be sound and
+  precise enough to discharge byte-arithmetic overflow checks (guided
+  UBSan placement, ISSUE §tentpole / PartiSan-style selective
+  sanitization).
+
+States must support ``==`` (frozensets and dicts of frozensets do), and
+the meet must be monotone for termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.ir.analysis import predecessor_map, reachable_blocks
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    CallInst,
+    CastInst,
+    FreezeInst,
+    IcmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    SelectInst,
+    StoreInst,
+)
+from repro.ir.module import BasicBlock, Function
+from repro.ir.types import I1, IntType
+from repro.ir.values import Argument, ConstantInt, Value
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class DataflowProblem:
+    """One monotone dataflow framework instance.
+
+    Subclasses set :attr:`direction` and implement the lattice hooks.
+    ``edge`` lets SSA-aware analyses specialise the state flowing along
+    one CFG edge (the default is the identity).
+    """
+
+    direction = FORWARD
+
+    def boundary(self, fn: Function):
+        """State at the entry (forward) or at every exit (backward)."""
+        raise NotImplementedError
+
+    def initial(self, fn: Function):
+        """Optimistic starting state for all non-boundary blocks."""
+        raise NotImplementedError
+
+    def meet(self, a, b):
+        """Combine two states at a control-flow join."""
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, state):
+        """Push *state* through *block*; must not mutate its argument."""
+        raise NotImplementedError
+
+    def edge(self, src: BasicBlock, dst: BasicBlock, state):
+        """Specialise *state* flowing along the edge ``src -> dst``.
+
+        For forward problems the state is ``out[src]`` on its way into
+        *dst*; for backward problems it is ``in[dst]`` on its way back
+        into *src*.
+        """
+        return state
+
+
+@dataclass
+class DataflowResult:
+    """Fixpoint states per block, as produced by :func:`solve`."""
+
+    block_in: Dict[BasicBlock, object]
+    block_out: Dict[BasicBlock, object]
+    iterations: int
+
+
+def solve(problem: DataflowProblem, fn: Function) -> DataflowResult:
+    """Run *problem* to a fixpoint over the reachable CFG of *fn*."""
+    rpo = reachable_blocks(fn)
+    preds = predecessor_map(fn)
+    reachable = set(rpo)
+    forward = problem.direction == FORWARD
+
+    block_in: Dict[BasicBlock, object] = {}
+    block_out: Dict[BasicBlock, object] = {}
+
+    if forward:
+        order = rpo
+        for block in rpo:
+            block_in[block] = problem.initial(fn)
+        block_in[fn.entry] = problem.boundary(fn)
+        for block in rpo:
+            block_out[block] = problem.transfer(block, block_in[block])
+    else:
+        order = list(reversed(rpo))
+        for block in rpo:
+            block_out[block] = (
+                problem.boundary(fn) if not block.successors()
+                else problem.initial(fn)
+            )
+        for block in order:
+            block_in[block] = problem.transfer(block, block_out[block])
+
+    worklist = list(order)
+    queued = set(worklist)
+    iterations = 0
+    while worklist:
+        block = worklist.pop(0)
+        queued.discard(block)
+        iterations += 1
+
+        if forward:
+            incoming = [
+                problem.edge(p, block, block_out[p])
+                for p in preds[block]
+                if p in reachable
+            ]
+            if block is fn.entry:
+                incoming.append(problem.boundary(fn))
+            if incoming:
+                state = incoming[0]
+                for other in incoming[1:]:
+                    state = problem.meet(state, other)
+                block_in[block] = state
+            new_out = problem.transfer(block, block_in[block])
+            if new_out != block_out[block]:
+                block_out[block] = new_out
+                for succ in block.successors():
+                    if succ in reachable and succ not in queued:
+                        worklist.append(succ)
+                        queued.add(succ)
+        else:
+            incoming = [
+                problem.edge(block, s, block_in[s])
+                for s in block.successors()
+                if s in reachable
+            ]
+            if not block.successors():
+                incoming.append(problem.boundary(fn))
+            if incoming:
+                state = incoming[0]
+                for other in incoming[1:]:
+                    state = problem.meet(state, other)
+                block_out[block] = state
+            new_in = problem.transfer(block, block_out[block])
+            if new_in != block_in[block]:
+                block_in[block] = new_in
+                for pred in preds[block]:
+                    if pred in reachable and pred not in queued:
+                        worklist.append(pred)
+                        queued.add(pred)
+
+    return DataflowResult(block_in, block_out, iterations)
+
+
+# -- liveness --------------------------------------------------------------------
+
+
+def _is_tracked_value(v: Value) -> bool:
+    """Values with a local definition: instructions and arguments."""
+    return isinstance(v, (Instruction, Argument))
+
+
+class Liveness(DataflowProblem):
+    """Backward live-variable analysis over SSA values.
+
+    Phi operands are live only along their incoming edge, which is
+    exactly what the ``edge`` hook models; phi *results* are killed at
+    their block head like any other definition.
+    """
+
+    direction = BACKWARD
+
+    def boundary(self, fn: Function):
+        return frozenset()
+
+    def initial(self, fn: Function):
+        return frozenset()
+
+    def meet(self, a, b):
+        return a | b
+
+    def edge(self, src: BasicBlock, dst: BasicBlock, state):
+        live = set(state)
+        for phi in dst.phis():
+            live.discard(phi)
+            value = phi.incoming_for(src)
+            if _is_tracked_value(value):
+                live.add(value)
+        return frozenset(live)
+
+    def transfer(self, block: BasicBlock, state):
+        live = set(state)
+        for inst in reversed(block.instructions):
+            live.discard(inst)
+            if isinstance(inst, PhiInst):
+                continue  # uses accounted on the incoming edges
+            for op in inst.operands:
+                if _is_tracked_value(op):
+                    live.add(op)
+        return frozenset(live)
+
+
+# -- reaching stores / may-uninitialized -----------------------------------------
+
+
+class _Uninit:
+    """Singleton marker: the alloca's initial, unwritten state."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<uninit>"
+
+
+UNINIT = _Uninit()
+
+
+def escaping_allocas(fn: Function) -> Set[AllocaInst]:
+    """Allocas whose address leaves the load/store-pointer discipline.
+
+    Once the address escapes (passed to a call, stored somewhere, used in
+    address arithmetic) stores through unknown pointers may alias it, so
+    slot-precise analyses must give up on it.
+    """
+    escaped: Set[AllocaInst] = set()
+    for inst in fn.instructions():
+        ops = list(inst.operands)
+        if isinstance(inst, PhiInst):
+            ops.extend(inst.used_values())
+        for i, op in enumerate(ops):
+            if not isinstance(op, AllocaInst):
+                continue
+            if isinstance(inst, LoadInst) and op is inst.pointer:
+                continue
+            if isinstance(inst, StoreInst) and i == 1 and op is inst.pointer:
+                continue
+            escaped.add(op)
+    return escaped
+
+
+class ReachingStores(DataflowProblem):
+    """Forward may-analysis: which stores may reach each point, per slot.
+
+    The state maps each tracked (non-escaping) alloca to the set of
+    :class:`StoreInst` that may have written it last, with
+    :data:`UNINIT` standing in for "never written since allocation".
+    A load observing :data:`UNINIT` is a may-uninitialized use.
+    """
+
+    direction = FORWARD
+
+    def __init__(self, tracked: Iterable[AllocaInst]):
+        self.tracked = set(tracked)
+
+    def boundary(self, fn: Function):
+        return {}
+
+    def initial(self, fn: Function):
+        return {}
+
+    def meet(self, a, b):
+        merged = dict(a)
+        for slot, defs in b.items():
+            merged[slot] = merged.get(slot, frozenset()) | defs
+        return merged
+
+    def transfer(self, block: BasicBlock, state):
+        out = dict(state)
+        for inst in block.instructions:
+            self.step(inst, out)
+        return out
+
+    def step(self, inst: Instruction, state: Dict) -> None:
+        """Apply one instruction's effect to *state* in place."""
+        if isinstance(inst, AllocaInst) and inst in self.tracked:
+            state[inst] = frozenset([UNINIT])
+        elif isinstance(inst, StoreInst) and inst.pointer in self.tracked:
+            state[inst.pointer] = frozenset([inst])
+
+
+# -- signed value-range (SCCP-style interval) analysis ----------------------------
+
+
+@dataclass(frozen=True)
+class ValueRange:
+    """Inclusive signed interval ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self):
+        if self.lo > self.hi:
+            raise ValueError(f"empty range [{self.lo}, {self.hi}]")
+
+    def hull(self, other: "ValueRange") -> "ValueRange":
+        return ValueRange(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def is_nonnegative(self) -> bool:
+        return self.lo >= 0
+
+    def contains(self, other: "ValueRange") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+def full_range(ty: IntType) -> ValueRange:
+    """The whole signed range of *ty* (i1 is the 0/1 pair)."""
+    if ty is I1:
+        return ValueRange(0, 1)
+    return ValueRange(ty.smin, ty.smax)
+
+
+def _clamp(lo: int, hi: int, ty: IntType) -> ValueRange:
+    """The computed interval if it fits the type, else the full range."""
+    full = full_range(ty)
+    if full.lo <= lo and hi <= full.hi:
+        return ValueRange(lo, hi)
+    return full
+
+
+def _icmp_range(inst: "IcmpInst", range_of) -> ValueRange:
+    """[0, 1], narrowed to a single point when the operand intervals
+    decide the (signed) predicate outright."""
+    a, b = range_of(inst.lhs), range_of(inst.rhs)
+    if a is not None and b is not None:
+        verdict = None
+        pred = inst.predicate
+        if pred == "eq":
+            if a.lo == a.hi == b.lo == b.hi:
+                verdict = True
+            elif a.hi < b.lo or b.hi < a.lo:
+                verdict = False
+        elif pred == "ne":
+            if a.hi < b.lo or b.hi < a.lo:
+                verdict = True
+            elif a.lo == a.hi == b.lo == b.hi:
+                verdict = False
+        elif pred in ("slt", "ult") and (
+            pred == "slt" or (a.is_nonnegative() and b.is_nonnegative())
+        ):
+            if a.hi < b.lo:
+                verdict = True
+            elif a.lo >= b.hi:
+                verdict = False
+        elif pred in ("sle", "ule") and (
+            pred == "sle" or (a.is_nonnegative() and b.is_nonnegative())
+        ):
+            if a.hi <= b.lo:
+                verdict = True
+            elif a.lo > b.hi:
+                verdict = False
+        elif pred in ("sgt", "ugt") and (
+            pred == "sgt" or (a.is_nonnegative() and b.is_nonnegative())
+        ):
+            if a.lo > b.hi:
+                verdict = True
+            elif a.hi <= b.lo:
+                verdict = False
+        elif pred in ("sge", "uge") and (
+            pred == "sge" or (a.is_nonnegative() and b.is_nonnegative())
+        ):
+            if a.lo >= b.hi:
+                verdict = True
+            elif a.hi < b.lo:
+                verdict = False
+        if verdict is not None:
+            point = 1 if verdict else 0
+            return ValueRange(point, point)
+    return ValueRange(0, 1)
+
+
+_MAX_SWEEPS = 16
+
+
+def compute_value_ranges(fn: Function) -> Dict[Value, ValueRange]:
+    """Signed value ranges for every integer SSA value in *fn*.
+
+    RPO sweeps to a fixpoint.  Phis are widened aggressively: any growth
+    after a phi's first assignment jumps it to the full type range, so
+    loop counters converge in two sweeps instead of tracing every trip.
+    The result is a sound over-approximation — unknown producers (loads,
+    calls, arguments) are the full range of their type.
+    """
+    rpo = reachable_blocks(fn)
+    ranges: Dict[Value, ValueRange] = {}
+
+    def range_of(v: Value) -> Optional[ValueRange]:
+        if isinstance(v, ConstantInt):
+            return ValueRange(v.signed, v.signed)
+        if v in ranges:
+            return ranges[v]
+        if isinstance(v.type, IntType):
+            return full_range(v.type)
+        return None
+
+    def optimistic_range_of(v: Value) -> Optional[ValueRange]:
+        # Phi merges treat not-yet-visited instructions as bottom (skip)
+        # instead of the full range, so a loop phi's first assignment
+        # sees only its entry edge — the SCCP-style optimistic start.
+        if isinstance(v, ConstantInt):
+            return ValueRange(v.signed, v.signed)
+        if v in ranges:
+            return ranges[v]
+        if isinstance(v, Instruction):
+            return None
+        if isinstance(v.type, IntType):
+            return full_range(v.type)
+        return None
+
+    for _ in range(_MAX_SWEEPS):
+        changed = False
+        for block in rpo:
+            for inst in block.instructions:
+                if not isinstance(inst.type, IntType):
+                    continue
+                if isinstance(inst, PhiInst):
+                    new = None
+                    for value, _pred in inst.incoming:
+                        r = optimistic_range_of(value)
+                        if r is not None:
+                            new = r if new is None else new.hull(r)
+                    if new is None:
+                        continue  # every incoming still bottom: stay there
+                else:
+                    new = _transfer_range(inst, range_of)
+                    if new is None:
+                        new = full_range(inst.type)
+                old = ranges.get(inst)
+                if old is not None and new != old:
+                    # A phi that keeps growing is a loop cycle: jump it
+                    # to the full range rather than tracing every trip.
+                    if isinstance(inst, PhiInst) and not old.contains(new):
+                        new = full_range(inst.type)
+                if new != old:
+                    ranges[inst] = new
+                    changed = True
+        if not changed:
+            return ranges
+
+    # Did not converge (pathological CFG): keep only what is trivially
+    # sound — constants stay exact, everything else is the full range.
+    return {
+        v: (r if isinstance(v, ConstantInt) else full_range(v.type))
+        for v, r in ranges.items()
+    }
+
+
+def _transfer_range(inst: Instruction, range_of) -> Optional[ValueRange]:
+    """Interval transfer for one instruction; None means "no idea"."""
+    ty = inst.type
+    if isinstance(inst, BinaryInst):
+        return _binary_range(inst, range_of)
+    if isinstance(inst, IcmpInst):
+        return _icmp_range(inst, range_of)
+    if isinstance(inst, CastInst):
+        src = range_of(inst.value)
+        if inst.opcode == "zext":
+            if src is not None and src.is_nonnegative():
+                return ValueRange(src.lo, src.hi)
+            return ValueRange(0, inst.value.type.umax)
+        if inst.opcode == "sext":
+            return None if src is None else ValueRange(src.lo, src.hi)
+        if inst.opcode == "trunc":
+            full = full_range(ty)
+            if src is not None and full.contains(src):
+                return ValueRange(src.lo, src.hi)
+            return full
+        return None  # ptrtoint / inttoptr
+    if isinstance(inst, SelectInst):
+        a, b = range_of(inst.if_true), range_of(inst.if_false)
+        if a is None or b is None:
+            return None
+        return a.hull(b)
+    if isinstance(inst, PhiInst):
+        merged: Optional[ValueRange] = None
+        for value, _ in inst.incoming:
+            r = range_of(value)
+            if r is None:
+                return None
+            merged = r if merged is None else merged.hull(r)
+        return merged
+    if isinstance(inst, FreezeInst):
+        return range_of(inst.value)
+    return None  # load, call, alloca result, ...
+
+
+def _binary_range(inst: BinaryInst, range_of) -> Optional[ValueRange]:
+    ty = inst.type
+    a, b = range_of(inst.lhs), range_of(inst.rhs)
+    if a is None or b is None:
+        return None
+    op = inst.opcode
+    if op == "add":
+        return _clamp(a.lo + b.lo, a.hi + b.hi, ty)
+    if op == "sub":
+        return _clamp(a.lo - b.hi, a.hi - b.lo, ty)
+    if op == "mul":
+        products = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+        return _clamp(min(products), max(products), ty)
+    if op in ("sdiv", "srem", "udiv", "urem"):
+        return _division_range(op, a, b, ty)
+    if op == "and":
+        # x & m keeps only bits set in m: when either side is a
+        # non-negative mask the result lies in [0, that side's hi],
+        # whatever the sign of the other operand.
+        bounds = [r.hi for r in (a, b) if r.is_nonnegative()]
+        if not bounds:
+            return full_range(ty)
+        return _clamp(0, min(bounds), ty)
+    if op in ("or", "xor"):
+        if not (a.is_nonnegative() and b.is_nonnegative()):
+            return full_range(ty)
+        # or/xor cannot set bits above the highest operand bit
+        bits = max(a.hi.bit_length(), b.hi.bit_length())
+        return _clamp(0, (1 << bits) - 1, ty)
+    if op in ("shl", "lshr", "ashr"):
+        return _shift_range(op, inst, a, ty)
+    return full_range(ty)
+
+
+def _division_range(op: str, a: ValueRange, b: ValueRange,
+                    ty: IntType) -> ValueRange:
+    if b.lo <= 0 <= b.hi:
+        return full_range(ty)  # possible division by zero: anything goes
+    if op in ("udiv", "urem") and not (a.is_nonnegative() and b.is_nonnegative()):
+        return full_range(ty)  # unsigned view of a negative value is huge
+    if op in ("sdiv", "udiv"):
+        # |a / b| <= |a| for |b| >= 1; sdiv INT_MIN, -1 wraps but the
+        # clamp to the type range keeps the bound sound.
+        bound = max(abs(a.lo), abs(a.hi))
+        lo = 0 if a.is_nonnegative() else -bound
+        return _clamp(lo, bound, ty)
+    # remainder magnitude is bounded by |b| - 1; its sign follows a
+    bound = max(abs(b.lo), abs(b.hi)) - 1
+    lo = 0 if a.is_nonnegative() else -bound
+    hi = bound if a.hi > 0 else 0
+    return _clamp(min(lo, hi), max(lo, hi), ty)
+
+
+def _shift_range(op: str, inst: BinaryInst, a: ValueRange,
+                 ty: IntType) -> ValueRange:
+    if not isinstance(inst.rhs, ConstantInt):
+        return full_range(ty)
+    k = inst.rhs.value
+    if k >= ty.bits:
+        return full_range(ty)  # poison in LLVM; treat as unknown
+    if op == "shl":
+        return _clamp(a.lo << k, a.hi << k, ty)
+    if op == "ashr":
+        return _clamp(a.lo >> k, a.hi >> k, ty)
+    # lshr on a possibly-negative value reinterprets the sign bit
+    if not a.is_nonnegative():
+        return _clamp(0, ty.umax >> k, ty)
+    return _clamp(a.lo >> k, a.hi >> k, ty)
+
+
+_OVERFLOW_OPCODES = ("add", "sub", "mul")
+
+
+def may_overflow(inst: Instruction,
+                 ranges: Dict[Value, ValueRange]) -> bool:
+    """Whether signed overflow of *inst* cannot be ruled out.
+
+    The decision procedure behind guided UBSan placement: recompute the
+    mathematical (unclamped) result interval from the operand ranges and
+    test it against the type's signed bounds.  ``True`` is the safe
+    answer for anything unknown.
+    """
+    if not (isinstance(inst, BinaryInst) and inst.opcode in _OVERFLOW_OPCODES):
+        return False
+    ty = inst.type
+    if not isinstance(ty, IntType) or ty is I1:
+        return True
+
+    def operand_range(v: Value) -> ValueRange:
+        if isinstance(v, ConstantInt):
+            return ValueRange(v.signed, v.signed)
+        return ranges.get(v, full_range(v.type))
+
+    a = operand_range(inst.lhs)
+    b = operand_range(inst.rhs)
+    if inst.opcode == "add":
+        lo, hi = a.lo + b.lo, a.hi + b.hi
+    elif inst.opcode == "sub":
+        lo, hi = a.lo - b.hi, a.hi - b.lo
+    else:
+        products = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+        lo, hi = min(products), max(products)
+    return not (ty.smin <= lo and hi <= ty.smax)

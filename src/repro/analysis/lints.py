@@ -1,0 +1,243 @@
+"""IR lint suite built on the dataflow engine.
+
+Each lint walks one function with the analyses from
+:mod:`repro.analysis.dataflow` and reports findings as
+:class:`Diagnostic` records:
+
+========================  ========  =======================================
+check                     severity  meaning
+========================  ========  =======================================
+``unreachable-block``     warning   block cannot be reached from the entry
+``dead-store``            warning   store to a local never read afterwards
+``uninitialized-load``    warning   load may observe an unwritten local
+``constant-condition``    warning   branch condition provably constant
+``overflow-candidate``    note      signed overflow cannot be ruled out
+========================  ========  =======================================
+
+``overflow-candidate`` doubles as the placement oracle for guided UBSan
+instrumentation (:meth:`repro.instrument.ubsan.UBSanTool
+.add_all_overflow_probes` with ``guided=True``): probes are only emitted
+where the range analysis cannot prove safety — the PartiSan-style
+"sanitize selectively" idea, decided statically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.dataflow import (
+    BACKWARD,
+    DataflowProblem,
+    ReachingStores,
+    UNINIT,
+    compute_value_ranges,
+    escaping_allocas,
+    may_overflow,
+    solve,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    SEVERITY_NOTE,
+    SEVERITY_WARNING,
+)
+from repro.ir.analysis import reachable_blocks
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    LoadInst,
+    StoreInst,
+)
+from repro.ir.module import Function, Module
+from repro.ir.values import ConstantInt
+
+ALL_LINTS = (
+    "unreachable-block",
+    "dead-store",
+    "uninitialized-load",
+    "constant-condition",
+    "overflow-candidate",
+)
+
+
+def run_lints(
+    module: Module, checks: Optional[Iterable[str]] = None
+) -> List[Diagnostic]:
+    """Run the lint suite over every defined function of *module*."""
+    enabled = set(checks) if checks is not None else set(ALL_LINTS)
+    unknown = enabled - set(ALL_LINTS)
+    if unknown:
+        raise ValueError(f"unknown lints: {sorted(unknown)}")
+    diags: List[Diagnostic] = []
+    for fn in module.defined_functions():
+        if "unreachable-block" in enabled:
+            diags.extend(lint_unreachable_blocks(fn))
+        if "dead-store" in enabled:
+            diags.extend(lint_dead_stores(fn))
+        if "uninitialized-load" in enabled:
+            diags.extend(lint_uninitialized_loads(fn))
+        if "constant-condition" in enabled:
+            diags.extend(lint_constant_conditions(fn))
+        if "overflow-candidate" in enabled:
+            diags.extend(lint_overflow_candidates(fn))
+    return diags
+
+
+def _tracked_allocas(fn: Function) -> List[AllocaInst]:
+    escaped = escaping_allocas(fn)
+    return [
+        inst for inst in fn.instructions()
+        if isinstance(inst, AllocaInst) and inst not in escaped
+    ]
+
+
+def lint_unreachable_blocks(fn: Function) -> List[Diagnostic]:
+    reachable = set(reachable_blocks(fn))
+    return [
+        Diagnostic(
+            severity=SEVERITY_WARNING,
+            check="unreachable-block",
+            message="block is unreachable from the function entry",
+            function=fn.name,
+            block=block.name,
+        )
+        for block in fn.blocks
+        if block not in reachable
+    ]
+
+
+class _SlotLiveness(DataflowProblem):
+    """Backward liveness of alloca *slots* (not SSA values): a slot is
+    live when some path to an exit loads it before storing over it."""
+
+    direction = BACKWARD
+
+    def __init__(self, tracked: Iterable[AllocaInst]):
+        self.tracked = set(tracked)
+
+    def boundary(self, fn: Function):
+        return frozenset()
+
+    def initial(self, fn: Function):
+        return frozenset()
+
+    def meet(self, a, b):
+        return a | b
+
+    def transfer(self, block, state):
+        live = set(state)
+        for inst in reversed(block.instructions):
+            if isinstance(inst, LoadInst) and inst.pointer in self.tracked:
+                live.add(inst.pointer)
+            elif isinstance(inst, StoreInst) and inst.pointer in self.tracked:
+                live.discard(inst.pointer)
+        return frozenset(live)
+
+
+def lint_dead_stores(fn: Function) -> List[Diagnostic]:
+    tracked = _tracked_allocas(fn)
+    if not tracked:
+        return []
+    problem = _SlotLiveness(tracked)
+    result = solve(problem, fn)
+    diags: List[Diagnostic] = []
+    for block in reachable_blocks(fn):
+        live = set(result.block_out[block])
+        for inst in reversed(block.instructions):
+            if isinstance(inst, LoadInst) and inst.pointer in problem.tracked:
+                live.add(inst.pointer)
+            elif isinstance(inst, StoreInst) and inst.pointer in problem.tracked:
+                if inst.pointer not in live:
+                    diags.append(Diagnostic(
+                        severity=SEVERITY_WARNING,
+                        check="dead-store",
+                        message=(
+                            f"store to %{inst.pointer.name} is never read"
+                        ),
+                        function=fn.name,
+                        block=block.name,
+                    ))
+                live.discard(inst.pointer)
+    return diags
+
+
+def lint_uninitialized_loads(fn: Function) -> List[Diagnostic]:
+    tracked = _tracked_allocas(fn)
+    if not tracked:
+        return []
+    problem = ReachingStores(tracked)
+    result = solve(problem, fn)
+    diags: List[Diagnostic] = []
+    for block in reachable_blocks(fn):
+        state: Dict = dict(result.block_in[block])
+        for inst in block.instructions:
+            if (
+                isinstance(inst, LoadInst)
+                and inst.pointer in problem.tracked
+                and UNINIT in state.get(inst.pointer, frozenset())
+            ):
+                diags.append(Diagnostic(
+                    severity=SEVERITY_WARNING,
+                    check="uninitialized-load",
+                    message=(
+                        f"%{inst.name} may read %{inst.pointer.name} "
+                        f"before it is written"
+                    ),
+                    function=fn.name,
+                    block=block.name,
+                ))
+            problem.step(inst, state)
+    return diags
+
+
+def lint_constant_conditions(fn: Function) -> List[Diagnostic]:
+    ranges = compute_value_ranges(fn)
+    diags: List[Diagnostic] = []
+    for block in reachable_blocks(fn):
+        term = block.terminator
+        if not (isinstance(term, BranchInst) and term.is_conditional):
+            continue
+        cond = term.cond
+        verdict = None
+        if isinstance(cond, ConstantInt):
+            verdict = bool(cond.value)
+        else:
+            r = ranges.get(cond)
+            if r is not None and r.lo == r.hi:
+                verdict = bool(r.lo)
+        if verdict is not None:
+            diags.append(Diagnostic(
+                severity=SEVERITY_WARNING,
+                check="constant-condition",
+                message=(
+                    f"branch condition is always "
+                    f"{'true' if verdict else 'false'}"
+                ),
+                function=fn.name,
+                block=block.name,
+            ))
+    return diags
+
+
+def lint_overflow_candidates(fn: Function) -> List[Diagnostic]:
+    ranges = compute_value_ranges(fn)
+    diags: List[Diagnostic] = []
+    for block in reachable_blocks(fn):
+        for inst in block.instructions:
+            if (
+                isinstance(inst, BinaryInst)
+                and inst.opcode in ("add", "sub", "mul")
+                and inst.type.bits < 64
+                and may_overflow(inst, ranges)
+            ):
+                diags.append(Diagnostic(
+                    severity=SEVERITY_NOTE,
+                    check="overflow-candidate",
+                    message=(
+                        f"signed {inst.opcode} %{inst.name} may overflow "
+                        f"{inst.type}"
+                    ),
+                    function=fn.name,
+                    block=block.name,
+                ))
+    return diags

@@ -1,0 +1,301 @@
+"""Probe-integrity sanitizer: static distortion detection at pass boundaries.
+
+The paper's correctness argument (§2.2) is that instrument-first probes act
+as optimization barriers: a probe inserted into un-optimized IR must reach
+the backend un-distorted.  The differential oracle in :mod:`repro.check`
+verifies this *dynamically*; this sanitizer verifies it *statically*, in
+milliseconds, between optimization passes — and attributes any violation
+to the pass that introduced it.
+
+It watches the module-level footprint probes leave after instrumentation:
+calls to the probe runtimes (``__odin_cov_hit``, ``__cmplog_hit``, ...)
+whose first argument is the constant probe id.  After each pass it
+re-snapshots that footprint and diffs it against the previous one:
+
+* a probe call that vanished from live, reachable code → **probe-erased**
+  (the paper's CFG-restructuring distortion: a CovProbe block merged or
+  deleted while enabled);
+* a CmpProbe whose frozen value operands all became constants →
+  **probe-operands-folded** (comparison folding: instcombine must not
+  rewrite across the ``freeze`` barrier);
+* a probe call left only in dead or unreachable code → a
+  **probe-unreachable** warning (coverage silently lost);
+* a probe runtime symbol internalized, turned into a definition (an
+  inlining enabler) or dropped while calls remain → value-shifting
+  hazards on the runtime boundary itself.
+
+Pass-to-pass diffing is what makes the clean pipeline run silent: a probe
+inside an internal function that is dead on arrival (no callers in its
+fragment) is legitimately removed by globaldce, and because the previous
+snapshot already marked it non-live the sanitizer stays quiet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+)
+from repro.ir.analysis import executable_blocks
+from repro.ir.instructions import CallInst
+from repro.ir.module import Function, Module
+from repro.ir.values import Constant, ConstantInt, GlobalAlias
+
+# Runtime symbols whose calls carry a leading constant probe id.  Literal
+# names (not imports from repro.instrument) so the analysis layer stays
+# import-cycle-free below the instrumentation tools.
+DEFAULT_PROBE_RUNTIMES = (
+    "__odin_cov_hit",
+    "__cmplog_hit",
+    "__ubsan_check",
+    "__asan_check",
+    "__sancov_hit",
+)
+
+# Runtimes whose value operands are pinned with ``freeze`` at
+# instrumentation time: every live call keeps at least one non-constant
+# argument, so an all-constant argument list proves a pass folded through
+# the barrier.  (UBSan/ASan conditions may legitimately fold to a
+# constant when the check is provably never-firing, so they are not
+# listed here.)
+FROZEN_OPERAND_RUNTIMES = ("__cmplog_hit",)
+
+
+@dataclass(frozen=True)
+class _Occurrence:
+    """One probe call site in one snapshot."""
+
+    function: str
+    block: str
+    reachable: bool        # block executable from the function entry
+    live: bool             # function reachable from an external root
+    const_value_args: bool  # every argument past the probe id is constant
+
+
+@dataclass
+class _Snapshot:
+    """Module probe footprint after one pass."""
+
+    # (runtime symbol, probe id) -> call sites
+    occurrences: Dict[Tuple[str, int], List[_Occurrence]]
+    # runtime symbol -> (linkage, is_declaration)
+    runtime_state: Dict[str, Tuple[str, bool]]
+
+
+def _live_function_names(module: Module) -> Set[str]:
+    """Functions reachable from the module's external-linkage roots."""
+    roots: List[Function] = []
+    for symbol in module.symbols.values():
+        if isinstance(symbol, Function) and not symbol.is_declaration():
+            if not symbol.is_internal:
+                roots.append(symbol)
+        elif isinstance(symbol, GlobalAlias) and not symbol.is_internal:
+            if isinstance(symbol.aliasee, Function):
+                roots.append(symbol.aliasee)
+    live: Set[str] = set()
+    stack = list(roots)
+    while stack:
+        fn = stack.pop()
+        if fn.name in live:
+            continue
+        live.add(fn.name)
+        if fn.is_declaration():
+            continue
+        for ref in fn.referenced_globals():
+            target = ref.aliasee if isinstance(ref, GlobalAlias) else ref
+            if isinstance(target, Function) and target.name not in live:
+                stack.append(target)
+    return live
+
+
+class ProbeIntegritySanitizer:
+    """Watches one module's probe footprint across a pass pipeline.
+
+    Construct it over the instrumented module *before* optimization, then
+    call :meth:`advance` after every pass; each call returns the
+    :class:`Diagnostic` list for that pass (empty when clean).
+    """
+
+    def __init__(self, module: Module, runtimes: Optional[Iterable[str]] = None):
+        self.module = module
+        self.runtimes = tuple(runtimes) if runtimes else DEFAULT_PROBE_RUNTIMES
+        self._snapshot = self._capture()
+
+    # -- snapshotting ------------------------------------------------------------
+
+    def _capture(self) -> _Snapshot:
+        occurrences: Dict[Tuple[str, int], List[_Occurrence]] = {}
+        live = _live_function_names(self.module)
+        runtime_names = set(self.runtimes)
+        for fn in self.module.defined_functions():
+            # Executable (not merely edge-connected) reachability: the
+            # never-taken arm of a constant-folded branch no longer
+            # protects its probes — removing them is legitimate.
+            reachable = set(executable_blocks(fn))
+            fn_live = fn.name in live
+            for block in fn.blocks:
+                for inst in block.instructions:
+                    if not isinstance(inst, CallInst):
+                        continue
+                    callee = inst.called_function_name()
+                    if callee not in runtime_names:
+                        continue
+                    args = inst.args
+                    if not args or not isinstance(args[0], ConstantInt):
+                        continue  # not a probe-shaped call
+                    occ = _Occurrence(
+                        function=fn.name,
+                        block=block.name,
+                        reachable=block in reachable,
+                        live=fn_live,
+                        const_value_args=all(
+                            isinstance(a, Constant) for a in args[1:]
+                        ),
+                    )
+                    key = (callee, args[0].signed)
+                    occurrences.setdefault(key, []).append(occ)
+        runtime_state: Dict[str, Tuple[str, bool]] = {}
+        for name in self.runtimes:
+            symbol = self.module.get_or_none(name)
+            if symbol is not None:
+                runtime_state[name] = (symbol.linkage, symbol.is_declaration())
+        return _Snapshot(occurrences, runtime_state)
+
+    # -- the check ---------------------------------------------------------------
+
+    def advance(self, pass_name: str) -> List[Diagnostic]:
+        """Diff the module against the last snapshot; attribute findings
+        to *pass_name*; make the new state the baseline."""
+        prev, cur = self._snapshot, self._capture()
+        self._snapshot = cur
+        diags: List[Diagnostic] = []
+        diags.extend(self._check_occurrences(prev, cur, pass_name))
+        diags.extend(self._check_runtimes(prev, cur, pass_name))
+        return diags
+
+    def check_module(self) -> List[Diagnostic]:
+        """One-shot consistency report on the current module state:
+        warnings for probes that exist only in dead or unreachable code."""
+        cur = self._capture()
+        diags: List[Diagnostic] = []
+        for (runtime, probe_id), occs in sorted(cur.occurrences.items()):
+            if not any(o.live and o.reachable for o in occs):
+                diags.append(Diagnostic(
+                    severity=SEVERITY_WARNING,
+                    check="probe-unreachable",
+                    message=(
+                        f"every call to @{runtime} for this probe sits in "
+                        f"dead or unreachable code"
+                    ),
+                    function=occs[0].function,
+                    block=occs[0].block,
+                    probe_id=probe_id,
+                ))
+        return diags
+
+    def _check_occurrences(
+        self, prev: _Snapshot, cur: _Snapshot, pass_name: str
+    ) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        for key, prev_occs in sorted(prev.occurrences.items()):
+            runtime, probe_id = key
+            prev_live = [o for o in prev_occs if o.live and o.reachable]
+            if not prev_live:
+                continue  # already dead before this pass: nothing to lose
+            cur_occs = cur.occurrences.get(key, [])
+            if not cur_occs:
+                diags.append(Diagnostic(
+                    severity=SEVERITY_ERROR,
+                    check="probe-erased",
+                    message=(
+                        f"call to @{runtime} disappeared from live code "
+                        f"(was in @{prev_live[0].function}:"
+                        f"{prev_live[0].block})"
+                    ),
+                    function=prev_live[0].function,
+                    block=prev_live[0].block,
+                    pass_name=pass_name,
+                    probe_id=probe_id,
+                ))
+                continue
+            cur_live = [o for o in cur_occs if o.live and o.reachable]
+            if not cur_live:
+                diags.append(Diagnostic(
+                    severity=SEVERITY_WARNING,
+                    check="probe-unreachable",
+                    message=(
+                        f"call to @{runtime} survives only in dead or "
+                        f"unreachable code"
+                    ),
+                    function=cur_occs[0].function,
+                    block=cur_occs[0].block,
+                    pass_name=pass_name,
+                    probe_id=probe_id,
+                ))
+                continue
+            if runtime in FROZEN_OPERAND_RUNTIMES:
+                if (any(not o.const_value_args for o in prev_live)
+                        and all(o.const_value_args for o in cur_live)):
+                    diags.append(Diagnostic(
+                        severity=SEVERITY_ERROR,
+                        check="probe-operands-folded",
+                        message=(
+                            f"every value operand of @{runtime} became a "
+                            f"constant; a pass folded through the freeze "
+                            f"barrier"
+                        ),
+                        function=cur_live[0].function,
+                        block=cur_live[0].block,
+                        pass_name=pass_name,
+                        probe_id=probe_id,
+                    ))
+        return diags
+
+    def _check_runtimes(
+        self, prev: _Snapshot, cur: _Snapshot, pass_name: str
+    ) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        for name, (linkage, was_decl) in sorted(prev.runtime_state.items()):
+            calls_remain = any(
+                key[0] == name and any(o.live and o.reachable for o in occs)
+                for key, occs in cur.occurrences.items()
+            )
+            state = cur.runtime_state.get(name)
+            if state is None:
+                if calls_remain:
+                    diags.append(Diagnostic(
+                        severity=SEVERITY_ERROR,
+                        check="probe-runtime-removed",
+                        message=(
+                            f"probe runtime @{name} was removed from the "
+                            f"module while live calls to it remain"
+                        ),
+                        pass_name=pass_name,
+                    ))
+                continue
+            new_linkage, is_decl = state
+            if linkage == "external" and new_linkage == "internal":
+                diags.append(Diagnostic(
+                    severity=SEVERITY_ERROR,
+                    check="probe-runtime-internalized",
+                    message=(
+                        f"probe runtime @{name} was internalized; its "
+                        f"calls no longer bind to the shared runtime"
+                    ),
+                    pass_name=pass_name,
+                ))
+            if was_decl and not is_decl:
+                diags.append(Diagnostic(
+                    severity=SEVERITY_ERROR,
+                    check="probe-runtime-defined",
+                    message=(
+                        f"probe runtime @{name} gained a body; a pass may "
+                        f"now inline the probe away"
+                    ),
+                    pass_name=pass_name,
+                ))
+        return diags

@@ -9,6 +9,9 @@ Commands:
 * ``check [PROGRAMS]`` — the differential rebuild oracle: replay random
   probe-state schedules incrementally and from scratch, assert byte- and
   behaviour-equivalence, and run cache-fault + invariant suites
+* ``lint [PROGRAMS]`` — the static layer: run the IR lint suite over each
+  target and drive a fully instrumented build with the probe-integrity
+  sanitizer between passes; exits non-zero on sanitizer errors
 * ``experiment NAME`` — regenerate one of the paper's tables/figures
 * ``serve PROGRAM`` — run the recompilation service under a synthetic
   multi-client probe-flip workload and report its metrics
@@ -178,6 +181,57 @@ def cmd_check(args) -> int:
 
             print(f"cache faults: {len(PersistentCodeCache.FAULT_KINDS)} "
                   f"scenarios, all degraded to a miss")
+    print("FAIL" if failed else "PASS")
+    return 1 if failed else 0
+
+
+def cmd_lint(args) -> int:
+    """IR lint suite + probe-integrity-sanitized instrumented build."""
+    from collections import Counter
+
+    from repro.instrument.cmplog import add_cmp_probes
+
+    programs = [get_program(n) for n in args.programs] if args.programs \
+        else list(all_programs())
+    failed = False
+    for program in programs:
+        engine = Odin(
+            program.compile(), preserve=PRESERVED,
+            opt_level=args.opt, sanitize=not args.no_sanitize,
+        )
+        diags = engine.lint()
+        warnings = [d for d in diags if d.severity == "warning"]
+        notes = [d for d in diags if d.severity == "note"]
+        for d in warnings:
+            print(f"  {d}")
+        if args.notes:
+            for d in notes:
+                print(f"  {d}")
+
+        sanitizer_errors = []
+        sanitizer_warnings = []
+        if not args.no_sanitize:
+            tool = OdinCov(engine)
+            tool.add_all_block_probes()
+            add_cmp_probes(engine)
+            engine.initial_build()
+            sanitizer_errors = [
+                d for d in engine.sanitizer_diagnostics if d.is_error
+            ]
+            sanitizer_warnings = [
+                d for d in engine.sanitizer_diagnostics if not d.is_error
+            ]
+            for d in sanitizer_errors + sanitizer_warnings:
+                print(f"  {d}")
+
+        counts = Counter(d.check for d in diags)
+        summary = ", ".join(f"{n} {check}" for check, n in sorted(counts.items()))
+        print(f"{program.name}: {summary or 'no lint findings'}"
+              + ("" if args.no_sanitize else
+                 f"; sanitizer: {len(sanitizer_errors)} errors, "
+                 f"{len(sanitizer_warnings)} warnings (-O{args.opt})"))
+        if sanitizer_errors or (args.strict and (warnings or sanitizer_warnings)):
+            failed = True
     print("FAIL" if failed else "PASS")
     return 1 if failed else 0
 
@@ -362,6 +416,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--no-faults", action="store_true",
                          help="skip the persistent-cache fault suite")
     p_check.set_defaults(fn=cmd_check)
+
+    p_lint = sub.add_parser(
+        "lint", help="static lint suite + probe-integrity-sanitized build"
+    )
+    p_lint.add_argument(
+        "programs", nargs="*", help="targets to lint (default: all)"
+    )
+    p_lint.add_argument("--opt", type=int, default=2, choices=(0, 2),
+                        help="optimization level for the sanitized build")
+    p_lint.add_argument("--no-sanitize", action="store_true",
+                        help="lint only; skip the sanitized instrumented build")
+    p_lint.add_argument("--notes", action="store_true",
+                        help="also print note-severity lint findings")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="treat warnings as fatal too")
+    p_lint.set_defaults(fn=cmd_lint)
 
     p_serve = sub.add_parser(
         "serve", help="run the recompilation service under a client workload"

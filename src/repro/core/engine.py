@@ -58,30 +58,38 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def compile_fragment(
-    frag_module: Module, opt_level: int = 2, verify: bool = True
+    frag_module: Module, opt_level: int = 2, verify: bool = True,
+    sanitize: bool = False,
 ) -> ObjectFile:
     """Optimize (post-instrumentation) and lower one fragment module.
 
     Pure with respect to everything but *frag_module* (which it consumes:
     optimization rewrites it in place), so it can run on any worker —
     the engine's inline path, a thread pool, or a forked process.
+
+    ``sanitize`` runs the probe-integrity sanitizer between optimization
+    passes (debug builds); its findings ride back on the object file as
+    ``obj.sanitizer_diagnostics``.
     """
     from repro.backend.costmodel import compile_cost_ms
 
     # The middle end pays for the *unoptimized* input it receives.
     pre_opt_cost = compile_cost_ms(frag_module)
-    optimize(frag_module, opt_level)
+    ctx = optimize(frag_module, opt_level, sanitize_each=sanitize)
     if verify:
         verify_module(frag_module)
     obj = lower_module(frag_module)
     if verify:
         verify_module(frag_module)  # lowering must not break the IR
     obj.compile_ms = pre_opt_cost
+    if sanitize:
+        obj.sanitizer_diagnostics = list(ctx.diagnostics)
     return obj
 
 
 def compile_fragment_text(
-    ir_text: str, opt_level: int = 2, verify: bool = True
+    ir_text: str, opt_level: int = 2, verify: bool = True,
+    sanitize: bool = False,
 ) -> ObjectFile:
     """Process-pool entry point: parse shipped IR text, then compile.
 
@@ -91,7 +99,7 @@ def compile_fragment_text(
     """
     from repro.ir.parser import parse_module
 
-    return compile_fragment(parse_module(ir_text), opt_level, verify)
+    return compile_fragment(parse_module(ir_text), opt_level, verify, sanitize)
 
 
 def fragment_content_key(
@@ -156,6 +164,9 @@ class RebuildReport:
     # rebuild; only filled when the engine runs with
     # ``record_fingerprints=True`` (the repro check oracle does).
     object_fingerprints: Dict[int, str] = field(default_factory=dict)
+    # Probe-integrity findings from this rebuild's fragment compiles;
+    # only filled when the engine runs with ``sanitize=True``.
+    sanitizer_diagnostics: List = field(default_factory=list)
 
     @property
     def total_compile_ms(self) -> float:
@@ -180,10 +191,16 @@ class InlineFragmentCompiler:
 
     workers = 1
 
+    def __init__(self, sanitize: bool = False):
+        self.sanitize = sanitize
+
     def compile_batch(
         self, modules: List[Module], opt_level: int, verify: bool
     ) -> List[ObjectFile]:
-        return [compile_fragment(m, opt_level, verify) for m in modules]
+        return [
+            compile_fragment(m, opt_level, verify, self.sanitize)
+            for m in modules
+        ]
 
 
 class Odin:
@@ -201,12 +218,18 @@ class Odin:
         compiler=None,
         link_cache: Optional["LinkCache"] = None,
         record_fingerprints: bool = False,
+        sanitize: bool = False,
     ):
         if verify:
             verify_module(module)
         self.module = module          # original, unoptimized whole-program IR
         self.opt_level = opt_level
         self.verify = verify
+        # Debug builds: run the probe-integrity sanitizer inside every
+        # fragment compile; findings accumulate on the engine and on each
+        # RebuildReport.  (A custom `compiler` must opt in itself.)
+        self.sanitize = sanitize
+        self.sanitizer_diagnostics: List = []
         self.preserve = tuple(preserve)
         self.fragdef: FragmentDefinition = partition(module, strategy, preserve)
         self.manager = PatchManager(self)
@@ -215,7 +238,7 @@ class Odin:
         # mapping-like with get(key)/put(key, obj) (see repro.service.cache),
         # `compiler` anything with compile_batch(...) and a `workers` count.
         self.object_cache = object_cache
-        self.compiler = compiler or InlineFragmentCompiler()
+        self.compiler = compiler or InlineFragmentCompiler(sanitize=sanitize)
         self.link_cache = link_cache
         self.record_fingerprints = record_fingerprints
         # Fragment id -> content key of the object currently in `cache`
@@ -284,8 +307,12 @@ class Odin:
             )
             for entry, obj in zip(misses, compiled):
                 entry[3] = obj
+                report.sanitizer_diagnostics.extend(
+                    getattr(obj, "sanitizer_diagnostics", ())
+                )
                 if self.object_cache is not None:
                     self.object_cache.put(entry[2], obj)
+            self.sanitizer_diagnostics.extend(report.sanitizer_diagnostics)
 
         miss_ids = {id(entry) for entry in misses}
         compiled_costs: List[float] = []
@@ -375,6 +402,18 @@ class Odin:
     def _compile_fragment(self, frag_module: Module) -> ObjectFile:
         """Optimize (post-instrumentation) and lower one fragment."""
         return compile_fragment(frag_module, self.opt_level, self.verify)
+
+    # -- static analysis ------------------------------------------------------------
+
+    def lint(self, checks: Optional[Iterable[str]] = None) -> List:
+        """Run the IR lint suite over the original whole-program module.
+
+        Returns :class:`repro.analysis.diagnostics.Diagnostic` records;
+        pair with ``sanitize=True`` builds for the full static layer.
+        """
+        from repro.analysis.lints import run_lints
+
+        return run_lints(self.module, checks)
 
     # -- equivalence hooks (repro check) ----------------------------------------------
 

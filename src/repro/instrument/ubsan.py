@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.analysis.dataflow import compute_value_ranges, may_overflow
 from repro.core.engine import Odin, RebuildReport
 from repro.core.probe import InstructionProbe
 from repro.errors import VMTrap
@@ -92,16 +93,30 @@ class UBSanTool:
         self.runtime = UBSanRuntime()
         self.probes: Dict[int, OverflowProbe] = {}
         self.removed: List[int] = []
+        self.pruned = 0  # probes statically discharged by guided placement
 
-    def add_all_overflow_probes(self) -> int:
+    def add_all_overflow_probes(self, *, guided: bool = False) -> int:
+        """Probe every narrow signed add/sub/mul.
+
+        With ``guided=True`` the signed value-range analysis
+        (:mod:`repro.analysis.dataflow`) decides placement: instructions
+        whose operand ranges prove the result fits its type are skipped
+        and counted in :attr:`pruned` — the PartiSan idea of sanitizing
+        selectively, settled statically instead of by runtime variants.
+        """
         count = 0
+        self.pruned = 0
         for fn in self.engine.module.defined_functions():
+            ranges = compute_value_ranges(fn) if guided else None
             for inst in fn.instructions():
                 if (
                     isinstance(inst, BinaryInst)
                     and inst.opcode in _CHECKED_OPCODES
                     and inst.type.bits < 64
                 ):
+                    if guided and not may_overflow(inst, ranges):
+                        self.pruned += 1
+                        continue
                     probe = self.engine.manager.add(OverflowProbe(inst))
                     self.probes[probe.id] = probe
                     count += 1

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.ir.instructions import CallInst
+from repro.ir.instructions import BranchInst, CallInst, SwitchInst
 from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import ConstantInt
 
 
 def reachable_blocks(fn: Function) -> List[BasicBlock]:
@@ -23,6 +24,50 @@ def reachable_blocks(fn: Function) -> List[BasicBlock]:
             return
         seen.add(id(block))
         for succ in block.successors():
+            visit(succ)
+        order.append(block)
+
+    visit(fn.entry)
+    order.reverse()
+    return order
+
+
+def feasible_successors(block: BasicBlock) -> List[BasicBlock]:
+    """Successors that can actually be taken: a conditional branch or a
+    switch on a constant scrutinee only ever follows its decided edge."""
+    term = block.terminator
+    if term is None:
+        return []
+    if (
+        isinstance(term, BranchInst)
+        and term.is_conditional
+        and isinstance(term.cond, ConstantInt)
+    ):
+        return [term.targets[0] if term.cond.value else term.targets[1]]
+    if isinstance(term, SwitchInst) and isinstance(term.value, ConstantInt):
+        for const, target in term.cases:
+            if const.value == term.value.value:
+                return [target]
+        return [term.default]
+    return term.successors()
+
+
+def executable_blocks(fn: Function) -> List[BasicBlock]:
+    """Blocks reachable from the entry along *feasible* edges only.
+
+    A strict refinement of :func:`reachable_blocks`: the never-taken arm
+    of a constant-folded branch is reachable by CFG edges but can never
+    execute.  The probe-integrity sanitizer keys on this — deleting a
+    probe there is a legitimate optimization, not a distortion.
+    """
+    seen: Set[int] = set()
+    order: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        if id(block) in seen:
+            return
+        seen.add(id(block))
+        for succ in feasible_successors(block):
             visit(succ)
         order.append(block)
 
@@ -102,6 +147,7 @@ def find_loops(fn: Function) -> List[NaturalLoop]:
     """Find natural loops from back edges (latch -> header with header dom latch)."""
     idom = compute_dominators(fn)
     preds = predecessor_map(fn)
+    reachable = set(reachable_blocks(fn))
     loops: List[NaturalLoop] = []
     for block in reachable_blocks(fn):
         for succ in block.successors():
@@ -113,7 +159,10 @@ def find_loops(fn: Function) -> List[NaturalLoop]:
                     if node is succ:
                         continue
                     for pred in preds[node]:
-                        if pred not in body:
+                        # An unreachable predecessor can never execute;
+                        # letting it leak into the body would poison
+                        # loop-local transforms (e.g. unroll cloning).
+                        if pred not in body and pred in reachable:
                             body.add(pred)
                             stack.append(pred)
                 loops.append(NaturalLoop(succ, body, block))

@@ -9,6 +9,9 @@ Checks the structural invariants every pass must preserve:
 * referenced globals are present in the module ("a well-formed IR cannot
   reference undefined symbols" — §3.2 step 3)
 * alias symbols target definitions, not declarations (§2.3)
+* phi incoming values carry the phi's result type
+* call operand count/types match the called signature, and direct calls
+  agree with the callee's declared type (ABI pairs, §2.3)
 """
 
 from __future__ import annotations
@@ -17,7 +20,7 @@ from typing import Dict, List, Set
 
 from repro.errors import VerifierError
 from repro.ir.analysis import compute_dominators
-from repro.ir.instructions import Instruction, PhiInst
+from repro.ir.instructions import CallInst, Instruction, PhiInst
 from repro.ir.module import BasicBlock, Function, Module
 from repro.ir.values import Argument, Constant, GlobalValue, Value
 
@@ -59,6 +62,7 @@ def verify_function(fn: Function, module: Module = None) -> None:
             preds[succ].append(block)
 
     _verify_phis(fn, preds)
+    _verify_calls(fn)
     _verify_uses(fn, module, defined)
     _verify_dominance(fn, defined)
 
@@ -110,6 +114,42 @@ def _verify_phis(fn: Function, preds: Dict[BasicBlock, List[BasicBlock]]) -> Non
                 raise VerifierError(
                     f"@{fn.name}:{block.name}: phi %{phi.name} incoming {got} "
                     f"does not match predecessors {want}"
+                )
+            for value, pred in phi.incoming:
+                if value.type is not phi.type:
+                    raise VerifierError(
+                        f"@{fn.name}:{block.name}: phi %{phi.name} incoming "
+                        f"from {pred.name} has type {value.type}, "
+                        f"expected {phi.type}"
+                    )
+
+
+def _verify_calls(fn: Function) -> None:
+    for block in fn.blocks:
+        for inst in block.instructions:
+            if not isinstance(inst, CallInst):
+                continue
+            ftype = inst.function_type
+            args = inst.args
+            fixed = len(ftype.params)
+            if len(args) < fixed or (len(args) > fixed and not ftype.vararg):
+                raise VerifierError(
+                    f"@{fn.name}:{block.name}: call %{inst.name or '?'} "
+                    f"passes {len(args)} arguments, signature {ftype} "
+                    f"expects {fixed}{'+' if ftype.vararg else ''}"
+                )
+            for i, (arg, pty) in enumerate(zip(args, ftype.params)):
+                if arg.type is not pty:
+                    raise VerifierError(
+                        f"@{fn.name}:{block.name}: call argument {i} has "
+                        f"type {arg.type}, signature expects {pty}"
+                    )
+            callee = inst.callee
+            if isinstance(callee, Function) and callee.function_type is not ftype:
+                raise VerifierError(
+                    f"@{fn.name}:{block.name}: call to @{callee.name} uses "
+                    f"signature {ftype}, but the callee is declared "
+                    f"{callee.function_type}"
                 )
 
 

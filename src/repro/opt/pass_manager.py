@@ -22,6 +22,9 @@ from typing import Callable, Dict, List, Optional
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
 
+if False:  # pragma: no cover - typing only, avoids loading analysis eagerly
+    from repro.analysis.diagnostics import Diagnostic
+
 REQ_BOND = "bond"
 REQ_COPY_ON_USE = "copy_on_use"
 
@@ -45,6 +48,8 @@ class OptContext:
     stats: Dict[str, int] = field(default_factory=dict)
     # Number of "units of work" performed; drives the compile-time model.
     work: int = 0
+    # Probe-integrity findings collected by ``sanitize_each`` pipelines.
+    diagnostics: List["Diagnostic"] = field(default_factory=list)
 
     def log_requirement(self, kind: str, subject: str, peer: str, pass_name: str) -> None:
         if self.trial:
@@ -82,23 +87,54 @@ class FunctionPass(Pass):
 
 
 class PassManager:
-    """Runs a pipeline of passes, optionally verifying between passes."""
+    """Runs a pipeline of passes, optionally checking between passes.
 
-    def __init__(self, passes: List[Pass], *, verify_each: bool = False):
+    * ``verify_each`` re-verifies IR structure after every pass and
+      re-raises the failure attributed to the offending pass;
+    * ``sanitize_each`` runs the probe-integrity sanitizer after every
+      pass and collects its findings into ``ctx.diagnostics`` (reports,
+      not exceptions — see :mod:`repro.analysis.sanitizer`).
+    """
+
+    def __init__(
+        self,
+        passes: List[Pass],
+        *,
+        verify_each: bool = False,
+        sanitize_each: bool = False,
+    ):
         self.passes = list(passes)
         self.verify_each = verify_each
+        self.sanitize_each = sanitize_each
+
+    def _make_sanitizer(self, module: Module):
+        if not self.sanitize_each:
+            return None
+        from repro.analysis.sanitizer import ProbeIntegritySanitizer
+
+        return ProbeIntegritySanitizer(module)
+
+    def _after_pass(self, module: Module, p: Pass, ctx: OptContext,
+                    sanitizer) -> None:
+        """Post-pass checks, every failure attributed to pass *p*."""
+        if self.verify_each:
+            try:
+                verify_module(module)
+            except Exception as exc:  # re-raise with pass attribution
+                wrapped = type(exc)(f"after pass {p.name!r}: {exc}")
+                wrapped.pass_name = p.name
+                raise wrapped from exc
+        if sanitizer is not None:
+            ctx.diagnostics.extend(sanitizer.advance(p.name))
 
     def run(self, module: Module, ctx: Optional[OptContext] = None) -> OptContext:
         ctx = ctx or OptContext()
+        sanitizer = self._make_sanitizer(module)
         for p in self.passes:
             changed = p.run(module, ctx)
             if changed:
                 ctx.count(f"pass.{p.name}.changed")
-            if self.verify_each:
-                try:
-                    verify_module(module)
-                except Exception as exc:  # re-raise with pass attribution
-                    raise type(exc)(f"after pass {p.name!r}: {exc}") from exc
+            self._after_pass(module, p, ctx, sanitizer)
         return ctx
 
     def run_until_fixpoint(
@@ -106,17 +142,14 @@ class PassManager:
     ) -> OptContext:
         """Repeat the pipeline until no pass reports changes (bounded)."""
         ctx = ctx or OptContext()
+        sanitizer = self._make_sanitizer(module)
         for _ in range(max_iters):
             any_change = False
             for p in self.passes:
                 if p.run(module, ctx):
                     any_change = True
                     ctx.count(f"pass.{p.name}.changed")
-                if self.verify_each:
-                    try:
-                        verify_module(module)
-                    except Exception as exc:
-                        raise type(exc)(f"after pass {p.name!r}: {exc}") from exc
+                self._after_pass(module, p, ctx, sanitizer)
             if not any_change:
                 break
         return ctx

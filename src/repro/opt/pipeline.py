@@ -63,11 +63,16 @@ def o2_pipeline(
 
 
 def optimize(module: Module, level: int = 2, *, verify_each: bool = False,
-             internalize: bool = False,
+             sanitize_each: bool = False, internalize: bool = False,
              preserve=("main", "run_input")) -> OptContext:
-    """Optimize *module* in place at the given level; returns pass stats."""
+    """Optimize *module* in place at the given level; returns pass stats.
+
+    ``sanitize_each`` threads the probe-integrity sanitizer through the
+    pipeline; its findings come back in ``ctx.diagnostics``.
+    """
     pm = o0_pipeline() if level == 0 else o2_pipeline(internalize=internalize, preserve=preserve)
     pm.verify_each = verify_each
+    pm.sanitize_each = sanitize_each
     ctx = OptContext()
     if level == 0:
         pm.run(module, ctx)

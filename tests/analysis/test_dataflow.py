@@ -1,0 +1,210 @@
+"""Tests for the worklist dataflow engine and its concrete analyses."""
+
+from repro.analysis.dataflow import (
+    Liveness,
+    ReachingStores,
+    UNINIT,
+    ValueRange,
+    compute_value_ranges,
+    escaping_allocas,
+    full_range,
+    may_overflow,
+    solve,
+)
+from repro.ir.parser import parse_module
+from repro.ir.types import I8, I32
+
+LOOP = """
+define i32 @f(i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %latch ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %latch, label %exit
+latch:
+  %next = add i32 %i, 1
+  br label %header
+exit:
+  ret i32 %i
+}
+"""
+
+
+def _fn(text, name="f"):
+    return parse_module(text).get(name)
+
+
+class TestWorklistEngine:
+    def test_liveness_through_loop(self):
+        fn = _fn(LOOP)
+        result = solve(Liveness(), fn)
+        by_name = {b.name: b for b in fn.blocks}
+        values = {i.name: i for i in fn.instructions() if i.name}
+        n = fn.args[0]
+        # %n is live on every path that re-tests the loop condition.
+        assert n in result.block_in[by_name["header"]]
+        assert n in result.block_in[by_name["latch"]]
+        # After the exit block nothing is live.
+        assert result.block_out[by_name["exit"]] == frozenset()
+        # %i flows into the exit block (it is returned).
+        assert values["i"] in result.block_in[by_name["exit"]]
+
+    def test_phi_operand_live_only_on_its_edge(self):
+        fn = _fn(LOOP)
+        result = solve(Liveness(), fn)
+        by_name = {b.name: b for b in fn.blocks}
+        values = {i.name: i for i in fn.instructions() if i.name}
+        # %next is used only by the phi via the latch edge: live out of
+        # latch, but NOT live into header's other predecessor (entry).
+        assert values["next"] in result.block_out[by_name["latch"]]
+        assert values["next"] not in result.block_out[by_name["entry"]]
+
+    def test_solver_skips_unreachable_blocks(self):
+        fn = _fn(
+            """
+define i32 @f(i32 %a) {
+entry:
+  ret i32 %a
+dead:
+  %x = add i32 %a, 1
+  ret i32 %x
+}
+"""
+        )
+        result = solve(Liveness(), fn)
+        names = {b.name for b in result.block_in}
+        assert names == {"entry"}
+
+
+class TestReachingStores:
+    MAYBE_UNINIT = """
+define i32 @f(i1 %c) {
+entry:
+  %p = alloca i32
+  br i1 %c, label %init, label %skip
+init:
+  store i32 7, ptr %p
+  br label %join
+skip:
+  br label %join
+join:
+  %v = load i32, ptr %p
+  ret i32 %v
+}
+"""
+
+    def test_uninit_reaches_join_on_skip_path(self):
+        fn = _fn(self.MAYBE_UNINIT)
+        slot = fn.entry.instructions[0]
+        problem = ReachingStores([slot])
+        result = solve(problem, fn)
+        join = fn.get_block("join")
+        assert UNINIT in result.block_in[join][slot]
+
+    def test_store_on_both_paths_kills_uninit(self):
+        fn = _fn(self.MAYBE_UNINIT.replace(
+            "skip:\n", "skip:\n  store i32 9, ptr %p\n"
+        ))
+        slot = fn.entry.instructions[0]
+        result = solve(ReachingStores([slot]), fn)
+        join = fn.get_block("join")
+        defs = result.block_in[join][slot]
+        assert UNINIT not in defs
+        assert len(defs) == 2  # both stores may reach
+
+    def test_escaping_allocas(self):
+        fn = _fn(
+            """
+declare void @sink(ptr)
+
+define void @f() {
+entry:
+  %kept = alloca i32
+  %leaked = alloca i32
+  store i32 1, ptr %kept
+  call void @sink(ptr %leaked)
+  ret void
+}
+""",
+        )
+        kept, leaked = fn.entry.instructions[0], fn.entry.instructions[1]
+        escaped = escaping_allocas(fn)
+        assert leaked in escaped
+        assert kept not in escaped
+
+
+class TestValueRanges:
+    def test_byte_arithmetic_is_bounded(self):
+        fn = _fn(
+            """
+define i32 @f(i8 %a, i8 %b) {
+entry:
+  %wa = sext i8 %a to i32
+  %wb = sext i8 %b to i32
+  %sum = add i32 %wa, %wb
+  ret i32 %sum
+}
+"""
+        )
+        ranges = compute_value_ranges(fn)
+        values = {i.name: i for i in fn.instructions() if i.name}
+        assert ranges[values["wa"]] == ValueRange(-128, 127)
+        assert ranges[values["sum"]] == ValueRange(-256, 254)
+        assert not may_overflow(values["sum"], ranges)
+
+    def test_loop_phi_widens_to_full_range(self):
+        fn = _fn(LOOP)
+        ranges = compute_value_ranges(fn)
+        values = {i.name: i for i in fn.instructions() if i.name}
+        assert ranges[values["i"]] == full_range(I32)
+        assert ranges[values["c"]] == ValueRange(0, 1)
+
+    def test_zext_and_trunc(self):
+        fn = _fn(
+            """
+define i8 @f(i8 %x) {
+entry:
+  %w = zext i8 %x to i32
+  %n = trunc i32 %w to i8
+  ret i8 %n
+}
+"""
+        )
+        ranges = compute_value_ranges(fn)
+        values = {i.name: i for i in fn.instructions() if i.name}
+        assert ranges[values["w"]] == ValueRange(0, 255)
+        # [0, 255] does not fit signed i8: trunc falls back to full.
+        assert ranges[values["n"]] == full_range(I8)
+
+    def test_unknown_operands_may_overflow(self):
+        fn = _fn(
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %s = add i32 %a, %b
+  ret i32 %s
+}
+"""
+        )
+        ranges = compute_value_ranges(fn)
+        values = {i.name: i for i in fn.instructions() if i.name}
+        assert may_overflow(values["s"], ranges)
+
+    def test_masked_value_cannot_overflow(self):
+        fn = _fn(
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %la = and i32 %a, 1023
+  %lb = and i32 %b, 1023
+  %s = add i32 %la, %lb
+  %m = mul i32 %la, %lb
+  ret i32 %s
+}
+"""
+        )
+        ranges = compute_value_ranges(fn)
+        values = {i.name: i for i in fn.instructions() if i.name}
+        assert not may_overflow(values["s"], ranges)
+        assert not may_overflow(values["m"], ranges)

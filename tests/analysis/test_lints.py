@@ -1,0 +1,191 @@
+"""Tests for the IR lint suite: one hand-written trigger per check."""
+
+import pytest
+
+from repro.analysis.lints import ALL_LINTS, run_lints
+from repro.ir.parser import parse_module
+
+
+def lints_for(text, checks=None):
+    return run_lints(parse_module(text), checks)
+
+
+def checks_of(diags):
+    return [d.check for d in diags]
+
+
+class TestLintSelection:
+    def test_unknown_lint_rejected(self):
+        with pytest.raises(ValueError, match="unknown lints"):
+            lints_for("define void @f() {\nentry:\n  ret void\n}", ["no-such"])
+
+    def test_clean_function_is_silent(self):
+        assert lints_for(
+            """
+define i32 @f(i1 %c) {
+entry:
+  %p = alloca i32
+  store i32 1, ptr %p
+  %v = load i32, ptr %p
+  ret i32 %v
+}
+"""
+        ) == []
+
+    def test_every_lint_has_a_slug(self):
+        assert len(ALL_LINTS) == 5
+
+
+class TestUnreachableBlock:
+    def test_detached_block_flagged(self):
+        diags = lints_for(
+            "define void @f() {\nentry:\n  ret void\ndead:\n  ret void\n}",
+            ["unreachable-block"],
+        )
+        assert checks_of(diags) == ["unreachable-block"]
+        assert diags[0].function == "f"
+        assert diags[0].block == "dead"
+
+
+class TestDeadStore:
+    def test_overwritten_store_flagged(self):
+        diags = lints_for(
+            """
+define i32 @f() {
+entry:
+  %p = alloca i32
+  store i32 1, ptr %p
+  store i32 2, ptr %p
+  %v = load i32, ptr %p
+  ret i32 %v
+}
+""",
+            ["dead-store"],
+        )
+        assert checks_of(diags) == ["dead-store"]
+
+    def test_escaping_alloca_not_tracked(self):
+        # The callee may read the slot: the double store is not provably dead.
+        diags = lints_for(
+            """
+declare void @sink(ptr)
+
+define void @f() {
+entry:
+  %p = alloca i32
+  store i32 1, ptr %p
+  call void @sink(ptr %p)
+  store i32 2, ptr %p
+  call void @sink(ptr %p)
+  ret void
+}
+""",
+            ["dead-store"],
+        )
+        assert diags == []
+
+
+class TestUninitializedLoad:
+    def test_load_on_skip_path_flagged(self):
+        diags = lints_for(
+            """
+define i32 @f(i1 %c) {
+entry:
+  %p = alloca i32
+  br i1 %c, label %init, label %join
+init:
+  store i32 7, ptr %p
+  br label %join
+join:
+  %v = load i32, ptr %p
+  ret i32 %v
+}
+""",
+            ["uninitialized-load"],
+        )
+        assert checks_of(diags) == ["uninitialized-load"]
+        assert diags[0].block == "join"
+
+    def test_dominating_store_is_silent(self):
+        diags = lints_for(
+            """
+define i32 @f() {
+entry:
+  %p = alloca i32
+  store i32 7, ptr %p
+  %v = load i32, ptr %p
+  ret i32 %v
+}
+""",
+            ["uninitialized-load"],
+        )
+        assert diags == []
+
+
+class TestConstantCondition:
+    def test_literal_constant_condition(self):
+        diags = lints_for(
+            """
+define i32 @f() {
+entry:
+  br i1 1, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 0
+}
+""",
+            ["constant-condition"],
+        )
+        assert checks_of(diags) == ["constant-condition"]
+        assert "always true" in diags[0].message
+
+    def test_range_proven_condition(self):
+        # %x is masked to [0, 15]; x < 100 is always true.
+        diags = lints_for(
+            """
+define i32 @f(i32 %a) {
+entry:
+  %x = and i32 %a, 15
+  %c = icmp slt i32 %x, 100
+  br i1 %c, label %yes, label %no
+yes:
+  ret i32 1
+no:
+  ret i32 0
+}
+""",
+            ["constant-condition"],
+        )
+        assert checks_of(diags) == ["constant-condition"]
+
+
+class TestOverflowCandidate:
+    def test_unbounded_add_is_a_note(self):
+        diags = lints_for(
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %s = add i32 %a, %b
+  ret i32 %s
+}
+""",
+            ["overflow-candidate"],
+        )
+        assert checks_of(diags) == ["overflow-candidate"]
+        assert diags[0].severity == "note"
+
+    def test_proven_safe_add_is_silent(self):
+        diags = lints_for(
+            """
+define i32 @f(i8 %a, i8 %b) {
+entry:
+  %wa = sext i8 %a to i32
+  %wb = sext i8 %b to i32
+  %s = add i32 %wa, %wb
+  ret i32 %s
+}
+""",
+            ["overflow-candidate"],
+        )
+        assert diags == []

@@ -1,0 +1,205 @@
+"""Probe-integrity sanitizer tests.
+
+Two directions, mirroring the differential oracle's test strategy:
+
+* *mutation sanity*: hand-broken passes (a fake instcombine that folds a
+  frozen CmpProbe operand, a fake simplifycfg that erases an enabled
+  CovProbe call) must be reported, attributed to the offending pass;
+* *clean-pipeline*: the real -O2 pipeline over every registry program
+  must produce zero errors.
+"""
+
+import pytest
+
+from repro.analysis.diagnostics import errors_of
+from repro.analysis.sanitizer import ProbeIntegritySanitizer
+from repro.core.engine import Odin
+from repro.instrument.cmplog import add_cmp_probes
+from repro.instrument.coverage import OdinCov
+from repro.ir.instructions import CallInst
+from repro.ir.parser import parse_module
+from repro.ir.types import I64
+from repro.ir.values import ConstantInt
+from repro.opt.pass_manager import Pass, PassManager
+from repro.programs.registry import all_programs, get_program
+
+PRESERVED = ("main", "run_input")
+
+# An already-instrumented fragment shape: one cov probe per block, one
+# cmplog probe with frozen (non-constant) value operands.
+INSTRUMENTED = """
+declare void @__odin_cov_hit(i64)
+declare void @__cmplog_hit(i64, i64, i64)
+
+define i32 @run_input(i32 %a, i32 %b) {
+entry:
+  call void @__odin_cov_hit(i64 1)
+  %fa = freeze i32 %a
+  %wa = sext i32 %fa to i64
+  %wb = sext i32 %b to i64
+  call void @__cmplog_hit(i64 3, i64 %wa, i64 %wb)
+  %c = icmp slt i32 %a, %b
+  br i1 %c, label %then, label %done
+then:
+  call void @__odin_cov_hit(i64 2)
+  br label %done
+done:
+  %r = phi i32 [ 1, %then ], [ 0, %entry ]
+  ret i32 %r
+}
+"""
+
+
+def probe_calls(module, runtime):
+    return [
+        inst
+        for fn in module.defined_functions()
+        for inst in fn.instructions()
+        if isinstance(inst, CallInst)
+        and inst.called_function_name() == runtime
+    ]
+
+
+class FoldCmpOperands(Pass):
+    """A broken instcombine: rewrites through the freeze barrier."""
+
+    name = "instcombine"
+
+    def run(self, module, ctx):
+        for call in probe_calls(module, "__cmplog_hit"):
+            call.set_args(
+                [call.args[0], ConstantInt(I64, 5), ConstantInt(I64, 5)]
+            )
+        return True
+
+
+class EraseCovCall(Pass):
+    """A broken simplifycfg: drops an enabled coverage probe's call."""
+
+    name = "simplifycfg"
+
+    def run(self, module, ctx):
+        for call in probe_calls(module, "__odin_cov_hit"):
+            if call.args[0].signed == 2:
+                call.erase()
+        return True
+
+
+class NopPass(Pass):
+    name = "nop"
+
+    def run(self, module, ctx):
+        return False
+
+
+class TestSeededDistortions:
+    def test_folded_cmp_operands_attributed_to_pass(self):
+        module = parse_module(INSTRUMENTED)
+        pm = PassManager([FoldCmpOperands()], sanitize_each=True)
+        ctx = pm.run(module)
+        errors = errors_of(ctx.diagnostics)
+        assert [d.check for d in errors] == ["probe-operands-folded"]
+        assert errors[0].pass_name == "instcombine"
+        assert errors[0].probe_id == 3
+        assert "instcombine" in str(errors[0])
+
+    def test_erased_cov_call_attributed_to_pass(self):
+        module = parse_module(INSTRUMENTED)
+        pm = PassManager([EraseCovCall()], sanitize_each=True)
+        ctx = pm.run(module)
+        errors = errors_of(ctx.diagnostics)
+        assert [d.check for d in errors] == ["probe-erased"]
+        assert errors[0].pass_name == "simplifycfg"
+        assert errors[0].probe_id == 2
+        assert errors[0].function == "run_input"
+        assert errors[0].block == "then"
+
+    def test_attribution_lands_on_offender_not_neighbours(self):
+        module = parse_module(INSTRUMENTED)
+        pm = PassManager(
+            [NopPass(), EraseCovCall(), NopPass()], sanitize_each=True
+        )
+        ctx = pm.run(module)
+        errors = errors_of(ctx.diagnostics)
+        assert len(errors) == 1
+        assert errors[0].pass_name == "simplifycfg"
+
+    def test_clean_passes_stay_silent(self):
+        module = parse_module(INSTRUMENTED)
+        ctx = PassManager([NopPass()], sanitize_each=True).run(module)
+        assert ctx.diagnostics == []
+
+
+class TestExecutableReachability:
+    # The branch condition is already the constant true: the %dead arm is
+    # edge-reachable but can never execute, so its probe is not protected.
+    CONST_BRANCH = """
+declare void @__odin_cov_hit(i64)
+
+define i32 @run_input(i32 %a) {
+entry:
+  call void @__odin_cov_hit(i64 1)
+  br i1 1, label %live, label %dead
+live:
+  ret i32 1
+dead:
+  call void @__odin_cov_hit(i64 9)
+  ret i32 0
+}
+"""
+
+    def test_dead_arm_probe_removal_not_flagged(self):
+        module = parse_module(self.CONST_BRANCH)
+        pm = PassManager([EraseCovCallNine()], sanitize_each=True)
+        ctx = pm.run(module)
+        assert errors_of(ctx.diagnostics) == []
+
+    def test_check_module_warns_about_never_firing_probe(self):
+        sanitizer = ProbeIntegritySanitizer(parse_module(self.CONST_BRANCH))
+        diags = sanitizer.check_module()
+        assert [d.check for d in diags] == ["probe-unreachable"]
+        assert diags[0].probe_id == 9
+        assert not diags[0].is_error
+
+
+class EraseCovCallNine(Pass):
+    name = "simplifycfg"
+
+    def run(self, module, ctx):
+        for call in probe_calls(module, "__odin_cov_hit"):
+            if call.args[0].signed == 9:
+                call.erase()
+        return True
+
+
+class TestRuntimeSymbolChecks:
+    def test_internalized_runtime_reported(self):
+        module = parse_module(INSTRUMENTED)
+        sanitizer = ProbeIntegritySanitizer(module)
+        module.get("__cmplog_hit").linkage = "internal"
+        diags = sanitizer.advance("internalize")
+        assert any(d.check == "probe-runtime-internalized" for d in diags)
+        assert all(d.pass_name == "internalize" for d in diags)
+
+
+class TestCleanPipeline:
+    """Acceptance: the unmodified -O2 pipeline distorts no probes on any
+    registry program."""
+
+    @pytest.mark.parametrize(
+        "name", [p.name for p in all_programs()]
+    )
+    def test_full_o2_build_reports_no_errors(self, name):
+        program = get_program(name)
+        engine = Odin(
+            program.compile(), preserve=PRESERVED, opt_level=2, sanitize=True
+        )
+        tool = OdinCov(engine)
+        tool.add_all_block_probes()
+        add_cmp_probes(engine)
+        tool.build()
+        assert errors_of(engine.sanitizer_diagnostics) == [], (
+            f"{name}: " + "\n".join(
+                str(d) for d in errors_of(engine.sanitizer_diagnostics)
+            )
+        )

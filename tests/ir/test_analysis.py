@@ -5,6 +5,8 @@ from repro.ir.analysis import (
     call_graph,
     compute_dominators,
     dominates,
+    executable_blocks,
+    feasible_successors,
     find_loops,
     predecessor_map,
     reachable_blocks,
@@ -95,6 +97,145 @@ class TestLoops:
     def test_no_loops_in_diamond(self):
         fn = parse_module(DIAMOND).get("f")
         assert find_loops(fn) == []
+
+
+# Two blocks branching into each other with distinct outside entries:
+# neither header dominates the other, so no back edge is a natural loop.
+IRREDUCIBLE = """
+define i32 @f(i1 %c, i1 %k) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br i1 %k, label %b, label %exit
+b:
+  br i1 %k, label %a, label %exit
+exit:
+  ret i32 0
+}
+"""
+
+
+class TestIrregularCFGs:
+    def test_irreducible_idoms_collapse_to_entry(self):
+        fn = parse_module(IRREDUCIBLE).get("f")
+        idom = compute_dominators(fn)
+        by_name = {b.name: b for b in fn.blocks}
+        assert idom[by_name["a"]].name == "entry"
+        assert idom[by_name["b"]].name == "entry"
+        assert idom[by_name["exit"]].name == "entry"
+
+    def test_irreducible_cycle_is_not_a_natural_loop(self):
+        fn = parse_module(IRREDUCIBLE).get("f")
+        assert find_loops(fn) == []
+
+    def test_dominators_ignore_unreachable_predecessor(self):
+        # %dead branches into %join; it must not disturb join's idom.
+        fn = parse_module(
+            """
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %left, label %join
+left:
+  br label %join
+join:
+  ret i32 0
+dead:
+  br label %join
+}
+"""
+        ).get("f")
+        idom = compute_dominators(fn)
+        by_name = {b.name: b for b in fn.blocks}
+        assert idom[by_name["join"]].name == "entry"
+        assert by_name["dead"] not in idom
+
+    def test_loop_body_excludes_unreachable_predecessor(self):
+        # %dead jumps into the loop body; it can never execute, so it
+        # must not leak into the natural loop's block set.
+        fn = parse_module(
+            """
+define i32 @f(i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %latch ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %latch, label %exit
+latch:
+  %next = add i32 %i, 1
+  br label %header
+dead:
+  br label %latch
+exit:
+  ret i32 %i
+}
+"""
+        ).get("f")
+        loops = find_loops(fn)
+        assert len(loops) == 1
+        assert {b.name for b in loops[0].blocks} == {"header", "latch"}
+
+
+class TestExecutableReachability:
+    CONST_BRANCH = """
+define i32 @f() {
+entry:
+  br i1 1, label %live, label %dead_arm
+live:
+  ret i32 1
+dead_arm:
+  ret i32 0
+}
+"""
+
+    def test_constant_branch_has_one_feasible_successor(self):
+        fn = parse_module(self.CONST_BRANCH).get("f")
+        entry = fn.get_block("entry")
+        assert [b.name for b in feasible_successors(entry)] == ["live"]
+        # Plain CFG reachability still sees both arms.
+        assert len(entry.successors()) == 2
+
+    def test_executable_blocks_exclude_dead_arm(self):
+        fn = parse_module(self.CONST_BRANCH).get("f")
+        assert {b.name for b in executable_blocks(fn)} == {"entry", "live"}
+        assert {b.name for b in reachable_blocks(fn)} == {
+            "entry", "live", "dead_arm"
+        }
+
+    def test_constant_switch_follows_matching_case(self):
+        fn = parse_module(
+            """
+define i32 @f() {
+entry:
+  switch i32 2, label %other [ i32 2, label %two ]
+two:
+  ret i32 2
+other:
+  ret i32 0
+}
+"""
+        ).get("f")
+        assert [b.name for b in feasible_successors(fn.entry)] == ["two"]
+
+    def test_constant_switch_falls_back_to_default(self):
+        fn = parse_module(
+            """
+define i32 @f() {
+entry:
+  switch i32 7, label %other [ i32 2, label %two ]
+two:
+  ret i32 2
+other:
+  ret i32 0
+}
+"""
+        ).get("f")
+        assert [b.name for b in feasible_successors(fn.entry)] == ["other"]
+
+    def test_non_constant_condition_keeps_all_successors(self):
+        fn = parse_module(DIAMOND).get("f")
+        assert len(feasible_successors(fn.entry)) == 2
+        assert executable_blocks(fn) == reachable_blocks(fn)
 
 
 class TestCallGraph:

@@ -141,6 +141,86 @@ join:
             verify_module(m)
 
 
+class TestPhiTypes:
+    DIAMOND = """
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %r = phi i32 [ 1, %a ], [ 2, %b ]
+  ret i32 %r
+}
+"""
+
+    def test_incoming_type_mismatch(self):
+        from repro.ir.types import I64
+
+        m = parse_module(self.DIAMOND)
+        phi = m.get("f").get_block("join").instructions[0]
+        # A buggy pass rewrites one arm without retyping the value.
+        phi.incoming[0] = (ConstantInt(I64, 1), phi.incoming[0][1])
+        with pytest.raises(VerifierError, match="has type i64, expected i32"):
+            verify_module(m)
+
+
+CALLER = """
+declare i32 @callee(i32, i32)
+
+define i32 @f(i32 %a) {
+entry:
+  %r = call i32 @callee(i32 %a, i32 1)
+  ret i32 %r
+}
+"""
+
+
+class TestCallSignatures:
+    def _call(self, m):
+        return m.get("f").entry.instructions[0]
+
+    def test_argument_count_mismatch(self):
+        m = parse_module(CALLER)
+        call = self._call(m)
+        call.set_args(call.args[:1])  # a pass dropped an argument
+        with pytest.raises(VerifierError, match="passes 1 arguments"):
+            verify_module(m)
+
+    def test_extra_argument_rejected_for_non_vararg(self):
+        m = parse_module(CALLER)
+        call = self._call(m)
+        call.set_args(list(call.args) + [ConstantInt(I32, 9)])
+        with pytest.raises(VerifierError, match="passes 3 arguments"):
+            verify_module(m)
+
+    def test_argument_type_mismatch(self):
+        from repro.ir.types import I64
+
+        m = parse_module(CALLER)
+        call = self._call(m)
+        call.set_args([call.args[0], ConstantInt(I64, 1)])
+        with pytest.raises(VerifierError, match="argument 1 has type i64"):
+            verify_module(m)
+
+    def test_callee_signature_mismatch(self):
+        # Rebuild the callee with a different signature while the call
+        # site keeps the stale function_type (the DAE hazard).
+        m = parse_module(CALLER)
+        call = self._call(m)
+        old = m.get("callee")
+        m.symbols.pop("callee")
+        fresh = m.add(Function("callee", FunctionType(I32, (I32,))))
+        call.replace_uses_of(old, fresh)
+        with pytest.raises(VerifierError, match="but the callee is declared"):
+            verify_module(m)
+
+    def test_valid_call_passes(self):
+        verify_module(parse_module(CALLER))
+
+
 class TestAliasConstraints:
     def test_alias_to_declaration_rejected(self):
         m = Module("m")

@@ -1,0 +1,60 @@
+"""verify_each / sanitize_each failures must name the offending pass."""
+
+import pytest
+
+from repro.errors import VerifierError
+from repro.ir.parser import parse_module
+from repro.opt.pass_manager import Pass, PassManager
+
+PROGRAM = """
+define i32 @victim(i32 %a) {
+entry:
+  %x = add i32 %a, 1
+  ret i32 %x
+}
+"""
+
+
+class DropTerminator(Pass):
+    """Corrupts the IR: leaves @victim's entry block unterminated."""
+
+    name = "badpass"
+
+    def run(self, module, ctx):
+        module.get("victim").entry.instructions[-1].erase()
+        return True
+
+
+class NopPass(Pass):
+    name = "harmless"
+
+    def run(self, module, ctx):
+        return False
+
+
+class TestVerifyAttribution:
+    def test_failure_names_pass_and_function(self):
+        pm = PassManager([NopPass(), DropTerminator()], verify_each=True)
+        with pytest.raises(VerifierError) as excinfo:
+            pm.run(parse_module(PROGRAM))
+        message = str(excinfo.value)
+        assert "badpass" in message
+        assert "victim" in message
+
+    def test_failure_carries_pass_name_attribute(self):
+        pm = PassManager([DropTerminator()], verify_each=True)
+        with pytest.raises(VerifierError) as excinfo:
+            pm.run(parse_module(PROGRAM))
+        assert excinfo.value.pass_name == "badpass"
+        # The original verifier failure stays reachable for debugging.
+        assert isinstance(excinfo.value.__cause__, VerifierError)
+
+    def test_fixpoint_runner_also_attributes(self):
+        pm = PassManager([DropTerminator()], verify_each=True)
+        with pytest.raises(VerifierError, match="badpass"):
+            pm.run_until_fixpoint(parse_module(PROGRAM))
+
+    def test_clean_pipeline_raises_nothing(self):
+        pm = PassManager([NopPass()], verify_each=True, sanitize_each=True)
+        ctx = pm.run(parse_module(PROGRAM))
+        assert ctx.diagnostics == []

@@ -48,6 +48,27 @@ class TestCLI:
         assert main(["experiment", "fig3", "json"]) == 0
         assert "opt_instrument" in capsys.readouterr().out
 
+    def test_lint_clean_program_passes(self, capsys):
+        assert main(["lint", "json"]) == 0
+        out = capsys.readouterr().out
+        assert "json:" in out
+        assert "sanitizer: 0 errors" in out
+        assert out.strip().endswith("PASS")
+
+    def test_lint_without_sanitizer(self, capsys):
+        assert main(["lint", "json", "--no-sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizer" not in out
+        assert out.strip().endswith("PASS")
+
+    def test_lint_notes_shown_on_request(self, capsys):
+        assert main(["lint", "json", "--no-sanitize", "--notes"]) == 0
+        assert "overflow-candidate" in capsys.readouterr().out
+
+    def test_lint_at_o0(self, capsys):
+        assert main(["lint", "libpng", "--opt", "0"]) == 0
+        assert "(-O0)" in capsys.readouterr().out
+
     def test_unknown_program_errors(self):
         from repro.errors import ReproError
 
