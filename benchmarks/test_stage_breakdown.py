@@ -1,0 +1,80 @@
+"""Span-derived rebuild stage breakdown.
+
+Drives a pruning coverage campaign on one mid-sized program and
+decomposes every recorded rebuild — via the observability span trees,
+not ad-hoc counters — into schedule / extract / instrument / compile
+(with its top passes) / link.  The paper's claim that on-the-fly
+rebuilds are dominated by fragment compilation (link is negligible)
+falls out of the span sums.
+"""
+
+import pytest
+from conftest import write_result
+
+from repro.experiments.runners import deploy_odincov
+from repro.obs.trace import pass_totals, stage_totals
+from repro.programs.registry import get_program
+
+PROGRAM = "libjpeg"
+
+
+def prune_campaign():
+    program = get_program(PROGRAM)
+    setup = deploy_odincov(program, prune=False)
+    setup.tool.prune = True
+    for seed in program.seeds()[:4]:
+        setup.executor.execute(seed)
+    setup.executor.prune()
+    return setup.tool.engine
+
+
+def test_stage_breakdown(benchmark):
+    engine = benchmark.pedantic(prune_campaign, rounds=1, iterations=1)
+    roots = engine.tracer.roots()
+    rebuilds = [r for r in roots if r.name == "rebuild"]
+    assert len(rebuilds) >= 2  # initial build + at least one prune rebuild
+
+    stages = stage_totals(rebuilds)
+    passes = pass_totals(rebuilds)
+    total = sum(r.sim_ms for r in rebuilds)
+
+    # The span trees must account for every simulated millisecond.
+    # (Per-rebuild sums are float-exact — see tests/obs — but these
+    # aggregates add the same terms in a different order.)
+    top = ("schedule", "extract", "instrument", "compile", "link")
+    assert sum(stages[s] for s in top) == pytest.approx(total, rel=1e-9)
+    # Per-phase spans tile compile: optimize + isel == compile.
+    assert stages["optimize"] + stages["isel"] == pytest.approx(
+        stages["compile"], rel=1e-9
+    )
+    # And the per-pass spans tile optimize.
+    assert sum(passes.values()) == pytest.approx(
+        stages["optimize"], rel=1e-9
+    )
+
+    lines = [
+        f"Span-derived rebuild stage breakdown ({PROGRAM}, "
+        f"{len(rebuilds)} rebuilds)",
+        "",
+        f"{'stage':>12} | {'sim ms':>10} | {'share':>7}",
+        "-" * 36,
+    ]
+    for name in top:
+        ms = stages[name]
+        share = (ms / total * 100.0) if total else 0.0
+        lines.append(f"{name:>12} | {ms:>10.2f} | {share:>6.2f}%")
+    lines += [
+        "-" * 36,
+        f"{'total':>12} | {total:>10.2f} |",
+        "",
+        "top optimization passes (simulated ms):",
+    ]
+    for name, ms in sorted(passes.items(), key=lambda kv: -kv[1])[:8]:
+        lines.append(f"  {name:<24} {ms:>10.2f}")
+    write_result("stage_breakdown.txt", "\n".join(lines))
+
+    # Shape: fragment compilation dominates.  Link weighs more here
+    # than in a full build (paper fig. 3: 0.15%) because every
+    # incremental rebuild re-links while recompiling few fragments.
+    assert stages["compile"] > stages["link"]
+    assert stages["link"] / total < 0.5

@@ -116,6 +116,20 @@ def compile_cost_ms(module: "Module") -> float:
     return total
 
 
+def middle_end_cost_ms(module: "Module") -> float:
+    """The optimize (middle-end) share of :func:`compile_cost_ms`.
+
+    Per-pass span attribution splits this share across the pipeline's
+    passes in proportion to their charged work; the backend (ISel +
+    regalloc + fixed overhead) share is the exact remainder, so the two
+    stage spans always sum to the fragment's ``compile_ms``.
+    """
+    total = 0.0
+    for fn in module.defined_functions():
+        total += fn.count_instructions() * OPT_MS_PER_INST
+    return total
+
+
 def link_cost_ms(num_symbols: int, code_size: int) -> float:
     """Simulated link time for an executable image."""
     return LINK_FIXED_MS + num_symbols * LINK_MS_PER_SYMBOL + code_size * LINK_MS_PER_CODE_UNIT

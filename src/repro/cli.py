@@ -16,6 +16,9 @@ Commands:
 * ``serve PROGRAM`` — run the recompilation service under a synthetic
   multi-client probe-flip workload and report its metrics
 * ``stats [FILE]`` — pretty-print a stats snapshot written by ``serve``
+* ``trace PROGRAM`` — record an instrumented build + one on-the-fly
+  rebuild as span trees and export Chrome ``trace_event`` JSON
+  (``fuzz`` and ``serve`` accept ``--trace-out`` for whole campaigns)
 """
 
 from __future__ import annotations
@@ -114,14 +117,19 @@ def cmd_fuzz(args) -> int:
     print(f"executions:  {stats.executions}")
     print(f"corpus:      {stats.corpus_size} entries, {stats.coverage} probes covered")
     print(f"crashes:     {stats.crashes}")
+    rebuilds = max(stats.rebuilds, 1)
     print(f"rebuilds:    {stats.rebuilds} "
-          f"(avg {stats.rebuild_ms / max(stats.rebuilds, 1):.1f} ms)")
+          f"(avg {stats.rebuild_ms / rebuilds:.1f} ms wall, "
+          f"{stats.rebuild_cpu_ms / rebuilds:.1f} ms cpu)")
     print(f"probes left: {len(tool.probes)}")
     if service is not None:
         derived = service.stats()["derived"]
         print(f"service:     cache hit rate {derived['cache_hit_rate']:.1%}, "
               f"mean batch {derived['mean_batch_size']:.2f}, "
               f"{derived['fragments_compiled']:g} fragment compiles")
+    if args.trace_out:
+        tracer = service.tracer if service is not None else engine.tracer
+        return _write_trace_file(args.trace_out, tracer.roots())
     return 0
 
 
@@ -287,6 +295,62 @@ def cmd_serve(args) -> int:
         with open(args.stats_json, "w", encoding="utf-8") as fh:
             json.dump(stats, fh, indent=2, sort_keys=True)
         print(f"\nstats written to {args.stats_json}")
+    if args.trace_out:
+        return _write_trace_file(args.trace_out, service.tracer.roots())
+    return 0
+
+
+def _write_trace_file(path: str, spans) -> int:
+    """Validate and write a Chrome trace; returns 0, or 2 on schema errors."""
+    from repro.obs import to_trace_events, validate_trace_events, write_trace
+
+    problems = validate_trace_events(to_trace_events(spans))
+    if problems:
+        for problem in problems:
+            print(f"trace error: {problem}", file=sys.stderr)
+        return 2
+    write_trace(path, spans)
+    print(f"trace written to {path} ({len(spans)} span trees)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Trace an instrumented build plus one on-the-fly rebuild."""
+    from repro.obs import flame_summary
+
+    program = get_program(args.program)
+    if args.service:
+        from repro.service import RecompilationService
+
+        with RecompilationService(
+            workers=args.workers, worker_mode=args.mode
+        ) as service:
+            engine = service.register_target(
+                program.name, program.compile(), preserve=PRESERVED
+            )
+            tool = OdinCov(engine)
+            tool.add_all_block_probes()
+            service.build(program.name)
+            client = service.client(program.name, "trace")
+            picked = sorted(tool.probes)[: args.flips]
+            client.disable(*picked).result(60.0)
+            client.enable(*picked).result(60.0)
+        tracer = service.tracer
+    else:
+        engine = Odin(program.compile(), preserve=PRESERVED)
+        tool = OdinCov(engine)
+        tool.add_all_block_probes()
+        tool.build()
+        picked = sorted(tool.probes)[: args.flips]
+        for pid in picked:
+            engine.manager.disable(tool.probes[pid])
+        engine.rebuild_if_needed()
+        tracer = engine.tracer
+
+    spans = tracer.roots()
+    print(flame_summary(spans, max_depth=args.depth))
+    if args.out:
+        return _write_trace_file(args.out, spans)
     return 0
 
 
@@ -389,6 +453,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--mode", default="thread", choices=("serial", "thread", "process")
     )
+    p_fuzz.add_argument(
+        "--trace-out", default=None,
+        help="write the campaign's rebuild span trees as Chrome trace JSON",
+    )
     p_fuzz.set_defaults(fn=cmd_fuzz)
 
     p_check = sub.add_parser(
@@ -446,6 +514,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-dir", default=None)
     p_serve.add_argument("--seed", type=int, default=1)
     p_serve.add_argument("--stats-json", default=None)
+    p_serve.add_argument(
+        "--trace-out", default=None,
+        help="write the workload's span trees as Chrome trace JSON",
+    )
     p_serve.set_defaults(fn=cmd_serve)
 
     p_stats = sub.add_parser(
@@ -453,6 +525,26 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("file", nargs="?", default="service-stats.json")
     p_stats.set_defaults(fn=cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace", help="span-tree trace of a build + one on-the-fly rebuild"
+    )
+    p_trace.add_argument("program")
+    p_trace.add_argument("--out", default=None,
+                         help="write Chrome trace_event JSON here")
+    p_trace.add_argument("--flips", type=int, default=4,
+                         help="probes to flip for the traced rebuild")
+    p_trace.add_argument("--depth", type=int, default=3,
+                         help="flame summary depth")
+    p_trace.add_argument(
+        "--service", action="store_true",
+        help="trace through the recompilation service dispatch path",
+    )
+    p_trace.add_argument("--workers", type=int, default=2)
+    p_trace.add_argument(
+        "--mode", default="thread", choices=("serial", "thread", "process")
+    )
+    p_trace.set_defaults(fn=cmd_trace)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper figure")
     p_exp.add_argument(

@@ -27,8 +27,9 @@ original single-threaded engine.
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.backend.isel import lower_module
 from repro.backend.machine import ObjectFile
@@ -46,6 +47,14 @@ from repro.ir.module import Module
 from repro.ir.printer import print_module
 from repro.ir.verifier import verify_module
 from repro.linker.linker import Executable, link
+from repro.obs.tracer import (
+    CAT_FRAGMENT,
+    CAT_PASS,
+    CAT_PHASE,
+    CAT_REBUILD,
+    Span,
+    Tracer,
+)
 from repro.opt.pipeline import optimize
 from repro.utils.clock import SimClock
 
@@ -71,10 +80,12 @@ def compile_fragment(
     passes (debug builds); its findings ride back on the object file as
     ``obj.sanitizer_diagnostics``.
     """
-    from repro.backend.costmodel import compile_cost_ms
+    from repro.backend.costmodel import compile_cost_ms, middle_end_cost_ms
 
+    real_start = time.perf_counter()
     # The middle end pays for the *unoptimized* input it receives.
     pre_opt_cost = compile_cost_ms(frag_module)
+    opt_model_ms = middle_end_cost_ms(frag_module)
     ctx = optimize(frag_module, opt_level, sanitize_each=sanitize)
     if verify:
         verify_module(frag_module)
@@ -82,9 +93,46 @@ def compile_fragment(
     if verify:
         verify_module(frag_module)  # lowering must not break the IR
     obj.compile_ms = pre_opt_cost
+    # Observability: how this compile's simulated cost decomposes into
+    # optimize (split across passes by charged work) and isel/regalloc.
+    # Plain dict so the breakdown survives the process-pool pickle.
+    obj.stage_breakdown = {
+        "optimize_ms": opt_model_ms,
+        "isel_ms": pre_opt_cost - opt_model_ms,
+        "passes": _allocate_pass_ms(opt_model_ms, ctx.pass_timings),
+        "real_ms": (time.perf_counter() - real_start) * 1000.0,
+    }
     if sanitize:
         obj.sanitizer_diagnostics = list(ctx.diagnostics)
     return obj
+
+
+def _allocate_pass_ms(opt_ms: float, timings) -> List[Tuple[str, float, float]]:
+    """Split a fragment's simulated optimize cost across its passes.
+
+    Each pass gets a share proportional to the work it charged; the last
+    pass takes the exact residual so the shares always sum to *opt_ms*.
+    Returns ``[(pass name, sim_ms, real_ms), ...]`` in execution order.
+    """
+    if not timings:
+        return []
+    total_work = sum(t.work for t in timings)
+    out: List[Tuple[str, float, float]] = []
+    allocated = 0.0
+    for i, t in enumerate(timings):
+        if i == len(timings) - 1:
+            share = opt_ms - allocated
+        elif total_work:
+            share = opt_ms * (t.work / total_work)
+        else:
+            share = opt_ms / len(timings)
+        # Never overshoot: keeps every share (including the final
+        # residual) non-negative despite float rounding, while the shares
+        # still sum to opt_ms exactly.
+        share = min(share, opt_ms - allocated)
+        allocated += share
+        out.append((t.pass_name, share, t.real_ms))
+    return out
 
 
 def compile_fragment_text(
@@ -141,6 +189,35 @@ def compile_makespan(costs: Iterable[float], workers: int) -> float:
     return max(loads) if loads else 0.0
 
 
+def assign_lanes(
+    costs: List[float], workers: int
+) -> Tuple[List[int], List[float]]:
+    """Lane index and lane-relative start offset for each compile cost.
+
+    Replays exactly the LPT schedule :func:`compile_makespan` prices
+    (same stable descending-cost order, same least-loaded placement, same
+    float addition order), so the resulting per-fragment spans tile the
+    compile stage without gaps and the busiest lane ends at the makespan.
+    With one worker the fragments simply run back-to-back in input order,
+    matching how the serial engine advances the clock.
+    """
+    lanes = [0] * len(costs)
+    starts = [0.0] * len(costs)
+    if workers <= 1:
+        cursor = 0.0
+        for i, cost in enumerate(costs):
+            starts[i] = cursor
+            cursor += cost
+        return lanes, starts
+    loads = [0.0] * workers
+    for i in sorted(range(len(costs)), key=lambda i: -costs[i]):
+        lane = loads.index(min(loads))
+        lanes[i] = lane
+        starts[i] = loads[lane]
+        loads[lane] += costs[i]
+    return lanes, starts
+
+
 @dataclass
 class RebuildReport:
     """Timing and scope of one on-the-fly recompilation."""
@@ -167,6 +244,10 @@ class RebuildReport:
     # Probe-integrity findings from this rebuild's fragment compiles;
     # only filled when the engine runs with ``sanitize=True``.
     sanitizer_diagnostics: List = field(default_factory=list)
+    # Observability: the rebuild's span tree (schedule -> extract ->
+    # instrument -> compile(per-fragment, per-pass) -> link), with dual
+    # simulated + real timestamps.  Stage spans sum to ``wall_ms``.
+    trace: Optional[Span] = field(default=None, repr=False, compare=False)
 
     @property
     def total_compile_ms(self) -> float:
@@ -219,6 +300,7 @@ class Odin:
         link_cache: Optional["LinkCache"] = None,
         record_fingerprints: bool = False,
         sanitize: bool = False,
+        tracer: Optional[Tracer] = None,
     ):
         if verify:
             verify_module(module)
@@ -247,6 +329,10 @@ class Odin:
         self.executable: Optional[Executable] = None
         self.clock = SimClock()
         self.history: List[RebuildReport] = []
+        # Observability: every rebuild records its span tree here.  A
+        # service passes one shared tracer to all of its targets so
+        # rebuild trees nest under the dispatch spans.
+        self.tracer = tracer if tracer is not None else Tracer()
 
     # -- builds -----------------------------------------------------------------
 
@@ -283,13 +369,18 @@ class Odin:
         report = RebuildReport(probes_applied=len(scheduler.active_probes))
         report.workers = self.compiler.workers
         temp = scheduler.temp_module
+        sim0 = self.clock.now_ms
+        rebuild_real_start = time.perf_counter()
 
         # Split every changed fragment up front and probe the content
         # cache; the remaining misses form one batch for the compiler
         # (which may fan it out across workers).
+        split_real_ms = 0.0
         pending = []  # [fragment, frag_module, content_key, object|None]
         for fragment in scheduler.changed_fragments:
+            split_start = time.perf_counter()
             frag_module = self._split_fragment(temp, fragment)
+            split_real_ms += (time.perf_counter() - split_start) * 1000.0
             key = obj = None
             if self.object_cache is not None:
                 key = fragment_content_key(
@@ -301,6 +392,7 @@ class Odin:
             pending.append([fragment, frag_module, key, obj])
 
         misses = [entry for entry in pending if entry[3] is None]
+        compile_real_start = time.perf_counter()
         if misses:
             compiled = self.compiler.compile_batch(
                 [entry[1] for entry in misses], self.opt_level, self.verify
@@ -313,6 +405,7 @@ class Odin:
                 if self.object_cache is not None:
                     self.object_cache.put(entry[2], obj)
             self.sanitizer_diagnostics.extend(report.sanitizer_diagnostics)
+        compile_real_ms = (time.perf_counter() - compile_real_start) * 1000.0
 
         miss_ids = {id(entry) for entry in misses}
         compiled_costs: List[float] = []
@@ -351,9 +444,149 @@ class Odin:
                 f"(run initial_build first)"
             )
 
+        link_real_start = time.perf_counter()
         self._link(report)
+        link_real_ms = (time.perf_counter() - link_real_start) * 1000.0
+
+        report.trace = self._build_rebuild_trace(
+            scheduler, report, pending, miss_ids, sim0,
+            split_real_ms=split_real_ms,
+            compile_real_ms=compile_real_ms,
+            link_real_ms=link_real_ms,
+            rebuild_real_ms=(time.perf_counter() - rebuild_real_start) * 1000.0,
+        )
+        self.tracer.record(report.trace)
         self.history.append(report)
         return report
+
+    def _build_rebuild_trace(
+        self,
+        scheduler: "Scheduler",
+        report: RebuildReport,
+        pending: List[list],
+        miss_ids,
+        sim0: float,
+        *,
+        split_real_ms: float,
+        compile_real_ms: float,
+        link_real_ms: float,
+        rebuild_real_ms: float,
+    ) -> Span:
+        """Assemble the rebuild's span tree from the deterministic model.
+
+        Simulated positions are synthetic but exact: fragment spans tile
+        their LPT lanes inside the compile stage, optimize + isel tile
+        each fragment, and per-pass spans tile optimize — so every layer
+        sums to the one above it and the stage layer sums to
+        ``report.wall_ms``.  Real durations are what this process
+        actually measured for the same work.
+        """
+        root = Span(
+            "rebuild",
+            cat=CAT_REBUILD,
+            sim_start_ms=sim0,
+            sim_ms=report.wall_ms,
+            real_ms=rebuild_real_ms,
+            args={
+                "target": self.module.name,
+                "workers": report.workers,
+                "fragments": len(report.fragment_ids),
+                "probes_applied": report.probes_applied,
+            },
+        )
+        root.add(Span(
+            "schedule",
+            sim_start_ms=sim0,
+            real_ms=scheduler.schedule_real_ms,
+            args={"changed_fragments": len(scheduler.changed_fragments)},
+        ))
+        root.add(Span(
+            "extract",
+            sim_start_ms=sim0,
+            real_ms=scheduler.extract_real_ms + split_real_ms,
+        ))
+        root.add(Span(
+            "instrument",
+            sim_start_ms=sim0,
+            real_ms=scheduler.instrument_real_ms,
+            args={"active_probes": len(scheduler.active_probes)},
+        ))
+        compile_span = root.add(Span(
+            "compile",
+            sim_start_ms=sim0,
+            sim_ms=report.compile_wall_ms,
+            real_ms=compile_real_ms,
+            args={
+                "workers": report.workers,
+                "cache_hits": report.cache_hits,
+                "compiled": len(report.fragment_ids) - report.cache_hits,
+            },
+        ))
+
+        miss_entries = [e for e in pending if id(e) in miss_ids]
+        lanes, starts = assign_lanes(
+            [entry[3].compile_ms for entry in miss_entries], report.workers
+        )
+        offsets = {id(e): (lane, start)
+                   for e, lane, start in zip(miss_entries, lanes, starts)}
+        for entry in pending:
+            fragment, _frag_module, _key, obj = entry
+            if id(entry) not in offsets:
+                compile_span.add(Span(
+                    f"fragment#{fragment.id}",
+                    cat=CAT_FRAGMENT,
+                    sim_start_ms=sim0,
+                    args={"cache_hit": True},
+                ))
+                continue
+            lane, lane_offset = offsets[id(entry)]
+            frag_start = sim0 + lane_offset
+            breakdown = getattr(obj, "stage_breakdown", None)
+            frag_span = compile_span.add(Span(
+                f"fragment#{fragment.id}",
+                cat=CAT_FRAGMENT,
+                sim_start_ms=frag_start,
+                sim_ms=obj.compile_ms,
+                real_ms=breakdown["real_ms"] if breakdown else 0.0,
+                lane=lane,
+                args={"symbols": len(fragment.symbols)},
+            ))
+            if breakdown is None:
+                continue  # custom compiler without stage attribution
+            opt_span = frag_span.add(Span(
+                "optimize",
+                cat=CAT_PHASE,
+                sim_start_ms=frag_start,
+                sim_ms=breakdown["optimize_ms"],
+                lane=lane,
+            ))
+            cursor = frag_start
+            for pass_name, pass_sim_ms, pass_real_ms in breakdown["passes"]:
+                opt_span.add(Span(
+                    pass_name,
+                    cat=CAT_PASS,
+                    sim_start_ms=cursor,
+                    sim_ms=pass_sim_ms,
+                    real_ms=pass_real_ms,
+                    lane=lane,
+                ))
+                cursor += pass_sim_ms
+            frag_span.add(Span(
+                "isel",
+                cat=CAT_PHASE,
+                sim_start_ms=frag_start + breakdown["optimize_ms"],
+                sim_ms=breakdown["isel_ms"],
+                lane=lane,
+            ))
+
+        root.add(Span(
+            "link",
+            sim_start_ms=sim0 + report.compile_wall_ms,
+            sim_ms=report.link_ms,
+            real_ms=link_real_ms,
+            args={"link_reused": report.link_reused},
+        ))
+        return root
 
     def _link(self, report: RebuildReport) -> None:
         """Relink the object cache, via the executable cache if possible."""

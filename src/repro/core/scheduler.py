@@ -19,6 +19,7 @@ back into per-fragment modules, optimizes, lowers, and relinks.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
@@ -42,6 +43,7 @@ class Scheduler:
     def __init__(self, engine: "Odin", manager: "PatchManager"):
         self.engine = engine
         self.manager = manager
+        schedule_start = time.perf_counter()
 
         fragdef = engine.fragdef
         # Stage 1: probes -> symbols.
@@ -62,7 +64,13 @@ class Scheduler:
             if p.enabled and p.target_symbol() in changed_symbols
         ]
 
+        # Observability: real durations of schedule / extract / instrument,
+        # consumed by the engine when it builds the rebuild span tree.
+        self.schedule_real_ms = (time.perf_counter() - schedule_start) * 1000.0
+        self.instrument_real_ms = 0.0
+
         # Temporary IR covering all changed symbols (Figure 7).
+        extract_start = time.perf_counter()
         if changed_symbols:
             self._temp, self._vmap = extract_module_ex(
                 engine.module,
@@ -72,6 +80,7 @@ class Scheduler:
             )
         else:
             self._temp, self._vmap = Module(f"{engine.module.name}.patch"), None
+        self.extract_real_ms = (time.perf_counter() - extract_start) * 1000.0
         self._rebuilt = False
 
     # -- the user-facing mapping API (§4) ------------------------------------------
@@ -107,8 +116,10 @@ class Scheduler:
 
     def apply_probes(self) -> int:
         """Apply every scheduled probe to the temporary IR; returns count."""
+        start = time.perf_counter()
         for probe in self.active_probes:
             probe.apply(self)
+        self.instrument_real_ms += (time.perf_counter() - start) * 1000.0
         return len(self.active_probes)
 
     def rebuild(self) -> "RebuildReport":

@@ -19,6 +19,9 @@ class CorpusEntry:
     data: bytes
     coverage: FrozenSet[int]
     found_at_exec: int = 0
+    # Scheduling multiplier for pick(): an entry with energy N is N times
+    # as likely to be selected as its base weight alone.  Defaults to 1
+    # (neutral); tools can boost entries they want mutated more.
     energy: int = 1
 
     def __len__(self) -> int:
@@ -55,12 +58,13 @@ class Corpus:
     def pick(self, rng: DeterministicRNG) -> CorpusEntry:
         if not self.entries:
             raise IndexError("corpus is empty")
-        # Favour small and recent entries lightly (AFL-ish energy).
+        # Favour small and recent entries lightly, scaled by each entry's
+        # energy multiplier (AFL-ish scheduling).
         weights = []
         for i, entry in enumerate(self.entries):
             w = 3 if len(entry.data) < 64 else 1
             w += 1 if i >= len(self.entries) - 4 else 0
-            weights.append(w)
+            weights.append(w * max(1, entry.energy))
         total = sum(weights)
         roll = rng.randint(1, total)
         acc = 0

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.engine import RebuildReport
+from repro.errors import FuzzError
 from repro.fuzz.corpus import Corpus
 from repro.fuzz.executor import Executor, OdinCovExecutor
 from repro.fuzz.i2s import solve_comparisons
@@ -34,7 +35,11 @@ class FuzzStats:
     crashes: int = 0
     prunes: int = 0
     rebuilds: int = 0
+    # Elapsed (simulated) rebuild time: the latency a fuzzer actually
+    # waits.  On a worker pool this is the makespan, not the lane-sum.
     rebuild_ms: float = 0.0
+    # Lane-sum of the same rebuilds: total compile work across workers.
+    rebuild_cpu_ms: float = 0.0
     solved_comparisons: int = 0
     crash_inputs: List[bytes] = field(default_factory=list)
 
@@ -65,6 +70,12 @@ class Fuzzer:
         """Run the loop for *executions* mutated inputs (plus seed triage)."""
         for seed in self.corpus.pending_seeds():
             self._execute_and_consider(seed)
+        if not self.corpus.entries:
+            raise FuzzError(
+                f"no usable seeds: all {self.stats.crashes} seed inputs "
+                f"crashed during triage; provide at least one seed that "
+                f"executes without trapping"
+            )
         for _ in range(executions):
             entry = self.corpus.pick(self.rng)
             splice = self.corpus.pick(self.rng).data if len(self.corpus) > 1 else None
@@ -105,7 +116,8 @@ class Fuzzer:
 
     def _note_rebuild(self, report: RebuildReport) -> None:
         self.stats.rebuilds += 1
-        self.stats.rebuild_ms += report.total_ms
+        self.stats.rebuild_ms += report.wall_ms
+        self.stats.rebuild_cpu_ms += report.total_ms
 
     def _sync_stats(self) -> None:
         self.stats.executions = self.executor.executions

@@ -1,0 +1,169 @@
+"""Trace export: Chrome ``trace_event`` JSON and a text flame summary.
+
+The JSON follows the Trace Event Format's complete-event (``"ph": "X"``)
+shape, loadable in ``chrome://tracing`` or Perfetto.  Timestamps are the
+**simulated** clock (microseconds, as the format requires); the matching
+real ``perf_counter`` duration rides along in each event's ``args`` as
+``real_ms``.  Fragments compiled on a worker pool appear on separate
+``tid`` lanes, so the makespan overlap is visible in the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs.tracer import CAT_PASS, CAT_PHASE, CAT_STAGE, Span
+
+
+def to_trace_events(spans: Iterable[Span], pid: int = 0) -> dict:
+    """Render span trees as a Chrome trace-event JSON object."""
+    events: List[dict] = []
+    lanes = set()
+
+    def emit(span: Span) -> None:
+        lanes.add(span.lane)
+        args = {"real_ms": round(span.real_ms, 3), "sim_ms": span.sim_ms}
+        args.update(span.args)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.sim_start_ms * 1000.0,   # µs, per the format
+                "dur": span.sim_ms * 1000.0,
+                "pid": pid,
+                "tid": span.lane,
+                "args": args,
+            }
+        )
+        for child in span.children:
+            emit(child)
+
+    for span in spans:
+        emit(span)
+
+    meta = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "odin"},
+        }
+    ]
+    for lane in sorted(lanes):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": lane,
+                "args": {"name": f"lane-{lane}"},
+            }
+        )
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def trace_json(spans: Iterable[Span], indent: int = 1) -> str:
+    return json.dumps(to_trace_events(spans), indent=indent, sort_keys=True)
+
+
+def write_trace(path: str, spans: Iterable[Span]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(trace_json(spans))
+
+
+# -- aggregation ------------------------------------------------------------------
+
+
+def stage_totals(spans: Iterable[Span]) -> Dict[str, float]:
+    """stage name -> total simulated ms across all given trees."""
+    totals: Dict[str, float] = {}
+    for root in spans:
+        for span in root.walk():
+            if span.cat in (CAT_STAGE, CAT_PHASE):
+                totals[span.name] = totals.get(span.name, 0.0) + span.sim_ms
+    return totals
+
+
+def pass_totals(spans: Iterable[Span]) -> Dict[str, float]:
+    """optimization pass name -> total simulated ms across all trees."""
+    totals: Dict[str, float] = {}
+    for root in spans:
+        for span in root.walk():
+            if span.cat == CAT_PASS:
+                totals[span.name] = totals.get(span.name, 0.0) + span.sim_ms
+    return totals
+
+
+def flame_summary(spans: Iterable[Span], max_depth: int = 3) -> str:
+    """Indented text rendering plus stage/pass aggregates."""
+    spans = list(spans)
+    lines: List[str] = []
+
+    def render(span: Span, depth: int) -> None:
+        if depth > max_depth:
+            return
+        pad = "  " * depth
+        lane = f" lane={span.lane}" if span.lane else ""
+        lines.append(
+            f"{pad}{span.name:<24} {span.sim_ms:>10.2f} ms sim "
+            f"{span.real_ms:>9.2f} ms real{lane}"
+        )
+        for child in span.children:
+            render(child, depth + 1)
+
+    for root in spans:
+        render(root, 0)
+        lines.append("")
+
+    stages = stage_totals(spans)
+    if stages:
+        lines.append("stage totals (simulated):")
+        width = max(len(n) for n in stages)
+        for name, ms in sorted(stages.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<{width}}  {ms:>10.2f} ms")
+    passes = pass_totals(spans)
+    if passes:
+        lines.append("optimization passes (simulated):")
+        width = max(len(n) for n in passes)
+        for name, ms in sorted(passes.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<{width}}  {ms:>10.2f} ms")
+    return "\n".join(lines)
+
+
+def validate_trace_events(payload: dict) -> List[str]:
+    """Schema check for exported traces; returns problems (empty = valid).
+
+    Used by tests and ``repro trace`` to guarantee the emitted JSON is a
+    well-formed Chrome trace: a ``traceEvents`` list whose complete
+    events carry numeric ``ts``/``dur`` and string ``name``/``cat``/
+    ``ph``, with non-negative durations.
+    """
+    problems: List[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = event.get("ph")
+        if not isinstance(ph, str):
+            problems.append(f"event {i} has no phase")
+            continue
+        for key in ("name",):
+            if not isinstance(event.get(key), str):
+                problems.append(f"event {i} missing string {key!r}")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)):
+                    problems.append(f"event {i} missing numeric {key!r}")
+                elif key == "dur" and value < 0:
+                    problems.append(f"event {i} has negative duration")
+            for key in ("pid", "tid"):
+                if not isinstance(event.get(key), int):
+                    problems.append(f"event {i} missing integer {key!r}")
+    return problems

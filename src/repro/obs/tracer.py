@@ -1,0 +1,186 @@
+"""Hierarchical spans with dual timestamps.
+
+Every span carries two clocks side by side:
+
+* **simulated milliseconds** — positions on the deterministic
+  :class:`repro.utils.clock.SimClock` timeline.  These are the numbers
+  the paper's figures are built from, identical on every host, and the
+  ones all span-sum invariants hold over (per-pass spans sum to their
+  fragment's optimize span; stage spans sum to ``RebuildReport.wall_ms``).
+* **real milliseconds** — ``time.perf_counter`` durations of the same
+  work in this Python process.  Useful for finding where the
+  *reproduction* spends its time; never used in reported figures.
+
+Spans form trees: a rebuild root holds one child per stage, the compile
+stage holds one child per fragment (``lane`` records which simulated
+compile lane the fragment ran on under a worker pool), fragments hold
+optimize/isel children, and optimize holds one child per optimization
+pass.
+
+The :class:`Tracer` is shared by every component of a stack (engine,
+scheduler, service dispatcher, workers).  Recording is thread-safe:
+finished span trees are appended under a lock, and open-span nesting
+state is thread-local, so service workers can record concurrently
+without corrupting each other's trees.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+# Span categories (the Chrome trace "cat" field).
+CAT_REBUILD = "rebuild"
+CAT_STAGE = "stage"
+CAT_FRAGMENT = "fragment"
+CAT_PHASE = "phase"      # optimize / isel inside one fragment
+CAT_PASS = "pass"
+CAT_SERVICE = "service"
+
+
+@dataclass
+class Span:
+    """One named interval on the dual (simulated + real) timeline."""
+
+    name: str
+    cat: str = CAT_STAGE
+    # Simulated clock: absolute start position and duration, in ms.
+    sim_start_ms: float = 0.0
+    sim_ms: float = 0.0
+    # Real (perf_counter) duration in ms; starts are process-relative and
+    # therefore not comparable across runs, so only the duration is kept.
+    real_ms: float = 0.0
+    # Simulated compile lane (Chrome trace "tid"): 0 for serial work,
+    # 0..workers-1 for fragments scheduled onto a worker pool.
+    lane: int = 0
+    args: Dict[str, object] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def sim_end_ms(self) -> float:
+        return self.sim_start_ms + self.sim_ms
+
+    def add(self, child: "Span") -> "Span":
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (or self) with *name*, depth-first."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: Optional[str] = None, cat: Optional[str] = None
+                 ) -> List["Span"]:
+        """All descendants (and self) matching *name* and/or *cat*."""
+        return [
+            span
+            for span in self.walk()
+            if (name is None or span.name == name)
+            and (cat is None or span.cat == cat)
+        ]
+
+    def child_sim_sum(self, cat: Optional[str] = None) -> float:
+        """Sum of direct children's simulated durations."""
+        return sum(
+            c.sim_ms for c in self.children if cat is None or c.cat == cat
+        )
+
+
+class Tracer:
+    """Thread-safe collector of finished span trees.
+
+    Two ways in:
+
+    * :meth:`record` hands over a fully built tree (the engine builds its
+      rebuild tree from the deterministic cost model, then records it);
+    * :meth:`span` is a context manager for real-timed wrapper spans
+      (e.g. the service's dispatch path): anything recorded by the same
+      thread while it is open — including whole rebuild trees — becomes
+      its child.
+
+    ``max_roots`` bounds memory on long campaigns: the oldest trees are
+    dropped first, like the metrics reservoir.
+    """
+
+    def __init__(self, max_roots: int = 256):
+        self._lock = threading.Lock()
+        self._roots: List[Span] = []
+        self._local = threading.local()
+        self.max_roots = max_roots
+        self.dropped = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def record(self, span: Span) -> Span:
+        """Attach a finished tree under this thread's open span, if any,
+        else as a new root."""
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+            return span
+        with self._lock:
+            self._roots.append(span)
+            overflow = len(self._roots) - self.max_roots
+            if overflow > 0:
+                del self._roots[:overflow]
+                self.dropped += overflow
+        return span
+
+    @contextmanager
+    def span(self, name: str, cat: str = CAT_STAGE, clock=None, **args):
+        """Open a real-timed span; nested records become its children.
+
+        When *clock* (a :class:`~repro.utils.clock.SimClock`) is given,
+        the span also gets simulated start/duration from the clock's
+        position at entry and exit.
+        """
+        span = Span(name, cat=cat, args=dict(args))
+        if clock is not None:
+            span.sim_start_ms = clock.now_ms
+        start = time.perf_counter()
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+            span.real_ms = (time.perf_counter() - start) * 1000.0
+            if clock is not None:
+                span.sim_ms = clock.now_ms - span.sim_start_ms
+            self.record(span)
+
+    # -- reading --------------------------------------------------------------
+
+    def roots(self) -> List[Span]:
+        with self._lock:
+            return list(self._roots)
+
+    def last(self, name: Optional[str] = None) -> Optional[Span]:
+        """Most recent root (optionally: containing a span named *name*)."""
+        with self._lock:
+            roots = list(self._roots)
+        for root in reversed(roots):
+            if name is None or root.find(name) is not None:
+                return root
+        return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()

@@ -16,6 +16,7 @@ visible together:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -39,6 +40,22 @@ class Requirement:
     pass_name: str   # which pass logged it
 
 
+@dataclass(frozen=True)
+class PassTiming:
+    """One pass invocation: charged work units + real duration.
+
+    The observability layer turns these into per-pass spans: each pass's
+    share of the fragment's simulated middle-end cost is its share of
+    the pipeline's total charged work (real_ms rides along untouched).
+    """
+
+    pass_name: str
+    iteration: int
+    work: int
+    real_ms: float
+    changed: bool
+
+
 @dataclass
 class OptContext:
     """State threaded through every pass invocation."""
@@ -50,6 +67,8 @@ class OptContext:
     work: int = 0
     # Probe-integrity findings collected by ``sanitize_each`` pipelines.
     diagnostics: List["Diagnostic"] = field(default_factory=list)
+    # Per-pass timing records, in execution order (observability layer).
+    pass_timings: List[PassTiming] = field(default_factory=list)
 
     def log_requirement(self, kind: str, subject: str, peer: str, pass_name: str) -> None:
         if self.trial:
@@ -127,13 +146,31 @@ class PassManager:
         if sanitizer is not None:
             ctx.diagnostics.extend(sanitizer.advance(p.name))
 
+    def _run_pass(
+        self, p: Pass, module: Module, ctx: OptContext, iteration: int
+    ) -> bool:
+        """Run one pass, recording its charged work and real duration."""
+        work_before = ctx.work
+        start = time.perf_counter()
+        changed = p.run(module, ctx)
+        ctx.pass_timings.append(
+            PassTiming(
+                pass_name=p.name,
+                iteration=iteration,
+                work=ctx.work - work_before,
+                real_ms=(time.perf_counter() - start) * 1000.0,
+                changed=changed,
+            )
+        )
+        if changed:
+            ctx.count(f"pass.{p.name}.changed")
+        return changed
+
     def run(self, module: Module, ctx: Optional[OptContext] = None) -> OptContext:
         ctx = ctx or OptContext()
         sanitizer = self._make_sanitizer(module)
         for p in self.passes:
-            changed = p.run(module, ctx)
-            if changed:
-                ctx.count(f"pass.{p.name}.changed")
+            self._run_pass(p, module, ctx, 0)
             self._after_pass(module, p, ctx, sanitizer)
         return ctx
 
@@ -143,12 +180,11 @@ class PassManager:
         """Repeat the pipeline until no pass reports changes (bounded)."""
         ctx = ctx or OptContext()
         sanitizer = self._make_sanitizer(module)
-        for _ in range(max_iters):
+        for iteration in range(max_iters):
             any_change = False
             for p in self.passes:
-                if p.run(module, ctx):
+                if self._run_pass(p, module, ctx, iteration):
                     any_change = True
-                    ctx.count(f"pass.{p.name}.changed")
                 self._after_pass(module, p, ctx, sanitizer)
             if not any_change:
                 break

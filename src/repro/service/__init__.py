@@ -16,9 +16,13 @@ in one, structured like an inference server:
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
   service facade and the handle fuzzers hold instead of calling
   ``Odin.rebuild()`` directly.
-* :mod:`repro.service.metrics` — queue depth, batch size, cache hit
-  rate, per-stage latency percentiles; exported via ``stats()`` and the
-  ``repro serve`` / ``repro stats`` CLI.
+* observability — the shared :class:`repro.obs.metrics.MetricsRegistry`
+  (queue depth, batch size, cache hit rate, per-stage latency
+  percentiles; ``repro.service.metrics`` keeps the old ``ServiceMetrics``
+  name as a re-export) and a shared :class:`repro.obs.tracer.Tracer`:
+  every rebuild's span tree nests under the dispatcher's
+  ``service.batch`` span, exportable with ``--trace-out`` /
+  ``repro trace --service``.
 """
 
 from repro.service.cache import (

@@ -13,6 +13,7 @@ requests a rebuild while one is already queued simply joins the batch.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -78,6 +79,11 @@ class Job:
 
     def __init__(self, request: CompileRequest):
         self.request = request
+        # Stamped by JobQueue.submit under the queue lock, *before* the
+        # job becomes visible to the dispatcher — stamping after
+        # publication let a fast dispatcher observe an unstamped job and
+        # report a bogus ~0 ms queue wait.
+        self.submitted_at: Optional[float] = None
         self._event = threading.Event()
         self._reply: Optional[ServiceReply] = None
         self._error: Optional[BaseException] = None
@@ -118,6 +124,7 @@ class JobQueue:
     def submit(self, request: CompileRequest) -> Job:
         job = Job(request)
         with self._not_empty:
+            job.submitted_at = time.perf_counter()
             self._jobs.append(job)
             self.submitted += 1
             self.peak_depth = max(self.peak_depth, len(self._jobs))

@@ -1,158 +1,23 @@
-"""Service observability: counters, gauges and latency percentiles.
+"""Backward-compatible re-export of the shared observability metrics.
 
-Inference-server style: every stage of the request path records into a
-shared :class:`ServiceMetrics` registry, and ``stats()`` snapshots the
-whole thing as one JSON-serializable dict — the payload behind the
-``repro serve --stats-json`` endpoint and ``repro stats``.
-
-Thread-safe; all service components (queue, dispatcher, workers, caches)
-share one registry.
+The registry that used to live here is now :mod:`repro.obs.metrics`,
+shared by the whole stack (engine, fuzzer, service).  ``ServiceMetrics``
+remains the historical name for what is today the general-purpose
+:class:`repro.obs.metrics.MetricsRegistry`.
 """
 
-from __future__ import annotations
+from repro.obs.metrics import (
+    MAX_SAMPLES,
+    LatencyStat,
+    MetricsRegistry,
+    ServiceMetrics,
+    format_stats,
+)
 
-import json
-import threading
-from typing import Dict, List
-
-# Latency histories are bounded; a fuzzing campaign can issue millions of
-# requests and percentile quality does not need more than this.
-MAX_SAMPLES = 4096
-
-
-class LatencyStat:
-    """Bounded sample reservoir with percentile summaries."""
-
-    def __init__(self):
-        self.count = 0
-        self.total_ms = 0.0
-        self.max_ms = 0.0
-        self._samples: List[float] = []
-
-    def record(self, ms: float) -> None:
-        self.count += 1
-        self.total_ms += ms
-        if ms > self.max_ms:
-            self.max_ms = ms
-        if len(self._samples) < MAX_SAMPLES:
-            self._samples.append(ms)
-        else:
-            # Deterministic systematic replacement keeps the reservoir
-            # representative without an RNG.
-            self._samples[self.count % MAX_SAMPLES] = ms
-
-    def percentile(self, p: float) -> float:
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = min(len(ordered) - 1, max(0, round(p / 100 * (len(ordered) - 1))))
-        return ordered[rank]
-
-    def summary(self) -> Dict[str, float]:
-        return {
-            "count": self.count,
-            "mean_ms": self.total_ms / self.count if self.count else 0.0,
-            "p50_ms": self.percentile(50),
-            "p90_ms": self.percentile(90),
-            "p99_ms": self.percentile(99),
-            "max_ms": self.max_ms,
-        }
-
-
-class ServiceMetrics:
-    """Shared registry: counters + gauges + named latency stats."""
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._counters: Dict[str, float] = {}
-        self._gauges: Dict[str, float] = {}
-        self._latencies: Dict[str, LatencyStat] = {}
-
-    # -- recording ------------------------------------------------------------
-
-    def inc(self, name: str, amount: float = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
-
-    def set_gauge(self, name: str, value: float) -> None:
-        with self._lock:
-            self._gauges[name] = value
-
-    def observe(self, name: str, ms: float) -> None:
-        with self._lock:
-            stat = self._latencies.get(name)
-            if stat is None:
-                stat = self._latencies[name] = LatencyStat()
-            stat.record(ms)
-
-    def counter(self, name: str) -> float:
-        with self._lock:
-            return self._counters.get(name, 0)
-
-    # -- export ---------------------------------------------------------------
-
-    def stats(self) -> dict:
-        """One JSON-serializable snapshot of everything recorded."""
-        with self._lock:
-            snapshot = {
-                "counters": dict(self._counters),
-                "gauges": dict(self._gauges),
-                "latency": {
-                    name: stat.summary()
-                    for name, stat in self._latencies.items()
-                },
-            }
-        requests = snapshot["counters"].get("requests_total", 0)
-        compiles = snapshot["counters"].get("fragments_compiled", 0)
-        hits = snapshot["counters"].get("cache_hits", 0)
-        lookups = hits + snapshot["counters"].get("cache_misses", 0)
-        batches = snapshot["counters"].get("batches_total", 0)
-        snapshot["derived"] = {
-            "cache_hit_rate": hits / lookups if lookups else 0.0,
-            "mean_batch_size": requests / batches if batches else 0.0,
-            "dedup_ratio": (
-                snapshot["counters"].get("ops_submitted", 0)
-                / snapshot["counters"].get("ops_applied", 1)
-                if snapshot["counters"].get("ops_applied", 0)
-                else 1.0
-            ),
-            "fragments_compiled": compiles,
-        }
-        return snapshot
-
-    def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.stats(), indent=indent, sort_keys=True)
-
-
-def format_stats(stats: dict) -> str:
-    """Human-readable rendering of a ``stats()`` snapshot."""
-    lines = ["recompilation service stats", ""]
-    derived = stats.get("derived", {})
-    lines.append(f"{'cache hit rate':>22}: {derived.get('cache_hit_rate', 0):.1%}")
-    lines.append(f"{'mean batch size':>22}: {derived.get('mean_batch_size', 0):.2f}")
-    lines.append(f"{'dedup ratio':>22}: {derived.get('dedup_ratio', 1):.2f}x")
-    lines.append("")
-    lines.append(f"{'counter':>22} | value")
-    for name in sorted(stats.get("counters", {})):
-        lines.append(f"{name:>22} | {stats['counters'][name]:g}")
-    gauges = stats.get("gauges", {})
-    if gauges:
-        lines.append("")
-        lines.append(f"{'gauge':>22} | value")
-        for name in sorted(gauges):
-            lines.append(f"{name:>22} | {gauges[name]:g}")
-    latency = stats.get("latency", {})
-    if latency:
-        lines.append("")
-        lines.append(
-            f"{'stage':>22} | {'count':>7} | {'mean':>8} | {'p50':>8} "
-            f"| {'p90':>8} | {'p99':>8} | {'max':>8}"
-        )
-        for name in sorted(latency):
-            s = latency[name]
-            lines.append(
-                f"{name:>22} | {s['count']:>7.0f} | {s['mean_ms']:>8.2f} "
-                f"| {s['p50_ms']:>8.2f} | {s['p90_ms']:>8.2f} "
-                f"| {s['p99_ms']:>8.2f} | {s['max_ms']:>8.2f}"
-            )
-    return "\n".join(lines)
+__all__ = [
+    "MAX_SAMPLES",
+    "LatencyStat",
+    "MetricsRegistry",
+    "ServiceMetrics",
+    "format_stats",
+]

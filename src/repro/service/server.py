@@ -46,7 +46,9 @@ from repro.service.jobs import (
     batch_clients,
     merge_batch,
 )
-from repro.service.metrics import ServiceMetrics
+from repro.obs.metrics import ServiceMetrics
+from repro.obs.trace import stage_totals
+from repro.obs.tracer import CAT_SERVICE, Tracer
 from repro.service.workers import MODE_SERIAL, make_compiler
 
 
@@ -76,6 +78,7 @@ class RecompilationService:
         cache_max_bytes: int = 64 * 1024 * 1024,
         link_cache_entries: int = 32,
         metrics: Optional[ServiceMetrics] = None,
+        tracer: Optional[Tracer] = None,
         poll_interval_s: float = 0.02,
     ):
         if cache is not None and cache_dir is not None:
@@ -90,6 +93,10 @@ class RecompilationService:
         self.compiler = make_compiler(worker_mode, workers)
         self.link_cache_entries = link_cache_entries
         self.metrics = metrics or ServiceMetrics()
+        # One tracer shared by every target engine and the dispatcher:
+        # rebuild span trees nest under the dispatch ("service.batch")
+        # spans of the thread that executed them.
+        self.tracer = tracer or Tracer()
         self.queue = JobQueue()
         self.poll_interval_s = poll_interval_s
         self._targets: Dict[str, _Target] = {}
@@ -102,6 +109,7 @@ class RecompilationService:
         """Create a target's engine wired to the service's caches/pool."""
         if name in self._targets:
             raise ServiceError(f"target {name!r} is already registered")
+        odin_kwargs.setdefault("tracer", self.tracer)
         engine = Odin(
             module,
             object_cache=self.cache,
@@ -144,8 +152,9 @@ class RecompilationService:
 
     def submit(self, request: CompileRequest) -> Job:
         self._target(request.target)
+        # JobQueue.submit stamps job.submitted_at under the queue lock,
+        # before the dispatcher can see the job.
         job = self.queue.submit(request)
-        job.submitted_at = time.perf_counter()
         self.metrics.set_gauge("queue_depth", self.queue.depth())
         return job
 
@@ -204,9 +213,7 @@ class RecompilationService:
     def _execute_batch(self, target: str, batch: List[Job]) -> None:
         entry = self._target(target)
         now = time.perf_counter()
-        waits_ms = [
-            (now - getattr(job, "submitted_at", now)) * 1000.0 for job in batch
-        ]
+        waits_ms = [(now - job.submitted_at) * 1000.0 for job in batch]
         for wait in waits_ms:
             self.metrics.observe("queue_wait_ms", wait)
         self.metrics.set_gauge("queue_depth", self.queue.depth())
@@ -215,7 +222,14 @@ class RecompilationService:
             ops, submitted, applied = merge_batch(batch)
             skipped = 0
             start = time.perf_counter()
-            with entry.lock:
+            with entry.lock, self.tracer.span(
+                "service.batch",
+                cat=CAT_SERVICE,
+                clock=entry.engine.clock,
+                target=target,
+                batch_size=len(batch),
+                queue_wait_ms=max(waits_ms, default=0.0),
+            ):
                 for op in ops:
                     if not self._apply_op(entry.engine, op):
                         skipped += 1
@@ -279,6 +293,9 @@ class RecompilationService:
         m.observe("link_sim_ms", report.link_ms)
         m.observe("rebuild_sim_ms", report.wall_ms)
         m.observe("rebuild_real_ms", real_s * 1000.0)
+        if report.trace is not None:
+            for stage, sim_ms in stage_totals([report.trace]).items():
+                m.observe(f"stage.{stage}.sim_ms", sim_ms)
 
     # -- observability ---------------------------------------------------------
 

@@ -160,6 +160,110 @@ class TestFuzzerLoop:
         assert s1.corpus_size == s2.corpus_size
 
 
+CRASHY = r"""
+int run_input(const char *data, long size) {
+    int x;
+    x = 0;
+    return 100 / x;
+}
+
+int main(void) { return 0; }
+"""
+
+
+class TestRebuildAccounting:
+    def test_wall_vs_cpu_split(self):
+        """Regression: ``rebuild_ms`` used to accumulate the serial
+        lane-sum (``total_ms``), overstating the latency a worker-pool
+        rebuild actually imposes; the lane-sum now lands in
+        ``rebuild_cpu_ms``."""
+        from repro.core.engine import RebuildReport
+
+        report = RebuildReport()
+        report.workers = 2
+        report.fragment_compile_ms = {0: 40.0, 1: 30.0, 2: 30.0}
+        report.compile_wall_ms = 60.0  # LPT makespan of the lanes above
+        report.link_ms = 10.0
+
+        fuzzer = Fuzzer(PlainExecutor(build(TARGET).executable), seeds=[])
+        fuzzer._note_rebuild(report)
+        assert fuzzer.stats.rebuilds == 1
+        assert fuzzer.stats.rebuild_ms == report.wall_ms == 70.0
+        assert fuzzer.stats.rebuild_cpu_ms == report.total_ms == 110.0
+        assert fuzzer.stats.rebuild_ms < fuzzer.stats.rebuild_cpu_ms
+
+    def test_worker_pool_campaign_reports_wall(self):
+        """End-to-end ``workers>1``: recorded latency is the makespan."""
+        from repro.service.workers import ThreadFragmentCompiler
+
+        engine = Odin(
+            compile_source(TARGET, "t"), preserve=("main", "run_input"),
+            compiler=ThreadFragmentCompiler(workers=2),
+        )
+        tool = OdinCov(engine, prune=True)
+        tool.add_all_block_probes()
+        tool.build()
+        fuzzer = Fuzzer(
+            OdinCovExecutor(tool), seeds=[b"AAAA", b"FUZ", b"xy"],
+            prune_interval=50,
+        )
+        stats = fuzzer.run(120)
+        assert stats.rebuilds >= 1
+        wall = sum(r.wall_ms for r in engine.history[1:])
+        cpu = sum(r.total_ms for r in engine.history[1:])
+        assert stats.rebuild_ms == wall
+        assert stats.rebuild_cpu_ms == cpu
+
+
+class TestSeedTriage:
+    def test_all_crashing_seeds_fail_fast(self):
+        """Regression: a corpus emptied by seed triage used to surface
+        as a bare ``IndexError("corpus is empty")`` from ``pick`` on the
+        first mutation."""
+        from repro.errors import FuzzError
+
+        executor = PlainExecutor(build(CRASHY).executable)
+        fuzzer = Fuzzer(executor, seeds=[b"a", b"bb"])
+        with pytest.raises(FuzzError, match="all 2 seed inputs crashed"):
+            fuzzer.run(10)
+        assert fuzzer.stats.crashes == 2
+
+    def test_one_good_seed_is_enough(self):
+        executor = odincov_executor(prune=False)
+        fuzzer = Fuzzer(executor, seeds=[b"AAAA"])
+        stats = fuzzer.run(5)
+        assert stats.executions >= 5
+
+
+class TestCorpusEnergy:
+    def test_energy_multiplies_pick_weight(self):
+        from repro.fuzz.corpus import Corpus
+        from repro.utils.rng import DeterministicRNG
+
+        corpus = Corpus()
+        corpus.consider(b"a" * 100, {1}, 0)
+        corpus.consider(b"b" * 100, {2}, 0)
+        corpus.entries[0].energy = 500
+        rng = DeterministicRNG(3)
+        picks = [corpus.pick(rng) for _ in range(200)]
+        boosted = sum(1 for e in picks if e is corpus.entries[0])
+        assert boosted > 190
+
+    def test_nonpositive_energy_clamps_to_neutral(self):
+        """A zeroed-out entry must not break the weighted roll."""
+        from repro.fuzz.corpus import Corpus, CorpusEntry
+        from repro.utils.rng import DeterministicRNG
+
+        assert CorpusEntry(b"x", frozenset()).energy == 1
+        corpus = Corpus()
+        corpus.consider(b"a", {1}, 0)
+        corpus.consider(b"b", {2}, 0)
+        corpus.entries[0].energy = 0
+        rng = DeterministicRNG(11)
+        picks = {corpus.pick(rng).data for _ in range(100)}
+        assert picks == {b"a", b"b"}
+
+
 class TestCmpLogFuzzer:
     def test_solves_32bit_magic(self):
         """Random mutation can't find 0x4A3B2C1D; input-to-state can."""

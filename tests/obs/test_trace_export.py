@@ -1,0 +1,94 @@
+"""Chrome trace-event export, aggregation and schema validation."""
+
+import json
+
+from repro.obs.trace import (
+    flame_summary,
+    pass_totals,
+    stage_totals,
+    to_trace_events,
+    trace_json,
+    validate_trace_events,
+    write_trace,
+)
+from repro.obs.tracer import CAT_PASS, CAT_PHASE, CAT_REBUILD, Span
+
+
+def sample_tree() -> Span:
+    root = Span("rebuild", cat=CAT_REBUILD, sim_start_ms=10.0, sim_ms=7.0)
+    root.add(Span("schedule", sim_start_ms=10.0, sim_ms=0.0))
+    compile_span = root.add(Span("compile", sim_start_ms=10.0, sim_ms=5.0))
+    frag = compile_span.add(
+        Span("fragment#0", cat="fragment", sim_start_ms=10.0, sim_ms=5.0,
+             lane=1)
+    )
+    opt = frag.add(Span("optimize", cat=CAT_PHASE, sim_start_ms=10.0,
+                        sim_ms=3.0, lane=1))
+    opt.add(Span("dce", cat=CAT_PASS, sim_start_ms=10.0, sim_ms=3.0, lane=1))
+    frag.add(Span("isel", cat=CAT_PHASE, sim_start_ms=13.0, sim_ms=2.0,
+                  lane=1))
+    root.add(Span("link", sim_start_ms=15.0, sim_ms=2.0))
+    return root
+
+
+class TestTraceEvents:
+    def test_schema_valid(self):
+        payload = to_trace_events([sample_tree()])
+        assert validate_trace_events(payload) == []
+        # Round-trips through JSON.
+        assert validate_trace_events(json.loads(trace_json([sample_tree()]))) == []
+
+    def test_microsecond_scaling_and_lanes(self):
+        payload = to_trace_events([sample_tree()])
+        by_name = {
+            e["name"]: e for e in payload["traceEvents"] if e["ph"] == "X"
+        }
+        assert by_name["rebuild"]["ts"] == 10_000.0
+        assert by_name["rebuild"]["dur"] == 7_000.0
+        assert by_name["fragment#0"]["tid"] == 1
+        assert by_name["fragment#0"]["args"]["sim_ms"] == 5.0
+
+    def test_metadata_events_name_lanes(self):
+        payload = to_trace_events([sample_tree()])
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert "process_name" in names
+        lanes = {e["tid"] for e in meta if e["name"] == "thread_name"}
+        assert lanes == {0, 1}
+
+    def test_validator_flags_negative_duration(self):
+        bad = Span("broken", sim_ms=-1.0)
+        problems = validate_trace_events(to_trace_events([bad]))
+        assert any("negative" in p for p in problems)
+
+    def test_validator_flags_malformed_payload(self):
+        assert validate_trace_events({}) == ["traceEvents is not a list"]
+        problems = validate_trace_events({"traceEvents": [{"ph": "X"}]})
+        assert problems
+
+    def test_write_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace(str(path), [sample_tree()])
+        payload = json.loads(path.read_text())
+        assert validate_trace_events(payload) == []
+        assert payload["displayTimeUnit"] == "ms"
+
+
+class TestAggregation:
+    def test_stage_totals(self):
+        totals = stage_totals([sample_tree(), sample_tree()])
+        assert totals["compile"] == 10.0
+        assert totals["link"] == 4.0
+        assert totals["optimize"] == 6.0
+
+    def test_pass_totals(self):
+        assert pass_totals([sample_tree()]) == {"dce": 3.0}
+
+    def test_flame_summary_renders(self):
+        text = flame_summary([sample_tree()])
+        assert "rebuild" in text
+        assert "stage totals (simulated):" in text
+        assert "dce" in text
+        # max_depth clips fragment internals.
+        shallow = flame_summary([sample_tree()], max_depth=1)
+        assert "fragment#0" not in shallow

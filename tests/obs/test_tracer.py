@@ -1,0 +1,94 @@
+"""Span trees and the thread-safe tracer."""
+
+import threading
+
+from repro.obs.tracer import CAT_SERVICE, CAT_STAGE, Span, Tracer
+
+
+class TestSpan:
+    def test_tree_navigation(self):
+        root = Span("rebuild")
+        a = root.add(Span("compile"))
+        a.add(Span("fragment#0", cat="fragment"))
+        root.add(Span("link"))
+        assert [s.name for s in root.walk()] == [
+            "rebuild", "compile", "fragment#0", "link"
+        ]
+        assert root.find("fragment#0") is not None
+        assert root.find("nope") is None
+        assert len(root.find_all(cat="fragment")) == 1
+
+    def test_sim_end_and_child_sum(self):
+        root = Span("r", sim_start_ms=10.0, sim_ms=5.0)
+        root.add(Span("a", sim_ms=2.0))
+        root.add(Span("b", sim_ms=3.0, cat=CAT_SERVICE))
+        assert root.sim_end_ms == 15.0
+        assert root.child_sim_sum() == 5.0
+        assert root.child_sim_sum(cat=CAT_SERVICE) == 3.0
+
+
+class TestTracer:
+    def test_record_roots(self):
+        tracer = Tracer()
+        tracer.record(Span("one"))
+        tracer.record(Span("two"))
+        assert [r.name for r in tracer.roots()] == ["one", "two"]
+        assert tracer.last().name == "two"
+        assert tracer.last("one").name == "one"
+
+    def test_span_context_nests_records(self):
+        tracer = Tracer()
+        with tracer.span("outer", cat=CAT_SERVICE, key="v"):
+            tracer.record(Span("inner"))
+        (root,) = tracer.roots()
+        assert root.name == "outer"
+        assert root.args["key"] == "v"
+        assert root.real_ms >= 0.0
+        assert [c.name for c in root.children] == ["inner"]
+
+    def test_max_roots_drops_oldest(self):
+        tracer = Tracer(max_roots=3)
+        for i in range(5):
+            tracer.record(Span(f"s{i}"))
+        assert [r.name for r in tracer.roots()] == ["s2", "s3", "s4"]
+        assert tracer.dropped == 2
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(Span("x"))
+        tracer.clear()
+        assert tracer.roots() == []
+
+    def test_concurrent_recording_keeps_trees_separate(self):
+        """Each thread's rebuild trees nest under its own open span —
+        never a sibling thread's — and no root is lost."""
+        tracer = Tracer(max_roots=1024)
+        threads = 8
+        per_thread = 25
+        barrier = threading.Barrier(threads)
+        errors = []
+
+        def worker(tid: int) -> None:
+            barrier.wait()
+            try:
+                for i in range(per_thread):
+                    with tracer.span(f"batch-{tid}", cat=CAT_SERVICE):
+                        tracer.record(Span(f"rebuild-{tid}-{i}", cat=CAT_STAGE))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        pool = [
+            threading.Thread(target=worker, args=(t,)) for t in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+
+        assert not errors
+        roots = tracer.roots()
+        assert len(roots) == threads * per_thread
+        for root in roots:
+            tid = root.name.split("-")[1]
+            assert len(root.children) == 1
+            assert root.children[0].name.startswith(f"rebuild-{tid}-")
