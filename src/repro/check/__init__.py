@@ -19,6 +19,15 @@ FuzzyFlow's cutout-based differential testing of program transformations:
 Surfaced as ``python -m repro check`` and a bounded CI sweep.
 """
 
+from repro.check.chaos import (
+    FAULT_KINDS,
+    ChaosReport,
+    ChaosRunner,
+    ChaosSchedule,
+    FaultEvent,
+    generate_chaos_schedules,
+    run_chaos,
+)
 from repro.check.faults import run_fault_checks
 from repro.check.invariants import (
     RecordingCache,
@@ -45,8 +54,13 @@ from repro.check.schedules import (
 )
 
 __all__ = [
+    "ChaosReport",
+    "ChaosRunner",
+    "ChaosSchedule",
     "CheckReport",
     "DifferentialOracle",
+    "FAULT_KINDS",
+    "FaultEvent",
     "ProbeSchedule",
     "RecordingCache",
     "STEP_DISABLE",
@@ -59,8 +73,10 @@ __all__ = [
     "StepOutcome",
     "check_backpropagation",
     "check_content_key_determinism",
+    "generate_chaos_schedules",
     "generate_schedules",
     "pick_targets",
+    "run_chaos",
     "run_fault_checks",
     "run_invariant_checks",
 ]

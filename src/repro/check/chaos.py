@@ -1,0 +1,482 @@
+"""Seeded chaos harness for the fault-tolerant recompilation service.
+
+``repro check`` proves incremental rebuilds equivalent to from-scratch
+builds on a *healthy* service.  This module proves the same property
+under injected faults: each :class:`ChaosSchedule` pairs a deterministic
+probe-state schedule with a seeded plan of fault events —
+
+* ``worker-crash`` / ``worker-hang`` — arm a
+  :class:`~repro.service.workers.WorkerCrashError` /
+  :class:`~repro.service.workers.WorkerTimeoutError` on the supervised
+  compiler's ``fault_injector`` hook, firing inside the next real
+  compile exactly where a dying or wedged pool worker would surface;
+* ``cache-corrupt`` — flip bytes of one stored blob in the persistent
+  code cache mid-run (``inject_fault("corrupt-obj")``), which the cache
+  must quarantine as a miss, never raise or serve;
+* ``dispatcher-restart`` — stop (drained) and restart the service's
+  dispatcher thread, modelling a compile-server kill/restart;
+* ``deadline-expire`` — submit a job whose deadline has already passed
+  while the dispatcher is down, which the queue must shed with
+  :class:`~repro.service.jobs.DeadlineExpiredError`.
+
+After the schedule the harness asserts the service *degraded but never
+lied*: every non-shed job got a reply, every corrupted key now misses or
+round-trips byte-identically (quarantined, not raised), and the final
+engine state passes the full differential oracle — object bytes, linked
+image and behaviour equal to a fault-free from-scratch build.
+
+Everything is a pure function of the seed: schedules, fault placement,
+victim keys, retry backoff (``RetryPolicy.seed``).  A failing chaos run
+is therefore replayable with ``repro chaos --seed N``.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.check.oracle import PRESERVED, DifferentialOracle
+from repro.check.schedules import (
+    ProbeSchedule,
+    generate_schedules,
+    pick_targets,
+)
+from repro.fuzz.executor import OdinCovExecutor
+from repro.instrument.coverage import OdinCov
+from repro.programs.registry import TargetProgram
+from repro.service.jobs import (
+    OP_DISABLE,
+    OP_ENABLE,
+    OP_REMOVE,
+    DeadlineExpiredError,
+    ProbeOp,
+)
+from repro.service.resilience import RetryPolicy
+from repro.service.server import RecompilationService, ServiceError
+from repro.service.workers import (
+    MODE_PROCESS,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.utils.rng import DeterministicRNG
+
+# Fault kinds a chaos schedule may fire before a probe step.
+FAULT_WORKER_CRASH = "worker-crash"
+FAULT_WORKER_HANG = "worker-hang"
+FAULT_CACHE_CORRUPT = "cache-corrupt"
+FAULT_DISPATCHER_RESTART = "dispatcher-restart"
+FAULT_DEADLINE_EXPIRE = "deadline-expire"
+FAULT_KINDS = (
+    FAULT_WORKER_CRASH,
+    FAULT_WORKER_HANG,
+    FAULT_CACHE_CORRUPT,
+    FAULT_DISPATCHER_RESTART,
+    FAULT_DEADLINE_EXPIRE,
+)
+
+# Generation weights: worker faults dominate (they exercise the whole
+# restart/retry/degrade ladder), the rest stay common enough that every
+# few schedules cover each kind.
+_FAULT_WEIGHTS = (
+    (FAULT_WORKER_CRASH, 30),
+    (FAULT_WORKER_HANG, 20),
+    (FAULT_CACHE_CORRUPT, 20),
+    (FAULT_DISPATCHER_RESTART, 15),
+    (FAULT_DEADLINE_EXPIRE, 15),
+)
+
+_STEP_OPS = {"disable": OP_DISABLE, "enable": OP_ENABLE, "remove": OP_REMOVE}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, fired just before probe step ``step``."""
+
+    step: int
+    kind: str
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.step < 0:
+            raise ValueError("step must be >= 0")
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A probe schedule plus the fault plan replayed against it."""
+
+    schedule_id: int
+    seed: int
+    probe_schedule: ProbeSchedule
+    faults: Tuple[FaultEvent, ...]
+
+    def describe(self) -> str:
+        inner = "; ".join(f"@{f.step} {f.kind}" for f in self.faults) or "none"
+        return (
+            f"chaos #{self.schedule_id} (seed {self.seed}): "
+            f"{len(self.probe_schedule.steps)} steps, faults: {inner}"
+        )
+
+
+def generate_chaos_schedules(
+    count: int,
+    seed: int,
+    *,
+    min_faults: int = 1,
+    max_faults: int = 3,
+    **schedule_kwargs,
+) -> List[ChaosSchedule]:
+    """Generate *count* chaos schedules, a pure function of the arguments.
+
+    Probe steps come from the oracle's generator (pruning excluded: the
+    chaos replayer drives everything through service clients, and prune
+    is an executor-side operation); fault events are then placed at
+    seeded step indices.
+    """
+    if not 0 <= min_faults <= max_faults:
+        raise ValueError("need 0 <= min_faults <= max_faults")
+    schedule_kwargs.setdefault("include_prune", False)
+    probe_schedules = generate_schedules(count, seed, **schedule_kwargs)
+    rng = DeterministicRNG(seed ^ 0x5EEDFA17)
+    out: List[ChaosSchedule] = []
+    for probe_schedule in probe_schedules:
+        steps = len(probe_schedule.steps)
+        faults = tuple(
+            sorted(
+                (
+                    FaultEvent(rng.randint(0, steps - 1), _weighted_fault(rng))
+                    for _ in range(rng.randint(min_faults, max_faults))
+                ),
+                key=lambda f: (f.step, f.kind),
+            )
+        )
+        out.append(
+            ChaosSchedule(
+                probe_schedule.schedule_id, probe_schedule.seed,
+                probe_schedule, faults,
+            )
+        )
+    return out
+
+
+def _weighted_fault(rng: DeterministicRNG) -> str:
+    total = sum(weight for _, weight in _FAULT_WEIGHTS)
+    roll = rng.randint(1, total)
+    for kind, weight in _FAULT_WEIGHTS:
+        roll -= weight
+        if roll <= 0:
+            return kind
+    return _FAULT_WEIGHTS[-1][0]  # pragma: no cover - unreachable
+
+
+@dataclass
+class ChaosOutcome:
+    """One replayed chaos schedule: faults fired, replies, verdict."""
+
+    schedule: ChaosSchedule
+    injected: Dict[str, int] = field(default_factory=dict)
+    replies: int = 0
+    shed: int = 0
+    breaker_rejections: int = 0
+    worker_restarts: int = 0
+    degradations: int = 0
+    quarantined: int = 0
+    unfired_worker_faults: int = 0
+    mismatches: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.mismatches
+
+    def to_dict(self) -> dict:
+        return {
+            "schedule_id": self.schedule.schedule_id,
+            "seed": self.schedule.seed,
+            "faults": [(f.step, f.kind) for f in self.schedule.faults],
+            "injected": dict(self.injected),
+            "replies": self.replies,
+            "shed": self.shed,
+            "breaker_rejections": self.breaker_rejections,
+            "worker_restarts": self.worker_restarts,
+            "degradations": self.degradations,
+            "quarantined": self.quarantined,
+            "unfired_worker_faults": self.unfired_worker_faults,
+            "mismatches": list(self.mismatches),
+            "error": self.error,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Everything ``repro chaos`` learned about one program."""
+
+    program: str
+    seed: int
+    outcomes: List[ChaosOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(sum(o.injected.values()) for o in self.outcomes)
+
+    @property
+    def failures(self) -> List[str]:
+        out = []
+        for outcome in self.outcomes:
+            sid = outcome.schedule.schedule_id
+            if outcome.error is not None:
+                out.append(f"chaos #{sid}: {outcome.error}")
+            for mismatch in outcome.mismatches:
+                out.append(f"chaos #{sid}: {mismatch}")
+        return out
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.failures)} FAILURES"
+        restarts = sum(o.worker_restarts for o in self.outcomes)
+        shed = sum(o.shed for o in self.outcomes)
+        return (
+            f"{self.program}: {len(self.outcomes)} chaos schedules "
+            f"(seed {self.seed}), {self.faults_injected} faults injected, "
+            f"{restarts} worker restarts, {shed} jobs shed, {status}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "seed": self.seed,
+            "ok": self.ok,
+            "faults_injected": self.faults_injected,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+class ChaosRunner:
+    """Replays chaos schedules against a supervised service instance.
+
+    Each schedule gets a fresh service (process-pool compiler by
+    default, persistent cache in a scratch directory) and is torn down
+    afterwards; the final probe state is judged by the differential
+    oracle's full three-layer equivalence check.
+    """
+
+    def __init__(
+        self,
+        program: TargetProgram,
+        *,
+        workers: int = 2,
+        worker_mode: str = MODE_PROCESS,
+        max_inputs: int = 4,
+        batch_timeout_s: float = 30.0,
+        reply_timeout_s: float = 120.0,
+    ):
+        self.program = program
+        self.workers = workers
+        self.worker_mode = worker_mode
+        self.batch_timeout_s = batch_timeout_s
+        self.reply_timeout_s = reply_timeout_s
+        # Reused for its corpus + compare_to_reference (fault-free
+        # scratch rebuild of the same probe state).
+        self.oracle = DifferentialOracle(program, max_inputs=max_inputs)
+
+    def run(self, schedules: List[ChaosSchedule], seed: int = 0) -> ChaosReport:
+        report = ChaosReport(self.program.name, seed)
+        for schedule in schedules:
+            report.outcomes.append(self.run_schedule(schedule))
+        return report
+
+    def run_schedule(self, schedule: ChaosSchedule) -> ChaosOutcome:
+        outcome = ChaosOutcome(schedule)
+        workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+        session: Optional[_ChaosSession] = None
+        try:
+            session = _ChaosSession(self, schedule, workdir, outcome)
+            session.replay()
+            session.verdict()
+        except Exception as error:  # surface, do not crash the sweep
+            outcome.error = f"{type(error).__name__}: {error}"
+        finally:
+            if session is not None:
+                session.close()
+            shutil.rmtree(workdir, ignore_errors=True)
+        return outcome
+
+
+class _ChaosSession:
+    """One schedule's live side: service, client, armed faults."""
+
+    def __init__(
+        self,
+        runner: ChaosRunner,
+        schedule: ChaosSchedule,
+        workdir: str,
+        outcome: ChaosOutcome,
+    ):
+        self.runner = runner
+        self.schedule = schedule
+        self.outcome = outcome
+        self.rng = DeterministicRNG(schedule.seed ^ 0xC4A05)
+        self._armed: List[type] = []
+        self._corrupted: List[str] = []
+        self.service = RecompilationService(
+            workers=runner.workers,
+            worker_mode=runner.worker_mode,
+            cache_dir=f"{workdir}/cache",
+            retry_policy=RetryPolicy(seed=schedule.seed),
+            batch_timeout_s=runner.batch_timeout_s,
+        )
+        self.service.compiler.fault_injector = self._inject
+        self.engine = self.service.register_target(
+            runner.program.name, runner.program.compile(), preserve=PRESERVED
+        )
+        self.client = self.service.client(runner.program.name, "chaos")
+        self.tool = OdinCov(self.engine, rebuild_fn=self.client.rebuild_report)
+        self.tool.add_all_block_probes()
+        self.service.build(runner.program.name)
+        self.service.start()
+        self.executor = OdinCovExecutor(self.tool)
+
+    # -- fault machinery -------------------------------------------------------
+
+    def _inject(self, compiler, batch, attempt) -> None:
+        """SupervisedCompiler hook: fire one armed fault per attempt."""
+        if self._armed and batch:
+            raise self._armed.pop(0)(
+                f"chaos: injected {self.schedule.describe()} fault "
+                f"(attempt {attempt}, batch of {len(batch)})"
+            )
+
+    def _fire(self, event: FaultEvent) -> None:
+        count = self.outcome.injected
+        if event.kind == FAULT_WORKER_CRASH:
+            self._armed.append(WorkerCrashError)
+        elif event.kind == FAULT_WORKER_HANG:
+            self._armed.append(WorkerTimeoutError)
+        elif event.kind == FAULT_CACHE_CORRUPT:
+            keys = self.service.cache.keys()
+            if not keys:  # nothing stored yet: fault is a no-op
+                return
+            victim = keys[self.rng.randint(0, len(keys) - 1)]
+            self.service.cache.inject_fault("corrupt-obj", key=victim)
+            self._corrupted.append(victim)
+        elif event.kind == FAULT_DISPATCHER_RESTART:
+            self.service.stop(drain=True)
+            self.service.start()
+        elif event.kind == FAULT_DEADLINE_EXPIRE:
+            # Submitted while the dispatcher is down with a deadline of
+            # zero: already expired by the time dispatch resumes, so the
+            # queue must shed it instead of compiling for nobody.
+            self.service.stop(drain=True)
+            job = self.client.submit((), deadline_s=0.0)
+            self.service.start()
+            try:
+                job.result(self.runner.reply_timeout_s)
+                self.outcome.mismatches.append(
+                    f"deadline-expired job before step {event.step} was "
+                    f"compiled instead of shed"
+                )
+            except DeadlineExpiredError:
+                self.outcome.shed += 1
+        count[event.kind] = count.get(event.kind, 0) + 1
+
+    # -- replay ----------------------------------------------------------------
+
+    def replay(self) -> None:
+        inputs = self.runner.oracle.inputs
+        cursor = 0
+        pick_rng = DeterministicRNG(self.schedule.seed)
+        for index, step in enumerate(self.schedule.probe_schedule.steps):
+            for event in self.schedule.faults:
+                if event.step == index:
+                    self._fire(event)
+            for _ in range(step.inputs):
+                self.executor.execute(inputs[cursor % len(inputs)])
+                cursor += 1
+            self._apply_step(step, pick_rng)
+            self.executor._refresh_vm()
+
+    def _apply_step(self, step, pick_rng: DeterministicRNG) -> None:
+        manager = self.engine.manager
+        if step.kind == "disable":
+            eligible = [p for p in manager if p.enabled]
+        elif step.kind == "enable":
+            eligible = [p for p in manager if not p.enabled]
+        else:  # remove
+            eligible = list(manager)
+        eligible.sort(key=lambda p: p.id)
+        picked = pick_targets(pick_rng, eligible, step.count)
+        if not picked:
+            return
+        if step.kind == "remove":
+            for probe in picked:
+                self.tool.probes.pop(probe.id, None)
+        ops = [ProbeOp(_STEP_OPS[step.kind], p.id) for p in picked]
+        try:
+            self.client.rebuild(ops, timeout=self.runner.reply_timeout_s)
+            self.outcome.replies += 1
+        except ServiceError as error:
+            if error.retry_after_s is None:
+                raise
+            # Breaker open: a fast failure, not a hang.  Count it; the
+            # step's ops were never applied, so state stays consistent.
+            self.outcome.breaker_rejections += 1
+
+    # -- verdict ---------------------------------------------------------------
+
+    def verdict(self) -> None:
+        outcome = self.outcome
+        outcome.unfired_worker_faults = len(self._armed)
+        self._armed.clear()  # never let a leftover fault poison teardown
+        # Corrupted entries must self-heal: a get may miss (quarantined)
+        # but must never raise or return different bytes (the oracle
+        # below would catch wrong bytes that got linked).
+        cache = self.service.cache
+        for key in self._corrupted:
+            try:
+                cache.get(key)
+            except Exception as error:  # noqa: BLE001 - the assertion itself
+                outcome.mismatches.append(
+                    f"corrupted cache entry {key[:12]} raised "
+                    f"{type(error).__name__} instead of degrading to a miss"
+                )
+        compiler_stats = self.service.compiler.stats()
+        outcome.worker_restarts = compiler_stats["worker_restarts"]
+        outcome.degradations = compiler_stats["degradations"]
+        outcome.quarantined = getattr(cache, "quarantined", 0)
+        # Every fault behind us: the final probe state must still be
+        # exactly what a fault-free from-scratch build produces.
+        outcome.mismatches.extend(
+            self.runner.oracle.compare_to_reference(self.engine)
+        )
+
+    def close(self) -> None:
+        self.service.close()
+
+
+def run_chaos(
+    program: TargetProgram,
+    *,
+    schedules: int = 3,
+    seed: int = 0,
+    workers: int = 2,
+    worker_mode: str = MODE_PROCESS,
+    max_inputs: int = 4,
+) -> ChaosReport:
+    """Generate and replay *schedules* chaos schedules for *program*."""
+    runner = ChaosRunner(
+        program, workers=workers, worker_mode=worker_mode, max_inputs=max_inputs
+    )
+    return runner.run(generate_chaos_schedules(schedules, seed), seed)

@@ -9,6 +9,10 @@ Commands:
 * ``check [PROGRAMS]`` — the differential rebuild oracle: replay random
   probe-state schedules incrementally and from scratch, assert byte- and
   behaviour-equivalence, and run cache-fault + invariant suites
+* ``chaos [PROGRAMS]`` — seeded fault injection against the live
+  service (worker crash/hang, cache corruption, dispatcher restarts,
+  deadline expiry); every run must end oracle-equivalent to a
+  fault-free from-scratch build
 * ``lint [PROGRAMS]`` — the static layer: run the IR lint suite over each
   target and drive a fully instrumented build with the probe-integrity
   sanitizer between passes; exits non-zero on sanitizer errors
@@ -189,6 +193,53 @@ def cmd_check(args) -> int:
 
             print(f"cache faults: {len(PersistentCodeCache.FAULT_KINDS)} "
                   f"scenarios, all degraded to a miss")
+    print("FAIL" if failed else "PASS")
+    return 1 if failed else 0
+
+
+DEFAULT_CHAOS_PROGRAMS = ("lcms",)
+
+
+def cmd_chaos(args) -> int:
+    """Seeded chaos harness: fault-injected service runs vs the oracle."""
+    from repro.check.chaos import ChaosRunner, generate_chaos_schedules
+
+    programs = [
+        get_program(name) for name in (args.programs or DEFAULT_CHAOS_PROGRAMS)
+    ]
+    schedules = generate_chaos_schedules(
+        args.schedules,
+        args.seed,
+        min_faults=args.min_faults,
+        max_faults=args.max_faults,
+        max_steps=args.max_steps,
+    )
+    failed = False
+    reports = []
+    for program in programs:
+        runner = ChaosRunner(
+            program,
+            workers=args.workers,
+            worker_mode=args.mode,
+            max_inputs=args.max_inputs,
+        )
+        report = runner.run(schedules, args.seed)
+        reports.append(report)
+        print(report.summary())
+        for outcome in report.outcomes:
+            print(f"  {outcome.schedule.describe()}: "
+                  f"{outcome.replies} replies, {outcome.shed} shed, "
+                  f"{outcome.worker_restarts} restarts, "
+                  f"{outcome.quarantined} quarantined"
+                  + ("" if outcome.ok else "  FAILED"))
+        for failure in report.failures:
+            print(f"  CHAOS {failure}")
+        failed = failed or not report.ok
+    if args.report_json:
+        payload = [report.to_dict() for report in reports]
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"chaos report written to {args.report_json}")
     print("FAIL" if failed else "PASS")
     return 1 if failed else 0
 
@@ -484,6 +535,28 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--no-faults", action="store_true",
                          help="skip the persistent-cache fault suite")
     p_check.set_defaults(fn=cmd_check)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded fault injection against the live service"
+    )
+    p_chaos.add_argument(
+        "programs", nargs="*",
+        help=f"targets to stress (default: {' '.join(DEFAULT_CHAOS_PROGRAMS)})",
+    )
+    p_chaos.add_argument("--schedules", type=int, default=3)
+    p_chaos.add_argument("--seed", type=int, default=1)
+    p_chaos.add_argument("--min-faults", type=int, default=1)
+    p_chaos.add_argument("--max-faults", type=int, default=3)
+    p_chaos.add_argument("--max-steps", type=int, default=5)
+    p_chaos.add_argument("--max-inputs", type=int, default=4,
+                         help="corpus inputs per behaviour comparison")
+    p_chaos.add_argument("--workers", type=int, default=2)
+    p_chaos.add_argument(
+        "--mode", default="process", choices=("serial", "thread", "process")
+    )
+    p_chaos.add_argument("--report-json", default=None,
+                         help="write the machine-readable chaos report here")
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_lint = sub.add_parser(
         "lint", help="static lint suite + probe-integrity-sanitized build"

@@ -68,13 +68,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 def compile_fragment(
     frag_module: Module, opt_level: int = 2, verify: bool = True,
-    sanitize: bool = False,
+    sanitize: bool = False, canonicalize: bool = True,
 ) -> ObjectFile:
     """Optimize (post-instrumentation) and lower one fragment module.
 
-    Pure with respect to everything but *frag_module* (which it consumes:
-    optimization rewrites it in place), so it can run on any worker —
-    the engine's inline path, a thread pool, or a forked process.
+    Pure, so it can run on any worker — the engine's inline path, a
+    thread pool, or a forked process.
+
+    ``canonicalize`` (the default) first round-trips the module through
+    its printed text, making the object bytes a function of the
+    *canonical IR* alone.  Without it, optimizer-generated names leak
+    construction history: name uniquification counters differ between a
+    module extracted from a large parent and the same module re-parsed
+    from text, so a process-pool compile (which ships printed IR) could
+    yield different bytes than an inline compile of equivalent IR —
+    exactly the divergence the differential oracle exists to catch.
+    Pass ``canonicalize=False`` only when the module already came from
+    :func:`repro.ir.parser.parse_module` on canonical text.
 
     ``sanitize`` runs the probe-integrity sanitizer between optimization
     passes (debug builds); its findings ride back on the object file as
@@ -83,6 +93,10 @@ def compile_fragment(
     from repro.backend.costmodel import compile_cost_ms, middle_end_cost_ms
 
     real_start = time.perf_counter()
+    if canonicalize:
+        from repro.ir.parser import parse_module
+
+        frag_module = parse_module(print_module(frag_module), frag_module.name)
     # The middle end pays for the *unoptimized* input it receives.
     pre_opt_cost = compile_cost_ms(frag_module)
     opt_model_ms = middle_end_cost_ms(frag_module)
@@ -137,17 +151,27 @@ def _allocate_pass_ms(opt_ms: float, timings) -> List[Tuple[str, float, float]]:
 
 def compile_fragment_text(
     ir_text: str, opt_level: int = 2, verify: bool = True,
-    sanitize: bool = False,
+    sanitize: bool = False, name: str = "parsed",
 ) -> ObjectFile:
     """Process-pool entry point: parse shipped IR text, then compile.
 
     Fragment modules hold interned types and parent links that do not
     pickle, so cross-process workers receive the *printed* IR — the same
     canonical text content addressing hashes — and re-parse it.
+
+    ``name`` must be the original module's name: the printed IR does not
+    carry it, yet it becomes ``ObjectFile.name`` and is part of the
+    object's canonical bytes — dropping it made process-pool objects
+    fingerprint differently from serial ones.
     """
     from repro.ir.parser import parse_module
 
-    return compile_fragment(parse_module(ir_text), opt_level, verify, sanitize)
+    return compile_fragment(
+        parse_module(ir_text, name), opt_level, verify, sanitize,
+        # The text shipped here *is* the canonical form; skip the
+        # redundant second round trip.
+        canonicalize=False,
+    )
 
 
 def fragment_content_key(

@@ -119,6 +119,10 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def gauge(self, name: str) -> float:
+        with self._lock:
+            return self._gauges.get(name, 0)
+
     def latency(self, name: str) -> LatencyStat:
         """The named stat (created empty if missing) — tests and export."""
         with self._lock:

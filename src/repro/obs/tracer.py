@@ -39,6 +39,7 @@ CAT_FRAGMENT = "fragment"
 CAT_PHASE = "phase"      # optimize / isel inside one fragment
 CAT_PASS = "pass"
 CAT_SERVICE = "service"
+CAT_FAULT = "fault"      # retries, breaker trips, restarts, degradations
 
 
 @dataclass

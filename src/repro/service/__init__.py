@@ -31,18 +31,41 @@ from repro.service.cache import (
     fragment_content_key,
 )
 from repro.service.client import ServiceClient
-from repro.service.jobs import CompileRequest, Job, ProbeOp, ServiceReply
+from repro.service.jobs import (
+    CompileRequest,
+    DeadlineExpiredError,
+    Job,
+    ProbeOp,
+    QueueFullError,
+    ServiceReply,
+)
 from repro.service.metrics import ServiceMetrics, format_stats
+from repro.service.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+    SupervisedCompiler,
+)
 from repro.service.server import RecompilationService, ServiceError
 from repro.service.workers import (
     MODE_PROCESS,
     MODE_SERIAL,
     MODE_THREAD,
+    WorkerCrashError,
+    WorkerError,
+    WorkerTimeoutError,
     make_compiler,
 )
 
 __all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
     "CompileRequest",
+    "DeadlineExpiredError",
     "InMemoryCodeCache",
     "Job",
     "MODE_PROCESS",
@@ -50,11 +73,17 @@ __all__ = [
     "MODE_THREAD",
     "PersistentCodeCache",
     "ProbeOp",
+    "QueueFullError",
     "RecompilationService",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "ServiceMetrics",
     "ServiceReply",
+    "SupervisedCompiler",
+    "WorkerCrashError",
+    "WorkerError",
+    "WorkerTimeoutError",
     "fragment_content_key",
     "format_stats",
     "make_compiler",

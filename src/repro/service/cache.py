@@ -17,6 +17,7 @@ Both caches are size-bounded with LRU eviction and thread-safe.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
@@ -144,11 +145,20 @@ class PersistentCodeCache(CodeCache):
     """Disk-backed content-addressed cache, shared across restarts.
 
     Layout: ``<dir>/<key>.obj`` pickled object files plus an
-    ``index.json`` carrying sizes and a monotone LRU tick per entry.
+    ``index.json`` carrying sizes, a monotone LRU tick and a sha256
+    checksum per entry (the index payload itself is checksummed too).
     Writes are atomic (temp file + rename), so a crashed writer never
-    corrupts the store; a missing, stale or corrupt entry degrades to a
-    cache miss, never an error and never wrong code (``repro check``
-    injects exactly these faults to prove it).
+    corrupts the store.
+
+    **Self-healing**: the cache must never be the reason a rebuild
+    fails.  A corrupt, truncated or checksum-mismatched entry detected
+    on read is *quarantined* — moved to ``quarantine/`` for post-mortem
+    instead of deleted or raised — and reported as a miss, costing one
+    recompile.  A corrupt or torn ``index.json`` (or one whose payload
+    checksum does not verify) is rebuilt by scanning the ``.obj`` files
+    on disk, so a damaged index never orphans good objects
+    (``repro check`` and ``repro chaos`` inject exactly these faults to
+    prove it).
 
     LRU recency ticks are persisted lazily: a hit only bumps the
     in-memory tick, and the index is flushed on stores, evictions and
@@ -157,6 +167,8 @@ class PersistentCodeCache(CodeCache):
     """
 
     INDEX = "index.json"
+    QUARANTINE = "quarantine"
+    INDEX_VERSION = 2
 
     def __init__(
         self,
@@ -169,26 +181,97 @@ class PersistentCodeCache(CodeCache):
         self.max_bytes = max_bytes
         self.flush_interval = max(flush_interval, 1)
         os.makedirs(directory, exist_ok=True)
+        # Self-healing accounting: entries moved to quarantine/ and
+        # full index rebuilds from a disk scan.
+        self.quarantined = 0
+        self.index_rebuilds = 0
         self._index: Dict[str, dict] = {}
         self._tick = 0
         self._pending_ticks = 0
         self._read_index()
+
+    def stats(self) -> dict:
+        snapshot = super().stats()
+        snapshot["quarantined"] = self.quarantined
+        snapshot["index_rebuilds"] = self.index_rebuilds
+        return snapshot
 
     # -- index persistence ----------------------------------------------------
 
     def _index_path(self) -> str:
         return os.path.join(self.directory, self.INDEX)
 
-    def _read_index(self) -> None:
+    @staticmethod
+    def _entries_checksum(entries: Dict[str, dict]) -> str:
+        return hashlib.sha256(
+            json.dumps(entries, sort_keys=True).encode()
+        ).hexdigest()
+
+    def _index_payload(self, entries: Dict[str, dict]) -> dict:
+        return {
+            "version": self.INDEX_VERSION,
+            "checksum": self._entries_checksum(entries),
+            "entries": entries,
+        }
+
+    def _validate_index(self, raw) -> Optional[Dict[str, dict]]:
+        """Entries from a parsed index, or None when it cannot be trusted."""
+        if not isinstance(raw, dict):
+            return None
+        if isinstance(raw.get("entries"), dict):
+            entries = raw["entries"]
+            if raw.get("checksum") != self._entries_checksum(entries):
+                return None  # torn or hand-edited: rebuild from disk
+            return entries
+        # Legacy flat {key: meta} format (no checksums): accept as-is.
+        if all(isinstance(meta, dict) for meta in raw.values()):
+            return raw
+        return None
+
+    def _scan_entries(self) -> Dict[str, dict]:
+        """Rebuild index entries from the ``.obj`` files on disk."""
+        found = []
         try:
-            with open(self._index_path(), "r", encoding="utf-8") as fh:
-                raw = json.load(fh)
-        except (OSError, ValueError):
-            raw = {}
+            names = os.listdir(self.directory)
+        except OSError:  # pragma: no cover - directory vanished
+            return {}
+        for name in names:
+            if not name.endswith(".obj"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                stat = os.stat(path)
+                with open(path, "rb") as fh:
+                    digest = hashlib.sha256(fh.read()).hexdigest()
+            except OSError:
+                continue
+            found.append((stat.st_mtime, name[: -len(".obj")], stat.st_size, digest))
+        entries: Dict[str, dict] = {}
+        for tick, (_mtime, key, size, digest) in enumerate(sorted(found), start=1):
+            entries[key] = {"size": size, "tick": tick, "sha256": digest}
+        return entries
+
+    def _read_index(self) -> None:
+        had_index = os.path.exists(self._index_path())
+        entries: Optional[Dict[str, dict]] = None
+        if had_index:
+            try:
+                with open(self._index_path(), "r", encoding="utf-8") as fh:
+                    raw = json.load(fh)
+            except (OSError, ValueError):
+                raw = None
+            entries = self._validate_index(raw)
+        if entries is None:
+            # Corrupt/torn/missing index over a non-empty store: rebuild
+            # from the objects themselves instead of orphaning them.
+            entries = self._scan_entries()
+            if had_index or entries:
+                self.index_rebuilds += 1
+                self._write_index_entries(entries)
         # Drop index entries whose object file vanished.
         self._index = {
             key: meta
-            for key, meta in raw.items()
+            for key, meta in entries.items()
             if os.path.exists(self._entry_path(key))
         }
         self._tick = max(
@@ -196,10 +279,13 @@ class PersistentCodeCache(CodeCache):
         )
 
     def _write_index(self) -> None:
+        self._write_index_entries(self._index)
+
+    def _write_index_entries(self, entries: Dict[str, dict]) -> None:
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".idx")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(self._index, fh)
+                json.dump(self._index_payload(entries), fh)
             os.replace(tmp, self._index_path())
             self._pending_ticks = 0
         except OSError:
@@ -218,8 +304,30 @@ class PersistentCodeCache(CodeCache):
             if self._pending_ticks:
                 self._write_index()
 
+    def keys(self) -> list:
+        """Stored keys, sorted (chaos harness picks corruption victims)."""
+        with self._lock:
+            return sorted(self._index)
+
     def _entry_path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.obj")
+
+    def _quarantine(self, key: str) -> None:
+        """Move a damaged entry to ``quarantine/`` for post-mortem.
+
+        Never raises: a vanished file (delete-obj fault) simply has
+        nothing left to preserve.
+        """
+        self.quarantined += 1
+        try:
+            quarantine_dir = os.path.join(self.directory, self.QUARANTINE)
+            os.makedirs(quarantine_dir, exist_ok=True)
+            os.replace(
+                self._entry_path(key),
+                os.path.join(quarantine_dir, f"{key}.obj"),
+            )
+        except OSError:
+            pass
 
     # -- storage ---------------------------------------------------------------
 
@@ -229,16 +337,25 @@ class PersistentCodeCache(CodeCache):
             return None
         try:
             with open(self._entry_path(key), "rb") as fh:
-                obj = pickle.load(fh)
+                payload = fh.read()
+            expected = meta.get("sha256")
+            if (
+                expected is not None
+                and hashlib.sha256(payload).hexdigest() != expected
+            ):
+                raise ValueError("stored entry bytes fail their checksum")
+            obj = pickle.loads(payload)
             if not isinstance(obj, ObjectFile):
                 raise pickle.UnpicklingError("stored entry is not an ObjectFile")
         except Exception:
             # Unpickling corrupt bytes can raise almost anything
             # (EOFError, UnpicklingError, AttributeError, struct.error,
-            # ...).  Whatever the fault, drop the entry and report a
-            # miss — never wrong code.
+            # ...).  Whatever the fault: quarantine the damaged entry,
+            # drop it from the index, and report a miss — never an error
+            # and never wrong code.
             self._index.pop(key, None)
             self.integrity_failures += 1
+            self._quarantine(key)
             self._write_index()
             return None
         # Defer tick persistence: rewriting the whole index on every hit
@@ -268,7 +385,11 @@ class PersistentCodeCache(CodeCache):
             fh.write(payload)
         os.replace(tmp, self._entry_path(key))
         self._tick += 1
-        self._index[key] = {"size": len(payload), "tick": self._tick}
+        self._index[key] = {
+            "size": len(payload),
+            "tick": self._tick,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+        }
         self._evict()
         self._write_index()
 
@@ -361,7 +482,9 @@ class PersistentCodeCache(CodeCache):
                 with open(self._index_path(), "w", encoding="utf-8") as fh:
                     fh.write(text[: max(len(text) // 2, 1)])
             else:  # stale-index
+                # Checksum-valid index naming an entry that never existed:
+                # exercises the missing-file drop, not the rebuild path.
                 stale = dict(self._index)
                 stale["0" * 64] = {"size": 123, "tick": self._tick + 1}
                 with open(self._index_path(), "w", encoding="utf-8") as fh:
-                    json.dump(stale, fh)
+                    json.dump(self._index_payload(stale), fh)

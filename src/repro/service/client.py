@@ -39,9 +39,16 @@ class ServiceClient:
 
     # -- async submissions -----------------------------------------------------
 
-    def submit(self, ops: Iterable[ProbeOp] = ()) -> Job:
+    def submit(
+        self, ops: Iterable[ProbeOp] = (), deadline_s: Optional[float] = None
+    ) -> Job:
+        """Enqueue ops; ``deadline_s`` bounds how long the job may queue
+        before the service sheds it with ``DeadlineExpiredError``."""
         request = CompileRequest(
-            target=self.target, ops=tuple(ops), client_id=self.client_id
+            target=self.target,
+            ops=tuple(ops),
+            client_id=self.client_id,
+            deadline_s=deadline_s,
         )
         return self.service.submit(request)
 
@@ -60,10 +67,13 @@ class ServiceClient:
     # -- blocking conveniences -------------------------------------------------
 
     def rebuild(
-        self, ops: Iterable[ProbeOp] = (), timeout: Optional[float] = 60.0
+        self,
+        ops: Iterable[ProbeOp] = (),
+        timeout: Optional[float] = 60.0,
+        deadline_s: Optional[float] = None,
     ) -> ServiceReply:
         """Submit (possibly empty) ops and wait for the batch's reply."""
-        return self.submit(ops).result(timeout)
+        return self.submit(ops, deadline_s=deadline_s).result(timeout)
 
     def rebuild_report(self, timeout: Optional[float] = 60.0) -> RebuildReport:
         """Blocking rebuild returning a plain :class:`RebuildReport`.

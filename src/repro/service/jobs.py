@@ -1,4 +1,4 @@
-"""Request queue: batching and deduplication of probe-change requests.
+"""Request queue: batching, deduplication, deadlines and backpressure.
 
 Inference-server shape: clients enqueue :class:`CompileRequest`s and get
 a :class:`Job` future back; the dispatcher drains *everything pending for
@@ -8,6 +8,19 @@ PatchManager once, and runs **one** rebuild whose report answers every
 job in the batch.  Two clients dirtying the same fragment therefore cost
 one compile — the dedup the issue tracker calls out — and a client that
 requests a rebuild while one is already queued simply joins the batch.
+
+Overload control (the fault-tolerance layer):
+
+* a request may carry ``deadline_s``; a job still queued when its
+  deadline passes is **shed** at pop time — it is answered immediately
+  with :class:`DeadlineExpiredError` instead of wasting a compile on an
+  answer nobody is waiting for;
+* the queue may have a ``max_depth``; submissions beyond it are refused
+  with :class:`QueueFullError` (backpressure to the client) rather than
+  letting the backlog grow without bound behind a struggling engine.
+
+Both shed paths count into ``shed_total`` (plus ``shed_expired`` /
+``shed_overflow``) on the optional metrics registry.
 """
 
 from __future__ import annotations
@@ -19,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.engine import RebuildReport
+from repro.errors import ReproError
 
 # Probe operation kinds understood by the dispatcher.
 OP_ENABLE = "enable"
@@ -26,6 +40,14 @@ OP_DISABLE = "disable"
 OP_REMOVE = "remove"
 OP_MARK_CHANGED = "mark_changed"
 OP_KINDS = (OP_ENABLE, OP_DISABLE, OP_REMOVE, OP_MARK_CHANGED)
+
+
+class QueueFullError(ReproError):
+    """The job queue is at ``max_depth``; back off and resubmit."""
+
+
+class DeadlineExpiredError(ReproError):
+    """The job's deadline passed while it was still queued."""
 
 
 @dataclass(frozen=True)
@@ -49,11 +71,21 @@ class CompileRequest:
     ``ops`` may be empty: that is a plain "rebuild whatever is dirty"
     request (instrumentation tools often mutate the PatchManager
     directly, then ask the service to make it so).
+
+    ``deadline_s`` (optional) is a freshness bound relative to
+    submission: if the job is still queued after that many seconds, the
+    service sheds it with :class:`DeadlineExpiredError` instead of
+    compiling an answer the client has stopped waiting for.
     """
 
     target: str
     ops: Tuple[ProbeOp, ...] = ()
     client_id: str = "anon"
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ValueError("deadline_s must be >= 0")
 
 
 @dataclass
@@ -67,6 +99,8 @@ class ServiceReply:
     ops_applied: int
     ops_skipped: int = 0
     queue_wait_ms: float = 0.0
+    # How many rebuild attempts the batch needed (1 = no faults).
+    attempts: int = 1
 
     @property
     def dedup_ratio(self) -> float:
@@ -84,12 +118,20 @@ class Job:
         # publication let a fast dispatcher observe an unstamped job and
         # report a bogus ~0 ms queue wait.
         self.submitted_at: Optional[float] = None
+        # Absolute perf_counter deadline (submitted_at + deadline_s), or
+        # None when the request carries no deadline.
+        self.deadline_at: Optional[float] = None
         self._event = threading.Event()
         self._reply: Optional[ServiceReply] = None
         self._error: Optional[BaseException] = None
 
     def done(self) -> bool:
         return self._event.is_set()
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline_at is None:
+            return False
+        return (time.perf_counter() if now is None else now) >= self.deadline_at
 
     def set_reply(self, reply: ServiceReply) -> None:
         self._reply = reply
@@ -112,19 +154,52 @@ class Job:
 
 
 class JobQueue:
-    """Thread-safe queue of jobs, drained in per-target batches."""
+    """Thread-safe queue of jobs, drained in per-target batches.
 
-    def __init__(self):
+    ``max_depth`` bounds the backlog (None = unbounded); ``metrics`` is
+    an optional :class:`repro.obs.metrics.MetricsRegistry` that receives
+    the shed counters.
+    """
+
+    def __init__(self, max_depth: Optional[int] = None, metrics=None):
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1 (or None)")
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._jobs: List[Job] = []
+        self.max_depth = max_depth
+        self.metrics = metrics
         self.submitted = 0
         self.peak_depth = 0
+        self.shed_expired = 0
+        self.shed_overflow = 0
+
+    @property
+    def shed_total(self) -> int:
+        return self.shed_expired + self.shed_overflow
+
+    def _count_shed(self, kind: str) -> None:
+        """Caller holds the lock; *kind* is ``expired`` or ``overflow``."""
+        if kind == "expired":
+            self.shed_expired += 1
+        else:
+            self.shed_overflow += 1
+        if self.metrics is not None:
+            self.metrics.inc("shed_total")
+            self.metrics.inc(f"shed_{kind}")
 
     def submit(self, request: CompileRequest) -> Job:
         job = Job(request)
         with self._not_empty:
+            if self.max_depth is not None and len(self._jobs) >= self.max_depth:
+                self._count_shed("overflow")
+                raise QueueFullError(
+                    f"job queue is full ({self.max_depth} pending); "
+                    f"back off and resubmit"
+                )
             job.submitted_at = time.perf_counter()
+            if request.deadline_s is not None:
+                job.deadline_at = job.submitted_at + request.deadline_s
             self._jobs.append(job)
             self.submitted += 1
             self.peak_depth = max(self.peak_depth, len(self._jobs))
@@ -135,23 +210,51 @@ class JobQueue:
         with self._lock:
             return len(self._jobs)
 
+    def _shed_expired_locked(self) -> List[Job]:
+        """Drop every queued job whose deadline passed; returns them."""
+        now = time.perf_counter()
+        expired = [j for j in self._jobs if j.expired(now)]
+        if expired:
+            self._jobs = [j for j in self._jobs if not j.expired(now)]
+            for job in expired:
+                self._count_shed("expired")
+        return expired
+
     def pop_batch(
         self, timeout: Optional[float] = None
     ) -> Tuple[Optional[str], List[Job]]:
         """Block until work is pending, then drain one target's batch.
 
-        Returns ``(target, jobs)`` — every queued job for the target of
-        the oldest pending request — or ``(None, [])`` on timeout.
+        Expired jobs are shed first — answered with
+        :class:`DeadlineExpiredError`, never compiled.  Returns
+        ``(target, jobs)`` — every queued live job for the target of the
+        oldest pending request — or ``(None, [])`` on timeout.
         """
         with self._not_empty:
             if not self._jobs and not self._not_empty.wait(timeout):
                 return None, []
-            if not self._jobs:
-                return None, []
-            target = self._jobs[0].request.target
-            batch = [j for j in self._jobs if j.request.target == target]
-            self._jobs = [j for j in self._jobs if j.request.target != target]
-            return target, batch
+            expired = self._shed_expired_locked()
+            target: Optional[str] = None
+            batch: List[Job] = []
+            if self._jobs:
+                target = self._jobs[0].request.target
+                batch = [j for j in self._jobs if j.request.target == target]
+                self._jobs = [j for j in self._jobs if j.request.target != target]
+        # Answer shed jobs outside the lock: set_error wakes waiters.
+        for job in expired:
+            job.set_error(
+                DeadlineExpiredError(
+                    f"deadline of {job.request.deadline_s}s expired while "
+                    f"job for target {job.request.target!r} was queued"
+                )
+            )
+        return target, batch
+
+    def drain_remaining(self) -> List[Job]:
+        """Remove and return every queued job (service shutdown path)."""
+        with self._lock:
+            remaining, self._jobs = self._jobs, []
+            return remaining
 
 
 def merge_batch(jobs: List[Job]) -> Tuple[List[ProbeOp], int, int]:

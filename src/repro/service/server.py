@@ -16,6 +16,18 @@ deduplicated, and a single rebuild answers every client.  The engine
 runs with the service's shared content-addressed code cache (optionally
 persistent, so warm state survives restarts) and fragment compile pool.
 
+Fault tolerance (``repro.service.resilience``): the fragment pool runs
+under a :class:`~repro.service.resilience.SupervisedCompiler` (restart,
+retry with seeded backoff, process→thread→serial degradation ladder),
+transient :class:`~repro.service.workers.WorkerError`s retry the merged
+batch instead of failing every waiter, a
+:class:`~repro.service.resilience.CircuitBreaker` fails new submissions
+fast (with a ``retry_after_s`` hint) once the engine keeps breaking,
+jobs carry optional deadlines and the queue a max depth (expired /
+overflow jobs are shed, never silently dropped), and shutdown drains
+under a finite ``drain_timeout_s`` — abandoned jobs are counted and
+answered with an error rather than left waiting forever.
+
 ``RecompilationService`` can run its dispatcher on a background thread
 (``start()``/``stop()``, or as a context manager) or be stepped
 deterministically with ``process_once()`` — tests and the benchmark use
@@ -24,6 +36,7 @@ the latter to control batching exactly.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import Dict, List, Optional
@@ -32,6 +45,9 @@ from repro.core.engine import Odin, RebuildReport
 from repro.errors import ReproError, ScheduleError
 from repro.ir.module import Module
 from repro.linker.cache import LinkCache
+from repro.obs.metrics import ServiceMetrics
+from repro.obs.trace import stage_totals
+from repro.obs.tracer import CAT_FAULT, CAT_SERVICE, Tracer
 from repro.service.cache import CodeCache, InMemoryCodeCache, PersistentCodeCache
 from repro.service.jobs import (
     OP_DISABLE,
@@ -46,14 +62,24 @@ from repro.service.jobs import (
     batch_clients,
     merge_batch,
 )
-from repro.obs.metrics import ServiceMetrics
-from repro.obs.trace import stage_totals
-from repro.obs.tracer import CAT_SERVICE, Tracer
-from repro.service.workers import MODE_SERIAL, make_compiler
+from repro.service.resilience import (
+    BREAKER_STATE_GAUGE,
+    CircuitBreaker,
+    RetryPolicy,
+    SupervisedCompiler,
+)
+from repro.service.workers import MODE_SERIAL, WorkerError, make_compiler
+
+log = logging.getLogger("repro.service")
 
 
 class ServiceError(ReproError):
-    pass
+    """Service-level failure; carries ``retry_after_s`` when the circuit
+    breaker is open so clients know when to come back."""
+
+    def __init__(self, message: str, *, retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class _Target:
@@ -80,6 +106,12 @@ class RecompilationService:
         metrics: Optional[ServiceMetrics] = None,
         tracer: Optional[Tracer] = None,
         poll_interval_s: float = 0.02,
+        supervise: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        batch_timeout_s: Optional[float] = 30.0,
+        queue_max_depth: Optional[int] = None,
+        drain_timeout_s: float = 30.0,
     ):
         if cache is not None and cache_dir is not None:
             raise ServiceError("pass either cache or cache_dir, not both")
@@ -90,16 +122,33 @@ class RecompilationService:
                 else InMemoryCodeCache(max_bytes=cache_max_bytes)
             )
         self.cache = cache
-        self.compiler = make_compiler(worker_mode, workers)
-        self.link_cache_entries = link_cache_entries
         self.metrics = metrics or ServiceMetrics()
         # One tracer shared by every target engine and the dispatcher:
         # rebuild span trees nest under the dispatch ("service.batch")
         # spans of the thread that executed them.
         self.tracer = tracer or Tracer()
-        self.queue = JobQueue()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        if supervise:
+            self.compiler = SupervisedCompiler(
+                worker_mode,
+                workers,
+                retry=self.retry_policy,
+                metrics=self.metrics,
+                tracer=self.tracer,
+                batch_timeout_s=batch_timeout_s,
+            )
+        else:
+            self.compiler = make_compiler(
+                worker_mode, workers, batch_timeout_s=batch_timeout_s
+            )
+        self.link_cache_entries = link_cache_entries
+        self.queue = JobQueue(max_depth=queue_max_depth, metrics=self.metrics)
         self.poll_interval_s = poll_interval_s
+        self.drain_timeout_s = drain_timeout_s
         self._targets: Dict[str, _Target] = {}
+        # Guards `_targets`: registrations race with dispatcher lookups.
+        self._state_lock = threading.Lock()
         self._dispatcher: Optional[threading.Thread] = None
         self._running = threading.Event()
 
@@ -107,8 +156,11 @@ class RecompilationService:
 
     def register_target(self, name: str, module: Module, **odin_kwargs) -> Odin:
         """Create a target's engine wired to the service's caches/pool."""
-        if name in self._targets:
-            raise ServiceError(f"target {name!r} is already registered")
+        with self._state_lock:
+            if name in self._targets:
+                raise ServiceError(f"target {name!r} is already registered")
+        # Engine construction is slow; do it outside the lock and settle
+        # concurrent registrations of the same name at insertion.
         odin_kwargs.setdefault("tracer", self.tracer)
         engine = Odin(
             module,
@@ -117,15 +169,16 @@ class RecompilationService:
             link_cache=LinkCache(self.link_cache_entries),
             **odin_kwargs,
         )
-        self._targets[name] = _Target(name, engine)
-        self.metrics.set_gauge("targets", len(self._targets))
+        with self._state_lock:
+            if name in self._targets:
+                raise ServiceError(f"target {name!r} is already registered")
+            self._targets[name] = _Target(name, engine)
+            count = len(self._targets)
+        self.metrics.set_gauge("targets", count)
         return engine
 
     def engine(self, target: str) -> Odin:
-        try:
-            return self._targets[target].engine
-        except KeyError:
-            raise ServiceError(f"unknown target {target!r}") from None
+        return self._target(target).engine
 
     def build(self, target: str) -> RebuildReport:
         """Run a target's initial build through the service pipeline."""
@@ -143,17 +196,27 @@ class RecompilationService:
         return ServiceClient(self, target, client_id)
 
     def _target(self, name: str) -> _Target:
-        try:
-            return self._targets[name]
-        except KeyError:
-            raise ServiceError(f"unknown target {name!r}") from None
+        with self._state_lock:
+            try:
+                return self._targets[name]
+            except KeyError:
+                raise ServiceError(f"unknown target {name!r}") from None
 
     # -- request path ----------------------------------------------------------
 
     def submit(self, request: CompileRequest) -> Job:
         self._target(request.target)
+        if not self.breaker.allow():
+            retry_after = self.breaker.retry_after_s()
+            self.metrics.inc("breaker_rejections")
+            raise ServiceError(
+                f"circuit breaker is open after repeated batch failures; "
+                f"retry in {retry_after:.2f}s",
+                retry_after_s=retry_after,
+            )
         # JobQueue.submit stamps job.submitted_at under the queue lock,
-        # before the dispatcher can see the job.
+        # before the dispatcher can see the job; it may shed with
+        # QueueFullError when the queue is at max depth.
         job = self.queue.submit(request)
         self.metrics.set_gauge("queue_depth", self.queue.depth())
         return job
@@ -178,18 +241,49 @@ class RecompilationService:
         self._dispatcher.start()
         return self
 
-    def stop(self, drain: bool = True) -> None:
+    def stop(
+        self, drain: bool = True, drain_timeout_s: Optional[float] = None
+    ) -> int:
+        """Stop the dispatcher; returns how many jobs were left behind.
+
+        With ``drain`` the queue is given up to ``drain_timeout_s``
+        (default: the service's ``drain_timeout_s``) to empty — shutdown
+        can no longer spin forever behind a wedged engine.  Jobs still
+        queued or in flight when the deadline passes are *abandoned*:
+        counted (``drain_abandoned``), logged, and left queued so a
+        restarted dispatcher can still serve them (``close()`` answers
+        them with an error instead).
+        """
         if self._dispatcher is None:
-            return
+            return 0
+        budget = self.drain_timeout_s if drain_timeout_s is None else drain_timeout_s
+        deadline = time.monotonic() + budget
         if drain:
-            while self.queue.depth():
+            while self.queue.depth() and time.monotonic() < deadline:
                 time.sleep(self.poll_interval_s)
         self._running.clear()
-        self._dispatcher.join()
+        self._dispatcher.join(timeout=max(deadline - time.monotonic(), budget / 2))
+        stuck = self._dispatcher.is_alive()
         self._dispatcher = None
+        abandoned = self.queue.depth() + (1 if stuck else 0)
+        if abandoned:
+            self.metrics.inc("drain_abandoned", abandoned)
+            log.warning(
+                "service stopped with %d job(s) abandoned%s (drain budget %.1fs)",
+                abandoned,
+                " and a stuck dispatcher" if stuck else "",
+                budget,
+            )
+        return abandoned
 
     def close(self) -> None:
         self.stop()
+        # Never leave a waiter hanging: whatever survived the drain gets
+        # an error reply instead of an eternal wait().
+        for job in self.queue.drain_remaining():
+            job.set_error(
+                ServiceError("service closed before this job was dispatched")
+            )
         close = getattr(self.compiler, "close", None)
         if close is not None:
             close()
@@ -206,7 +300,11 @@ class RecompilationService:
 
     def _dispatch_loop(self) -> None:
         while self._running.is_set():
-            self.process_once(timeout=self.poll_interval_s)
+            try:
+                self.process_once(timeout=self.poll_interval_s)
+            except Exception:  # keep the dispatcher alive, whatever happens
+                self.metrics.inc("dispatcher_errors")
+                log.exception("dispatcher error; continuing")
 
     # -- batch execution -------------------------------------------------------
 
@@ -233,7 +331,7 @@ class RecompilationService:
                 for op in ops:
                     if not self._apply_op(entry.engine, op):
                         skipped += 1
-                report = entry.engine.rebuild_if_needed()
+                report, attempts = self._rebuild_with_retry(entry)
             real_ms = (time.perf_counter() - start) * 1000.0
 
             self.metrics.inc("requests_total", len(batch))
@@ -253,15 +351,66 @@ class RecompilationService:
                 ops_applied=applied - skipped,
                 ops_skipped=skipped,
                 queue_wait_ms=max(waits_ms, default=0.0),
+                attempts=attempts,
             )
+            self._breaker_outcome(success=True)
             for job in batch:
                 job.set_reply(reply)
         except BaseException as error:  # answer every waiter, then surface
             self.metrics.inc("batch_errors")
+            self._breaker_outcome(success=False)
             for job in batch:
                 job.set_error(error)
             if not isinstance(error, Exception):  # pragma: no cover
                 raise
+
+    def _rebuild_with_retry(self, entry: _Target) -> tuple:
+        """Run the batch's rebuild, retrying transient worker faults.
+
+        The probe ops are already applied (idempotently recorded in the
+        PatchManager) and a failed rebuild does not clear the dirty set,
+        so a retry re-schedules the same state.  Returns
+        ``(report, attempts)``.
+        """
+        policy = self.retry_policy
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return entry.engine.rebuild_if_needed(), attempt
+            except WorkerError as error:
+                self.metrics.inc("batch_retries")
+                if attempt >= policy.max_attempts:
+                    raise
+                delay = policy.delay_s(attempt)
+                with self.tracer.span(
+                    "service.retry",
+                    cat=CAT_FAULT,
+                    attempt=attempt,
+                    backoff_s=round(delay, 4),
+                    error=type(error).__name__,
+                ):
+                    time.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _breaker_outcome(self, *, success: bool) -> None:
+        before = self.breaker.state
+        if success:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
+        after = self.breaker.state
+        self.metrics.set_gauge("breaker_state", BREAKER_STATE_GAUGE[after])
+        if after != before and not success:
+            self.metrics.inc("breaker_opens")
+        if after != before:
+            from repro.obs.tracer import Span
+
+            self.tracer.record(
+                Span(
+                    "service.breaker",
+                    cat=CAT_FAULT,
+                    args={"from": before, "to": after},
+                )
+            )
 
     def _apply_op(self, engine: Odin, op: ProbeOp) -> bool:
         """Apply one probe op; False when the probe is gone (stale id)."""
@@ -307,14 +456,25 @@ class RecompilationService:
             "depth": self.queue.depth(),
             "submitted": self.queue.submitted,
             "peak_depth": self.queue.peak_depth,
+            "max_depth": self.queue.max_depth,
+            "shed_total": self.queue.shed_total,
+            "shed_expired": self.queue.shed_expired,
+            "shed_overflow": self.queue.shed_overflow,
         }
+        with self._state_lock:
+            targets = sorted(self._targets)
+            entries = list(self._targets.items())
         snapshot["service"] = {
-            "targets": sorted(self._targets),
+            "targets": targets,
             "workers": self.compiler.workers,
             "running": self._dispatcher is not None,
         }
+        compiler_stats = getattr(self.compiler, "stats", None)
+        if compiler_stats is not None:
+            snapshot["service"]["compiler"] = compiler_stats()
+        snapshot["breaker"] = self.breaker.stats()
         link_stats = {}
-        for name, entry in self._targets.items():
+        for name, entry in entries:
             if entry.engine.link_cache is not None:
                 link_stats[name] = entry.engine.link_cache.stats()
         snapshot["link_cache"] = link_stats

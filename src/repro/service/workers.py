@@ -18,6 +18,17 @@ simulated clock deterministic for any worker count):
   process boundaries) and re-parsed in the worker, the same canonical
   text content addressing hashes.
 
+Both pool flavours supervise their batches: an optional
+``batch_timeout_s`` bounds how long a batch may run (a hung worker
+raises :class:`WorkerTimeoutError` instead of blocking the rebuild
+forever), a broken pool raises :class:`WorkerCrashError`, and when any
+fragment fails the outstanding futures are cancelled so the batch errors
+promptly.  After either infrastructure fault the pool is torn down
+(:meth:`restart`) and lazily rebuilt — hung process workers are
+terminated; a hung thread cannot be killed, so its pool is abandoned and
+replaced.  :class:`repro.service.resilience.SupervisedCompiler` builds
+the retry/degradation ladder on top of these primitives.
+
 Reported durations always come from the deterministic cost model: a
 pool's simulated batch wall-clock is its LPT makespan
 (:func:`repro.core.engine.compile_makespan`), so figures reproduce
@@ -26,7 +37,13 @@ identically on any host while the real execution genuinely overlaps.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from typing import List, Optional
 
 from repro.backend.machine import ObjectFile
@@ -35,6 +52,7 @@ from repro.core.engine import (
     compile_fragment,
     compile_fragment_text,
 )
+from repro.errors import ReproError
 from repro.ir.module import Module
 from repro.ir.printer import print_module
 
@@ -44,77 +62,169 @@ MODE_PROCESS = "process"
 MODES = (MODE_SERIAL, MODE_THREAD, MODE_PROCESS)
 
 
-class ThreadFragmentCompiler:
+class WorkerError(ReproError):
+    """A fragment pool failed for infrastructure reasons (crash/hang).
+
+    Distinct from a compile error (bad IR, verifier failure): worker
+    errors are *transient* faults of the execution substrate, so the
+    supervision layer may restart the pool and retry the batch.
+    """
+
+
+class WorkerCrashError(WorkerError):
+    """The pool broke: a worker process died or the executor failed."""
+
+
+class WorkerTimeoutError(WorkerError):
+    """A batch exceeded its deadline: at least one worker is hung."""
+
+
+class _PoolFragmentCompiler:
+    """Shared supervision plumbing for thread/process pools."""
+
+    def __init__(self, workers: int = 2, batch_timeout_s: Optional[float] = None):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self.batch_timeout_s = batch_timeout_s
+        # How many times a fault forced this pool to be torn down.
+        self.restarts = 0
+        self._pool = None
+
+    # Subclasses provide the executor and the per-fragment submission.
+    def _make_pool(self):
+        raise NotImplementedError
+
+    def _submit(self, pool, module: Module, opt_level: int, verify: bool):
+        raise NotImplementedError
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def compile_batch(
+        self, modules: List[Module], opt_level: int, verify: bool
+    ) -> List[ObjectFile]:
+        if len(modules) <= 1 or self.workers == 1:
+            return [compile_fragment(m, opt_level, verify) for m in modules]
+        pool = self._ensure_pool()
+        try:
+            futures = [
+                self._submit(pool, m, opt_level, verify) for m in modules
+            ]
+        except BrokenExecutor as error:
+            self.restart()
+            raise WorkerCrashError(
+                f"fragment pool broke on submit: {error}"
+            ) from error
+        return self._collect(futures)
+
+    def _collect(self, futures) -> List[ObjectFile]:
+        """Await a batch with crash/hang detection and prompt failure.
+
+        ``wait(..., FIRST_EXCEPTION)`` returns as soon as any fragment
+        fails (or the batch deadline passes), so one bad fragment no
+        longer hides behind its slower siblings.
+        """
+        done, pending = wait(
+            futures, timeout=self.batch_timeout_s, return_when=FIRST_EXCEPTION
+        )
+        failure = None
+        for future in futures:
+            if future in done and future.exception() is not None:
+                failure = future.exception()
+                break
+        if failure is None and pending:
+            # Nothing failed, yet the deadline passed: a worker is hung.
+            self._cancel(futures)
+            self.restart()
+            raise WorkerTimeoutError(
+                f"fragment batch exceeded {self.batch_timeout_s}s "
+                f"({len(pending)} of {len(futures)} fragments unfinished)"
+            )
+        if failure is not None:
+            # Cancel outstanding work so the batch errors promptly.
+            self._cancel(futures)
+            if isinstance(failure, BrokenExecutor):
+                self.restart()
+                raise WorkerCrashError(
+                    f"fragment worker crashed: {failure}"
+                ) from failure
+            raise failure
+        return [future.result() for future in futures]
+
+    @staticmethod
+    def _cancel(futures) -> None:
+        for future in futures:
+            future.cancel()
+
+    def restart(self) -> None:
+        """Tear down the (possibly broken/hung) pool; rebuilt lazily."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        self.restarts += 1
+        self._kill_workers(pool)
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _kill_workers(self, pool) -> None:  # pragma: no cover - per-flavour
+        pass
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadFragmentCompiler(_PoolFragmentCompiler):
     """Compile a batch on a shared thread pool."""
 
-    def __init__(self, workers: int = 2):
-        if workers < 1:
-            raise ValueError("need at least one worker")
-        self.workers = workers
-        self._pool: Optional[ThreadPoolExecutor] = None
-
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="odin-frag"
-            )
-        return self._pool
-
-    def compile_batch(
-        self, modules: List[Module], opt_level: int, verify: bool
-    ) -> List[ObjectFile]:
-        if len(modules) <= 1 or self.workers == 1:
-            return [compile_fragment(m, opt_level, verify) for m in modules]
-        pool = self._ensure_pool()
-        return list(
-            pool.map(lambda m: compile_fragment(m, opt_level, verify), modules)
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="odin-frag"
         )
 
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+    def _submit(self, pool, module: Module, opt_level: int, verify: bool):
+        return pool.submit(compile_fragment, module, opt_level, verify)
 
 
-class ProcessFragmentCompiler:
+class ProcessFragmentCompiler(_PoolFragmentCompiler):
     """Compile a batch on a process pool, shipping printed IR text."""
 
-    def __init__(self, workers: int = 2):
-        if workers < 1:
-            raise ValueError("need at least one worker")
-        self.workers = workers
-        self._pool: Optional[ProcessPoolExecutor] = None
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers)
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
+    def _submit(self, pool, module: Module, opt_level: int, verify: bool):
+        # Ship the module name too: the printed IR does not carry it, and
+        # it is part of the object's canonical bytes (see
+        # ``compile_fragment_text``).
+        return pool.submit(
+            compile_fragment_text, print_module(module), opt_level, verify,
+            False, module.name,
+        )
 
-    def compile_batch(
-        self, modules: List[Module], opt_level: int, verify: bool
-    ) -> List[ObjectFile]:
-        if len(modules) <= 1 or self.workers == 1:
-            return [compile_fragment(m, opt_level, verify) for m in modules]
-        pool = self._ensure_pool()
-        texts = [print_module(m) for m in modules]
-        futures = [
-            pool.submit(compile_fragment_text, text, opt_level, verify)
-            for text in texts
-        ]
-        return [f.result() for f in futures]
-
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+    def _kill_workers(self, pool) -> None:
+        # A hung worker never exits on its own; terminate so the torn-down
+        # pool cannot leak live processes.  Best-effort: the process table
+        # is executor-private and may already be reaped.
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
 
 
-def make_compiler(mode: str = MODE_SERIAL, workers: int = 1):
+def make_compiler(
+    mode: str = MODE_SERIAL,
+    workers: int = 1,
+    batch_timeout_s: Optional[float] = None,
+):
     """Build the fragment compiler for *mode* / *workers*."""
     if mode == MODE_SERIAL or workers <= 1:
         return InlineFragmentCompiler()
     if mode == MODE_THREAD:
-        return ThreadFragmentCompiler(workers)
+        return ThreadFragmentCompiler(workers, batch_timeout_s=batch_timeout_s)
     if mode == MODE_PROCESS:
-        return ProcessFragmentCompiler(workers)
+        return ProcessFragmentCompiler(workers, batch_timeout_s=batch_timeout_s)
     raise ValueError(f"unknown worker mode {mode!r}; expected one of {MODES}")

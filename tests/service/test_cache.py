@@ -274,3 +274,86 @@ class TestIndexPersistence:
         monkeypatch.undo()
         leftovers = [p for p in tmp_path.iterdir() if p.name.endswith(".idx")]
         assert leftovers == []
+
+
+class TestSelfHealing:
+    """Quarantine + index auto-rebuild: damage degrades to a miss and the
+    evidence is preserved, never an exception and never wrong code."""
+
+    def test_corrupt_blob_is_quarantined_not_raised(self, tmp_path):
+        cache = PersistentCodeCache(str(tmp_path))
+        cache.put("k", make_object("a", b"xyz"))
+        cache.inject_fault("corrupt-obj", key="k")
+        assert cache.get("k") is None
+        assert cache.quarantined == 1
+        assert cache.integrity_failures == 1
+        assert (tmp_path / "quarantine" / "k.obj").exists()
+        assert not (tmp_path / "k.obj").exists()
+        # The slot is usable again: a fresh put round-trips.
+        cache.put("k", make_object("a", b"xyz"))
+        assert cache.get("k") is not None
+
+    def test_truncated_blob_is_quarantined(self, tmp_path):
+        cache = PersistentCodeCache(str(tmp_path))
+        cache.put("k", make_object("a", b"xyz"))
+        cache.inject_fault("truncate-obj", key="k")
+        assert cache.get("k") is None
+        assert cache.quarantined == 1
+        assert (tmp_path / "quarantine" / "k.obj").exists()
+
+    def test_vanished_blob_counts_but_never_raises(self, tmp_path):
+        cache = PersistentCodeCache(str(tmp_path))
+        cache.put("k", make_object("a"))
+        cache.inject_fault("delete-obj", key="k")
+        assert cache.get("k") is None  # nothing left to move; still a miss
+        assert cache.quarantined == 1
+
+    def test_keys_lists_stored_keys_sorted(self, tmp_path):
+        cache = PersistentCodeCache(str(tmp_path))
+        cache.put("zz", make_object("a"))
+        cache.put("aa", make_object("b"))
+        assert cache.keys() == ["aa", "zz"]
+
+    def test_index_checksum_mismatch_rebuilds_from_scan(self, tmp_path):
+        """A hand-edited (or torn) v2 index fails its checksum and is
+        rebuilt from the .obj files instead of being trusted."""
+        import json
+
+        cache = PersistentCodeCache(str(tmp_path))
+        cache.put("k", make_object("a", b"xyz"))
+        original = cache.get("k").canonical_bytes()
+        index_path = tmp_path / "index.json"
+        payload = json.loads(index_path.read_text())
+        payload["entries"]["k"]["size"] = 1  # tamper without re-checksumming
+        index_path.write_text(json.dumps(payload))
+        reopened = PersistentCodeCache(str(tmp_path))
+        assert reopened.index_rebuilds == 1
+        loaded = reopened.get("k")
+        assert loaded is not None
+        assert loaded.canonical_bytes() == original
+
+    def test_missing_index_over_nonempty_store_rebuilds(self, tmp_path):
+        cache = PersistentCodeCache(str(tmp_path))
+        cache.put("k", make_object("a", b"xyz"))
+        (tmp_path / "index.json").unlink()
+        reopened = PersistentCodeCache(str(tmp_path))
+        assert reopened.index_rebuilds == 1
+        assert reopened.get("k") is not None
+
+    def test_fresh_directory_is_not_a_rebuild(self, tmp_path):
+        cache = PersistentCodeCache(str(tmp_path))
+        assert cache.index_rebuilds == 0
+
+    def test_legacy_flat_index_accepted_without_rebuild(self, tmp_path):
+        """Pre-v2 caches stored a flat {key: meta} index; it is trusted
+        as-is (no checksum to verify) so old stores open cleanly."""
+        import json
+
+        cache = PersistentCodeCache(str(tmp_path))
+        cache.put("k", make_object("a", b"xyz"))
+        index_path = tmp_path / "index.json"
+        payload = json.loads(index_path.read_text())
+        index_path.write_text(json.dumps(payload["entries"]))
+        reopened = PersistentCodeCache(str(tmp_path))
+        assert reopened.index_rebuilds == 0
+        assert reopened.get("k") is not None
