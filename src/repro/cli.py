@@ -16,6 +16,10 @@ Commands:
 * ``lint [PROGRAMS]`` — the static layer: run the IR lint suite over each
   target and drive a fully instrumented build with the probe-integrity
   sanitizer between passes; exits non-zero on sanitizer errors
+* ``partisan [PROGRAMS]`` — run-time partitioned sanitization: execute a
+  target through a multi-variant image (clean/coverage/sanitized) under
+  a budget-controlled dispatch mix and report per-variant execution
+  shares, achieved overhead and de-instrumented hot functions
 * ``experiment NAME`` — regenerate one of the paper's tables/figures
 * ``serve PROGRAM`` — run the recompilation service under a synthetic
   multi-client probe-flip workload and report its metrics
@@ -182,6 +186,17 @@ def cmd_check(args) -> int:
             print(f"{program.name}: invariants ok "
                   f"(back propagation, content-key determinism)")
 
+        if not args.no_variants:
+            from repro.variants import check_clean_dispatch
+
+            variant_report = check_clean_dispatch(
+                program, seed=args.seed, max_inputs=args.max_inputs
+            )
+            print(variant_report.summary())
+            for mismatch in variant_report.mismatches:
+                print(f"  VARIANT {mismatch}")
+            failed = failed or not variant_report.ok
+
     if not args.no_faults:
         fault_failures = run_fault_checks()
         if fault_failures:
@@ -240,6 +255,68 @@ def cmd_chaos(args) -> int:
         with open(args.report_json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
         print(f"chaos report written to {args.report_json}")
+    print("FAIL" if failed else "PASS")
+    return 1 if failed else 0
+
+
+DEFAULT_PARTISAN_PROGRAMS = ("json", "lcms", "libjpeg")
+
+
+def cmd_partisan(args) -> int:
+    """Run-time partitioned sanitization under an overhead budget."""
+    from repro.variants import check_clean_dispatch, run_partisan
+
+    programs = [
+        get_program(name)
+        for name in (args.programs or DEFAULT_PARTISAN_PROGRAMS)
+    ]
+    failed = False
+    payload = []
+    all_spans = []
+    for program in programs:
+        run = run_partisan(
+            program,
+            budget=args.budget,
+            executions=args.executions,
+            seed=args.seed,
+            mode=args.mode,
+            window=args.window,
+            dispatch_tax=args.dispatch_tax,
+            max_inputs=args.max_inputs,
+        )
+        report = run.report
+        print(report.summary())
+        for name in sorted(report.probes):
+            cost = report.family_costs.get(name)
+            print(
+                f"  {name:>10}: {report.probes[name]:>3} live probes, "
+                f"call share {report.call_shares.get(name, 0.0):.3f}, "
+                f"mix weight {report.mix_final.get(name, 0.0):.3f}"
+                + (f", cost {cost:.2f}x clean" if cost is not None else "")
+            )
+        if args.windows:
+            for window in run.controller.windows:
+                print(f"  {window.summary}")
+        payload.append(report.to_dict())
+        all_spans.extend(run.tracer.roots())
+        if args.strict and not report.converged:
+            failed = True
+            print(f"  NOT CONVERGED (budget {args.budget:+.3f})")
+
+    if not args.no_check:
+        for program in programs:
+            variant_report = check_clean_dispatch(program, seed=args.seed)
+            print(variant_report.summary())
+            for mismatch in variant_report.mismatches:
+                print(f"  VARIANT {mismatch}")
+            failed = failed or not variant_report.ok
+
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"partisan report written to {args.report_json}")
+    if args.trace_out:
+        _write_trace_file(args.trace_out, all_spans)
     print("FAIL" if failed else "PASS")
     return 1 if failed else 0
 
@@ -534,7 +611,45 @@ def build_arg_parser() -> argparse.ArgumentParser:
                          help="exclude prune steps from generated schedules")
     p_check.add_argument("--no-faults", action="store_true",
                          help="skip the persistent-cache fault suite")
+    p_check.add_argument(
+        "--no-variants", action="store_true",
+        help="skip the variant clean-dispatch equivalence suite",
+    )
     p_check.set_defaults(fn=cmd_check)
+
+    p_partisan = sub.add_parser(
+        "partisan",
+        help="run-time partitioned sanitization under an overhead budget",
+    )
+    p_partisan.add_argument(
+        "programs", nargs="*",
+        help=f"targets to run (default: {' '.join(DEFAULT_PARTISAN_PROGRAMS)})",
+    )
+    p_partisan.add_argument("--budget", type=float, default=0.25,
+                            help="target fractional slowdown over clean")
+    p_partisan.add_argument("--executions", type=int, default=720)
+    p_partisan.add_argument("--seed", type=int, default=1)
+    p_partisan.add_argument(
+        "--mode", default="per-call", choices=("per-call", "per-execution"),
+        help="variant selection granularity (PartiSan's two policies)",
+    )
+    p_partisan.add_argument("--window", type=int, default=60,
+                            help="executions per controller window")
+    p_partisan.add_argument("--dispatch-tax", type=int, default=0,
+                            help="cycles charged per dispatched call")
+    p_partisan.add_argument("--max-inputs", type=int, default=4,
+                            help="seed-corpus inputs cycled through")
+    p_partisan.add_argument("--windows", action="store_true",
+                            help="print every controller window")
+    p_partisan.add_argument("--strict", action="store_true",
+                            help="fail if the controller did not converge")
+    p_partisan.add_argument("--no-check", action="store_true",
+                            help="skip the clean-dispatch equivalence check")
+    p_partisan.add_argument("--report-json", default=None,
+                            help="write the machine-readable report here")
+    p_partisan.add_argument("--trace-out", default=None,
+                            help="export build/deinstrument span trees here")
+    p_partisan.set_defaults(fn=cmd_partisan)
 
     p_chaos = sub.add_parser(
         "chaos", help="seeded fault injection against the live service"

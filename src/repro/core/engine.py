@@ -175,18 +175,27 @@ def compile_fragment_text(
 
 
 def fragment_content_key(
-    frag_module: Module, opt_level: int, probe_signature: str = ""
+    frag_module: Module, opt_level: int, probe_signature: str = "",
+    variant: str = "",
 ) -> str:
-    """Content address of one fragment compile: hash(IR + probes + opt).
+    """Content address of one fragment compile: hash(IR + probes + opt + variant).
 
     The printed IR already embeds applied probes (they are real calls in
     the instrumented fragment), but the probe signature is hashed too so
     logically distinct probe states can never collide even if a probe
     scheme emits no IR.
+
+    ``variant`` is the engine's variant label (run-time partitioned
+    sanitization keeps several instrumentation families of every fragment
+    co-resident): it is hashed into the key so two families can share one
+    content-addressed cache without ever serving each other's objects,
+    even at moments when their instrumented IR happens to coincide.
     """
     h = hashlib.sha256()
     h.update(print_module(frag_module).encode())
-    h.update(f"\n;; probes={probe_signature} opt={opt_level}\n".encode())
+    h.update(
+        f"\n;; probes={probe_signature} opt={opt_level} variant={variant}\n".encode()
+    )
     return h.hexdigest()
 
 
@@ -325,6 +334,7 @@ class Odin:
         record_fingerprints: bool = False,
         sanitize: bool = False,
         tracer: Optional[Tracer] = None,
+        variant_label: str = "",
     ):
         if verify:
             verify_module(module)
@@ -346,6 +356,12 @@ class Odin:
         self.object_cache = object_cache
         self.compiler = compiler or InlineFragmentCompiler(sanitize=sanitize)
         self.link_cache = link_cache
+        # Variant family this engine compiles (run-time partitioned
+        # sanitization, e.g. "clean"/"coverage"/"sanitized").  The label
+        # becomes a dimension of both the fragment content keys and the
+        # link-cache key, so co-resident families sharing caches never
+        # alias each other's objects or images.
+        self.variant_label = variant_label
         self.record_fingerprints = record_fingerprints
         # Fragment id -> content key of the object currently in `cache`
         # (only tracked when content addressing is on).
@@ -411,6 +427,7 @@ class Odin:
                     frag_module,
                     self.opt_level,
                     self._probe_signature(scheduler, fragment),
+                    self.variant_label,
                 )
                 obj = self.object_cache.get(key)
             pending.append([fragment, frag_module, key, obj])
@@ -618,7 +635,9 @@ class Odin:
         if self.link_cache is not None and len(self._frag_keys) == len(
             self.fragdef.fragments
         ):
-            link_key = tuple(
+            # The variant label leads the key: families sharing one
+            # LinkCache can never reuse each other's image.
+            link_key = (f"variant={self.variant_label}",) + tuple(
                 self._frag_keys[f.id] for f in self.fragdef.fragments
             )
             cached = self.link_cache.get(link_key)

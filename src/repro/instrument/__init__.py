@@ -2,6 +2,7 @@
 static SanitizerCoverage analogue."""
 
 from repro.instrument.asan import ASanRuntime, ASanTool, MemAccessProbe
+from repro.instrument.base import SanitizerTool
 from repro.instrument.cmplog import (
     CmpLogRuntime,
     CmpProbe,
@@ -20,6 +21,6 @@ __all__ = [
     "ASanRuntime", "ASanTool", "MemAccessProbe",
     "CmpLogRuntime", "CmpProbe", "add_cmp_probes",
     "CoverageRuntime", "CovProbe", "OdinCov", "PruneReport",
-    "SanCovBuild", "build_sancov", "instrument_sancov",
+    "SanCovBuild", "SanitizerTool", "build_sancov", "instrument_sancov",
     "OverflowProbe", "UBSanRuntime", "UBSanTool",
 ]

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 from repro.core.engine import Odin, RebuildReport
 from repro.core.probe import InstructionProbe
 from repro.errors import VMTrap
+from repro.instrument.base import SanitizerTool
 from repro.ir.builder import IRBuilder
 from repro.ir.instructions import Instruction, LoadInst, StoreInst
 from repro.ir.types import FunctionType, I64, PTR, VOID
@@ -57,11 +58,19 @@ class MemAccessProbe(InstructionProbe):
 
 
 class ASanRuntime(ProbeRuntime):
-    """Range-checks accesses against the VM memory map; counts per probe."""
+    """Range-checks accesses against the VM memory map; counts per probe.
 
-    def __init__(self):
+    ``trap=False`` turns the runtime into a recording sanitizer: a
+    violation is appended to :attr:`violations` and execution continues —
+    the always-on "production traffic" mode of run-time partitioned
+    sanitization, where a finding is logged rather than fatal.
+    """
+
+    def __init__(self, trap: bool = True):
+        self.trap = trap
         self.hit_counts: Dict[int, int] = {}
         self.violation: Optional[int] = None
+        self.violations: List[int] = []
 
     def on_probe(self, kind: str, probe_id: int, args: Tuple[int, ...], vm: VM) -> None:
         if kind != "asan" or len(args) < 2:
@@ -75,21 +84,23 @@ class ASanRuntime(ProbeRuntime):
         )
         if not valid:
             self.violation = probe_id
-            raise VMTrap(
-                f"asan: invalid access of {size} bytes at {addr:#x} (probe {probe_id})",
-                "asan",
-            )
+            self.violations.append(probe_id)
+            if self.trap:
+                raise VMTrap(
+                    f"asan: invalid access of {size} bytes at {addr:#x} "
+                    f"(probe {probe_id})",
+                    "asan",
+                )
 
     def clear_counts(self) -> None:
         self.hit_counts.clear()
 
 
-class ASanTool:
+class ASanTool(SanitizerTool):
     """ASan-lite with online hot-check pruning."""
 
-    def __init__(self, engine: Odin):
-        self.engine = engine
-        self.runtime = ASanRuntime()
+    def __init__(self, engine: Odin, *, trap: bool = True):
+        super().__init__(engine, ASanRuntime(trap=trap))
         self.probes: Dict[int, MemAccessProbe] = {}
 
     def add_all_access_probes(self) -> int:
@@ -102,21 +113,25 @@ class ASanTool:
                     count += 1
         return count
 
-    def build(self) -> RebuildReport:
-        return self.engine.initial_build()
+    # build()/make_vm()/sync_profiles() come from SanitizerTool.
 
-    def make_vm(self, **kwargs) -> VM:
-        return VM(self.engine.executable, probe_runtime=self.runtime, **kwargs)
+    def profile_counts(self) -> Dict[int, int]:
+        return dict(self.runtime.hit_counts)
 
-    def sync_profiles(self) -> None:
-        for pid, hits in self.runtime.hit_counts.items():
-            probe = self.probes.get(pid)
-            if probe is not None:
-                probe.hits += hits
+    def clear_profile_counts(self) -> None:
         self.runtime.clear_counts()
 
     def prune_hot_checks(self, hot_fraction: float = 0.2) -> Optional[RebuildReport]:
-        """Remove the hottest *hot_fraction* of checks (ASAP, but online)."""
+        """Remove the hottest *hot_fraction* of checks (ASAP, but online).
+
+        *hot_fraction* must lie in ``(0, 1]``: 0 used to silently degrade
+        to "prune one probe" via ``max(1, 0)``, and negative values
+        sliced the ranking from the tail — pruning the *coldest* checks.
+        """
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError(
+                f"hot_fraction must be in (0, 1], got {hot_fraction!r}"
+            )
         self.sync_profiles()
         ranked = sorted(
             self.probes.values(), key=lambda p: p.hits, reverse=True

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.engine import Odin, RebuildReport
 from repro.core.probe import BlockProbe
+from repro.instrument.base import SanitizerTool
 from repro.ir.builder import IRBuilder
 from repro.ir.types import FunctionType, I64, VOID
 from repro.ir.values import ConstantInt
@@ -80,16 +81,15 @@ class PruneReport:
     rebuild: Optional[RebuildReport] = None
 
 
-class OdinCov:
+class OdinCov(SanitizerTool):
     """Coverage tool over an :class:`Odin` engine.
 
     ``prune=False`` gives OdinCov-NoPrune: probes stay in forever.
     """
 
     def __init__(self, engine: Odin, *, prune: bool = True, rebuild_fn=None):
-        self.engine = engine
+        super().__init__(engine, CoverageRuntime())
         self.prune = prune
-        self.runtime = CoverageRuntime()
         self.probes: Dict[int, CovProbe] = {}
         # How on-the-fly recompiles run: directly on the engine (default)
         # or through a recompilation-service client
@@ -117,31 +117,21 @@ class OdinCov:
                 count += 1
         return count
 
-    def build(self) -> RebuildReport:
-        """Initial instrumented build."""
-        return self.engine.initial_build()
-
-    # -- execution --------------------------------------------------------------
-
-    def make_vm(self, extra_runtime=None, **kwargs) -> VM:
-        """VM over the current executable; *extra_runtime* (e.g. a CmpLog
-        collector) is fanned in next to the coverage counters."""
-        from repro.vm.interpreter import CompositeProbeRuntime
-
-        runtime = self.runtime
-        if extra_runtime is not None:
-            runtime = CompositeProbeRuntime(self.runtime, extra_runtime)
-        return VM(self.engine.executable, probe_runtime=runtime, **kwargs)
-
     # -- the on-demand part -------------------------------------------------------
+    # build() and make_vm() come from SanitizerTool; the profile hooks
+    # below plug the coverage counters into its shared sync loop.
+
+    def profile_counts(self) -> Dict[int, int]:
+        return dict(self.runtime.counters)
+
+    def clear_profile_counts(self) -> None:
+        self.runtime.clear()
 
     def sync_hit_counts(self) -> None:
         """Map runtime counters back onto probe annotations (§1: first-class
-        profiling support)."""
-        for pid, hits in self.runtime.counters.items():
-            probe = self.probes.get(pid)
-            if probe is not None:
-                probe.hits += hits
+        profiling support).  Leaves the raw counters in place — pruning
+        still needs the covered set after syncing."""
+        self.sync_profiles(clear=False)
 
     def prune_covered(self) -> PruneReport:
         """Remove probes whose block was covered; recompile on the fly."""

@@ -21,6 +21,7 @@ from repro.analysis.dataflow import compute_value_ranges, may_overflow
 from repro.core.engine import Odin, RebuildReport
 from repro.core.probe import InstructionProbe
 from repro.errors import VMTrap
+from repro.instrument.base import SanitizerTool
 from repro.ir.builder import IRBuilder
 from repro.ir.instructions import BinaryInst, Instruction
 from repro.ir.types import FunctionType, I1, I64, VOID
@@ -44,6 +45,7 @@ class OverflowProbe(InstructionProbe):
             raise TypeError("OverflowProbe targets add/sub/mul")
         super().__init__(inst)
         self.triggered = False  # fuzzer annotation
+        self.hits = 0           # overflow fires synced from the runtime
 
     def instrument(
         self, builder: IRBuilder, mapped: Instruction, sched: "Scheduler"
@@ -67,9 +69,15 @@ class OverflowProbe(InstructionProbe):
 
 
 class UBSanRuntime(ProbeRuntime):
-    """Traps on the first overflow; records which probe fired."""
+    """Traps on the first overflow; records which probe fired.
 
-    def __init__(self):
+    ``trap=False`` records fires without aborting — the always-on
+    recording mode run-time partitioned sanitization uses, where the
+    paper's "high false-positive rate" must not kill production traffic.
+    """
+
+    def __init__(self, trap: bool = True):
+        self.trap = trap
         self.fired: Optional[int] = None
         self.fire_counts: Dict[int, int] = {}
 
@@ -79,18 +87,21 @@ class UBSanRuntime(ProbeRuntime):
         if args[0]:
             self.fired = probe_id
             self.fire_counts[probe_id] = self.fire_counts.get(probe_id, 0) + 1
-            raise VMTrap(f"ubsan: signed overflow at probe {probe_id}", "ubsan")
+            if self.trap:
+                raise VMTrap(f"ubsan: signed overflow at probe {probe_id}", "ubsan")
 
     def clear(self) -> None:
         self.fired = None
 
+    def clear_counts(self) -> None:
+        self.fire_counts.clear()
 
-class UBSanTool:
+
+class UBSanTool(SanitizerTool):
     """UBSan with Odin-style on-demand probe removal."""
 
-    def __init__(self, engine: Odin):
-        self.engine = engine
-        self.runtime = UBSanRuntime()
+    def __init__(self, engine: Odin, *, trap: bool = True):
+        super().__init__(engine, UBSanRuntime(trap=trap))
         self.probes: Dict[int, OverflowProbe] = {}
         self.removed: List[int] = []
         self.pruned = 0  # probes statically discharged by guided placement
@@ -122,11 +133,13 @@ class UBSanTool:
                     count += 1
         return count
 
-    def build(self) -> RebuildReport:
-        return self.engine.initial_build()
+    # build()/make_vm()/sync_profiles() come from SanitizerTool.
 
-    def make_vm(self, **kwargs) -> VM:
-        return VM(self.engine.executable, probe_runtime=self.runtime, **kwargs)
+    def profile_counts(self) -> Dict[int, int]:
+        return dict(self.runtime.fire_counts)
+
+    def clear_profile_counts(self) -> None:
+        self.runtime.clear_counts()
 
     def remove_fired_probe(self) -> Optional[RebuildReport]:
         """Drop the probe that trapped and recompile on the fly."""

@@ -8,8 +8,9 @@ from repro.linker.linker import (
     RUNTIME_BUILTINS,
     link,
 )
+from repro.linker.variants import VariantExecutable, link_variants
 
 __all__ = [
     "DATA_BASE", "FUNC_BASE", "Executable", "LinkedFunction",
-    "RUNTIME_BUILTINS", "link",
+    "RUNTIME_BUILTINS", "VariantExecutable", "link", "link_variants",
 ]

@@ -53,7 +53,22 @@ class LinkCache:
             self._entries.popitem(last=False)
 
     def clear(self) -> None:
+        """Drop every entry *and* the hit/miss counters.
+
+        ``clear()`` starts a new epoch: callers that empty the cache
+        (e.g. between benchmark phases) read ``stats()`` expecting it to
+        describe the cache *since the clear*, so leaving the previous
+        epoch's counters in place made every post-clear snapshot lie.
+        Use :meth:`reset_stats` to zero the counters without dropping
+        entries.
+        """
         self._entries.clear()
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters, keeping the cached entries."""
+        self.hits = 0
+        self.misses = 0
 
     def stats(self) -> dict:
         return {

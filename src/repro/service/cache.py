@@ -2,8 +2,12 @@
 
 The engine's per-fragment cache (`Odin.cache`) remembers *which object is
 currently linked*; these caches remember *every object ever compiled*,
-keyed by ``hash(fragment IR + probe state + opt level)``
-(:func:`repro.core.engine.fragment_content_key`).  Two consequences:
+keyed by ``hash(fragment IR + probe state + opt level + variant label)``
+(:func:`repro.core.engine.fragment_content_key`).  The variant label is
+the run-time partitioned-sanitization dimension: engines compiling
+different co-resident families ("clean"/"coverage"/"sanitized") of the
+same program can share one cache directory without ever being served
+another family's object.  Two consequences:
 
 * flipping a probe off and later back on replays the earlier object
   instead of recompiling (fuzzers toggle the same probe sets constantly —

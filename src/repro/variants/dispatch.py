@@ -1,0 +1,157 @@
+"""Seeded variant selection for the VM's call dispatch.
+
+The merged image (:class:`~repro.linker.variants.VariantExecutable`)
+gives every function one slot per family; the :class:`VariantSelector`
+decides, call by call, which slot executes.  PartiSan's two policies are
+both here:
+
+* ``per-execution`` — one family is drawn when an execution starts
+  (``VM.run`` calls :meth:`begin_execution`) and every call in that
+  execution follows it.  Whole runs are sanitized or not, which is what
+  makes per-execution overhead attributable to a family.
+* ``per-call`` — each call draws independently, interleaving families
+  within a single run at the cost of attribution.
+
+Selection is driven by a :class:`~repro.utils.rng.DeterministicRNG`, so
+a (seed, mix, mode) triple replays the exact same dispatch sequence —
+the property every test and benchmark in this repo leans on.
+
+Pins override the draw: ``pin(name, family)`` routes every call of one
+function to one family unconditionally.  The budget controller pins
+persistently hot functions to ``clean`` when it de-instruments them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.utils.rng import DeterministicRNG
+
+MODE_PER_CALL = "per-call"
+MODE_PER_EXECUTION = "per-execution"
+MODES = (MODE_PER_CALL, MODE_PER_EXECUTION)
+
+
+class VariantSelector:
+    """Weighted, seeded family choice with per-function pin overrides."""
+
+    def __init__(
+        self,
+        mix: Mapping[str, float],
+        *,
+        seed: int = 0,
+        mode: str = MODE_PER_CALL,
+        pinned: Optional[Mapping[str, str]] = None,
+    ):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self.mode = mode
+        self.rng = DeterministicRNG(seed)
+        self.pinned: Dict[str, str] = dict(pinned or {})
+        #: Lifetime dispatched calls per family (includes pinned calls).
+        self.calls: Dict[str, int] = {}
+        #: Lifetime calls per function name (pre-dispatch).
+        self.function_calls: Dict[str, int] = {}
+        self.executions = 0
+        #: Family drawn by the last :meth:`begin_execution` (per-execution
+        #: mode only; None before the first execution or in per-call mode).
+        self.last_execution_family: Optional[str] = None
+        #: Executions per drawn family (per-execution mode).
+        self.execution_counts: Dict[str, int] = {}
+        self.mix: Dict[str, float] = {}
+        self._names: List[str] = []
+        self._cumulative: List[float] = []
+        self.set_mix(mix)
+
+    # -- mix --------------------------------------------------------------------
+
+    def set_mix(self, mix: Mapping[str, float]) -> None:
+        """Replace the dispatch weights (normalized; takes effect on the
+        next draw)."""
+        if not mix:
+            raise ValueError("mix must name at least one family")
+        for name, weight in mix.items():
+            if weight < 0:
+                raise ValueError(f"negative weight for {name!r}: {weight}")
+        total = float(sum(mix.values()))
+        if total <= 0:
+            raise ValueError("mix weights sum to zero")
+        self.mix = {name: weight / total for name, weight in mix.items()}
+        self._names = list(self.mix)
+        running = 0.0
+        self._cumulative = []
+        for name in self._names:
+            running += self.mix[name]
+            self._cumulative.append(running)
+
+    def _draw(self) -> str:
+        r = self.rng.random()
+        for name, edge in zip(self._names, self._cumulative):
+            if r < edge:
+                return name
+        return self._names[-1]  # float round-off lands on the last family
+
+    # -- the dispatch path ------------------------------------------------------
+
+    def begin_execution(self) -> None:
+        """Called by ``VM.run``; re-draws the per-execution family."""
+        self.executions += 1
+        if self.mode == MODE_PER_EXECUTION:
+            family = self._draw()
+            self.last_execution_family = family
+            self.execution_counts[family] = (
+                self.execution_counts.get(family, 0) + 1
+            )
+
+    def select(self, name: str, default_family: str) -> str:
+        """Pick the family for one call of function *name*.
+
+        *default_family* is the family of the slot the call targeted
+        (the merged table's default family for any original index); it is
+        what an unknown pin target degrades to via
+        ``VariantExecutable.dispatch``'s fallback.
+        """
+        self.function_calls[name] = self.function_calls.get(name, 0) + 1
+        family = self.pinned.get(name)
+        if family is None:
+            if self.mode == MODE_PER_EXECUTION and self.last_execution_family:
+                family = self.last_execution_family
+            else:
+                family = self._draw()
+        self.calls[family] = self.calls.get(family, 0) + 1
+        return family
+
+    # -- pins -------------------------------------------------------------------
+
+    def pin(self, name: str, family: str) -> None:
+        self.pinned[name] = family
+
+    def unpin(self, name: str) -> None:
+        self.pinned.pop(name, None)
+
+    # -- accounting -------------------------------------------------------------
+
+    def call_shares(self) -> Dict[str, float]:
+        """Fraction of dispatched calls each family served."""
+        total = sum(self.calls.values())
+        if not total:
+            return {}
+        return {name: count / total for name, count in self.calls.items()}
+
+    def execution_shares(self) -> Dict[str, float]:
+        """Fraction of executions each family was drawn for
+        (per-execution mode; empty in per-call mode)."""
+        total = sum(self.execution_counts.values())
+        if not total:
+            return {}
+        return {
+            name: count / total
+            for name, count in self.execution_counts.items()
+        }
+
+    def hottest_functions(self) -> List[str]:
+        """Function names by descending lifetime call count."""
+        return sorted(
+            self.function_calls,
+            key=lambda name: (-self.function_calls[name], name),
+        )

@@ -13,6 +13,12 @@ Instrumentation hooks:
   ``block_tax`` extra cycles — that is how the DynamoRIO/DynInst-style
   *binary* instrumentation baselines are modelled: they pay per-block
   dispatch/trampoline overhead on top of the native code.
+* a ``variant_selector`` routes every call through a
+  :class:`~repro.linker.variants.VariantExecutable`'s per-function
+  dispatch table (run-time partitioned sanitization): the selector picks
+  which co-resident sanitization family of the callee executes, charging
+  ``dispatch_tax`` extra cycles per dispatched call — the PartiSan-style
+  indirection cost.
 """
 
 from __future__ import annotations
@@ -89,6 +95,8 @@ class VM:
         probe_runtime: Optional[ProbeRuntime] = None,
         block_hook: Optional[Callable[[int, int], None]] = None,
         block_tax: int = 0,
+        variant_selector=None,
+        dispatch_tax: int = 0,
         max_steps: int = DEFAULT_MAX_STEPS,
         mem_size: int = MEM_SIZE,
     ):
@@ -96,6 +104,15 @@ class VM:
         self.probe_runtime = probe_runtime
         self.block_hook = block_hook
         self.block_tax = block_tax
+        # Run-time partitioned sanitization: every call is remapped
+        # through the executable's per-function dispatch table to the
+        # family the selector picks (see repro.variants.dispatch).
+        if variant_selector is not None and not hasattr(executable, "dispatch"):
+            raise VMError(
+                "variant_selector needs a VariantExecutable with a dispatch table"
+            )
+        self.variant_selector = variant_selector
+        self.dispatch_tax = dispatch_tax
         self.max_steps = max_steps
         self.mem_size = mem_size
         if executable.data_end + 0x10000 > mem_size:
@@ -178,6 +195,9 @@ class VM:
         """
         if reset:
             self.reset()
+        if self.variant_selector is not None:
+            # Per-execution selection modes re-draw their family here.
+            self.variant_selector.begin_execution()
         index = self.exe.function_index(entry)
         try:
             value = self._call(index, tuple(args))
@@ -193,6 +213,17 @@ class VM:
 
     def _call(self, func_index: int, args: Tuple[int, ...]) -> int:
         """Execute one function to completion; recursion implements calls."""
+        selector = self.variant_selector
+        if selector is not None:
+            # Route through the dispatch table: direct calls, indirect
+            # calls and the entry point all funnel through here, so one
+            # remap covers every control transfer uniformly.
+            exe = self.exe
+            family = selector.select(
+                exe.functions[func_index].name, exe.family_of[func_index]
+            )
+            func_index = exe.dispatch(func_index, family)
+            self.cycles += self.dispatch_tax
         lf = self.exe.functions[func_index]
         mf = lf.mf
         if len(args) < self._fixed_args(mf):

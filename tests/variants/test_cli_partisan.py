@@ -1,0 +1,68 @@
+"""The ``repro partisan`` command and the variant leg of ``repro check``."""
+
+import json
+
+from repro.cli import main
+
+
+class TestPartisanCommand:
+    def test_smoke_run(self, capsys):
+        assert main([
+            "partisan", "json",
+            "--executions", "80", "--window", "20", "--seed", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "80 executions" in out
+        assert "call shares" in out
+        assert "clean-dispatch equivalence" in out
+        assert "PASS" in out
+
+    def test_report_json_and_trace(self, capsys, tmp_path):
+        report_path = tmp_path / "partisan.json"
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "partisan", "json",
+            "--executions", "60", "--window", "20", "--no-check",
+            "--report-json", str(report_path),
+            "--trace-out", str(trace_path),
+        ]) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload[0]["program"] == "json"
+        assert set(payload[0]["call_shares"]) == {
+            "clean", "coverage", "sanitized"
+        }
+        trace = json.loads(trace_path.read_text())
+        names = {event.get("name") for event in trace["traceEvents"]}
+        assert "partisan.build" in names
+
+    def test_windows_flag_prints_controller_steps(self, capsys):
+        assert main([
+            "partisan", "json",
+            "--executions", "40", "--window", "20", "--no-check",
+            "--windows",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "window 0: overhead" in out
+
+    def test_per_execution_mode(self, capsys):
+        assert main([
+            "partisan", "json",
+            "--executions", "40", "--window", "20", "--no-check",
+            "--mode", "per-execution",
+        ]) == 0
+        assert "(per-execution)" in capsys.readouterr().out
+
+
+class TestCheckVariantLeg:
+    def test_check_runs_clean_dispatch_suite(self, capsys):
+        assert main([
+            "check", "json", "--schedules", "1", "--no-faults",
+        ]) == 0
+        assert "clean-dispatch equivalence" in capsys.readouterr().out
+
+    def test_check_can_skip_variants(self, capsys):
+        assert main([
+            "check", "json", "--schedules", "1", "--no-faults",
+            "--no-variants",
+        ]) == 0
+        assert "clean-dispatch" not in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Unit tests for the seeded variant selector."""
+
+import pytest
+
+from repro.variants.dispatch import (
+    MODE_PER_CALL,
+    MODE_PER_EXECUTION,
+    VariantSelector,
+)
+
+MIX = {"clean": 0.5, "coverage": 0.2, "sanitized": 0.3}
+
+
+class TestValidation:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            VariantSelector(MIX, mode="per-input")
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(ValueError):
+            VariantSelector({})
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            VariantSelector({"clean": 0.5, "sanitized": -0.1})
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            VariantSelector({"clean": 0.0, "sanitized": 0.0})
+
+
+class TestSelection:
+    def test_seed_replays_identical_sequence(self):
+        a = VariantSelector(MIX, seed=7)
+        b = VariantSelector(MIX, seed=7)
+        seq_a = [a.select("f", "clean") for _ in range(200)]
+        seq_b = [b.select("f", "clean") for _ in range(200)]
+        assert seq_a == seq_b
+
+    def test_mix_is_normalized(self):
+        selector = VariantSelector({"clean": 2, "sanitized": 2})
+        assert selector.mix == {"clean": 0.5, "sanitized": 0.5}
+
+    def test_shares_track_the_mix(self):
+        selector = VariantSelector(MIX, seed=3)
+        for _ in range(3000):
+            selector.select("f", "clean")
+        shares = selector.call_shares()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+        for family, weight in MIX.items():
+            assert abs(shares[family] - weight) < 0.05
+
+    def test_single_family_mix_always_selected(self):
+        selector = VariantSelector({"clean": 1.0}, seed=1)
+        assert all(
+            selector.select("f", "clean") == "clean" for _ in range(50)
+        )
+
+    def test_pin_overrides_the_draw(self):
+        selector = VariantSelector(MIX, seed=11)
+        selector.pin("hot", "clean")
+        assert all(
+            selector.select("hot", "clean") == "clean" for _ in range(100)
+        )
+        selector.unpin("hot")
+        drawn = {selector.select("hot", "clean") for _ in range(200)}
+        assert len(drawn) > 1
+
+    def test_function_call_accounting(self):
+        selector = VariantSelector(MIX, seed=1)
+        for _ in range(5):
+            selector.select("hot", "clean")
+        selector.select("cold", "clean")
+        assert selector.function_calls == {"hot": 5, "cold": 1}
+        assert selector.hottest_functions() == ["hot", "cold"]
+
+
+class TestPerExecutionMode:
+    def test_one_family_per_execution(self):
+        selector = VariantSelector(MIX, seed=5, mode=MODE_PER_EXECUTION)
+        families = set()
+        for _ in range(20):
+            selector.begin_execution()
+            chosen = {selector.select(f"f{i}", "clean") for i in range(10)}
+            assert len(chosen) == 1  # every call follows the drawn family
+            families.add(chosen.pop())
+        assert len(families) > 1  # across executions the mix is sampled
+        assert selector.executions == 20
+        assert sum(selector.execution_counts.values()) == 20
+        assert abs(sum(selector.execution_shares().values()) - 1.0) < 1e-9
+
+    def test_per_call_mode_interleaves_within_execution(self):
+        selector = VariantSelector(MIX, seed=5, mode=MODE_PER_CALL)
+        selector.begin_execution()
+        chosen = {selector.select("f", "clean") for _ in range(200)}
+        assert len(chosen) > 1
+        assert selector.execution_shares() == {}
+
+    def test_pin_overrides_execution_family(self):
+        selector = VariantSelector(
+            {"sanitized": 1.0}, seed=2, mode=MODE_PER_EXECUTION
+        )
+        selector.pin("hot", "clean")
+        selector.begin_execution()
+        assert selector.select("hot", "sanitized") == "clean"
+        assert selector.select("other", "sanitized") == "sanitized"
+
+
+class TestSetMixLive:
+    def test_set_mix_shifts_future_draws(self):
+        selector = VariantSelector(MIX, seed=9)
+        for _ in range(100):
+            selector.select("f", "clean")
+        selector.set_mix({"clean": 1.0})
+        before = dict(selector.calls)
+        for _ in range(100):
+            assert selector.select("f", "clean") == "clean"
+        assert selector.calls["clean"] == before.get("clean", 0) + 100
