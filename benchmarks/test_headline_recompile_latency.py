@@ -4,12 +4,18 @@ Runs a pruning coverage campaign over every program (probes removed in
 waves, one on-the-fly rebuild per wave) and averages the end-to-end
 rebuild latency (compile + relink).  The benchmark measures one such
 rebuild on a mid-sized program.
+
+The tiered fast path gets its own headline below: the same probe-toggle
+schedule replayed through the patch tier and through the full path, per
+program, with the patch-tier median required to be at least 5x lower.
 """
 
 from conftest import write_result
 
+from repro.core.engine import Odin
 from repro.experiments.recompile import measure_headline_recompile
 from repro.experiments.runners import deploy_odincov
+from repro.instrument.coverage import OdinCov
 from repro.programs.registry import all_programs, get_program
 
 
@@ -47,3 +53,114 @@ def test_headline_recompile_latency(benchmark):
     assert median_ms < 300
     assert result.mean_ms < 600
     assert result.mean_ms > 1
+
+
+# -- tiered fast path ------------------------------------------------------------
+
+TIER_PROGRAMS = ("json", "lcms", "libjpeg")
+TOGGLE_STEPS = 12
+
+
+def _toggle_schedule(engine, steps=TOGGLE_STEPS):
+    """Deterministic toggle workload: one rebuild per step.
+
+    A sliding window of three probes is disabled, then re-enabled on the
+    next step — the enable/disable churn a fuzzer's roadblock handling
+    produces, and exactly the shape the patch tier exists for.
+    """
+    pids = sorted(p.id for p in engine.manager)
+    latencies = []
+    for step in range(steps):
+        probes = {p.id: p for p in engine.manager}
+        window = [pids[(step * 3 + k) % len(pids)] for k in range(3)]
+        for pid in window:
+            probe = probes[pid]
+            if probe.enabled:
+                engine.manager.disable(probe)
+            else:
+                engine.manager.enable(probe)
+        report = engine.rebuild_if_needed()
+        latencies.append((report.tier, report.wall_ms))
+    return latencies
+
+
+def _median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def _build_engine(name, enable_patching):
+    engine = Odin(
+        get_program(name).compile(),
+        preserve=("main", "run_input"),
+        enable_patching=enable_patching,
+    )
+    tool = OdinCov(engine)
+    tool.add_all_block_probes()
+    tool.build()
+    return engine
+
+
+def _histogram(values, width=40):
+    """Tiny log-bucketed ASCII histogram of latencies in ms."""
+    buckets = [0.1, 1.0, 10.0, 100.0, 1000.0, float("inf")]
+    labels = ["<0.1ms", "<1ms", "<10ms", "<100ms", "<1s", ">=1s"]
+    counts = [0] * len(buckets)
+    for v in values:
+        for i, bound in enumerate(buckets):
+            if v < bound:
+                counts[i] += 1
+                break
+    peak = max(counts) or 1
+    return [
+        f"    {label:>7} | {'#' * (count * width // peak):<{width}} {count}"
+        for label, count in zip(labels, counts)
+        if count
+    ]
+
+
+def test_tiered_recompile_latency(benchmark):
+    """Patch-tier rebuilds are >=5x faster than the full path, per program."""
+    # Real-time benchmark: one patch-tier toggle rebuild on json.
+    bench_engine = _build_engine("json", enable_patching=True)
+    probe = min((p for p in bench_engine.manager), key=lambda p: p.id)
+
+    def one_toggle():
+        if probe.enabled:
+            bench_engine.manager.disable(probe)
+        else:
+            bench_engine.manager.enable(probe)
+        return bench_engine.rebuild_if_needed()
+
+    report = benchmark.pedantic(one_toggle, rounds=5, iterations=1)
+    assert report.tier == "patch"
+
+    lines = ["Tiered recompilation — toggle-schedule latency by tier", ""]
+    for name in TIER_PROGRAMS:
+        patched = _toggle_schedule(_build_engine(name, enable_patching=True))
+        full = _toggle_schedule(_build_engine(name, enable_patching=False))
+        assert all(tier == "patch" for tier, _ in patched)
+        assert all(tier == "full" for tier, _ in full)
+        patch_ms = [ms for _t, ms in patched]
+        full_ms = [ms for _t, ms in full]
+        patch_median = _median(patch_ms)
+        full_median = _median(full_ms)
+        speedup = full_median / patch_median
+        lines += [
+            f"{name}: {len(patch_ms)} toggle rebuilds per path",
+            f"  patch median: {patch_median:8.3f} ms",
+            f"  full  median: {full_median:8.3f} ms",
+            f"  speedup:      {speedup:8.1f}x",
+            "  patch tier:",
+            *_histogram(patch_ms),
+            "  full path:",
+            *_histogram(full_ms),
+            "",
+        ]
+        # The PR's headline claim: the patch tier is at least 5x faster
+        # at the median than recompiling the affected fragments.
+        assert patch_median * 5 <= full_median, (
+            f"{name}: patch median {patch_median:.3f} ms not 5x below "
+            f"full median {full_median:.3f} ms"
+        )
+    write_result("tiered_recompile_latency.txt", "\n".join(lines))

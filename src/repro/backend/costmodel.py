@@ -104,6 +104,16 @@ LINK_FIXED_MS = 35.0
 LINK_MS_PER_SYMBOL = 0.25
 LINK_MS_PER_CODE_UNIT = 0.004
 
+# Stage-1 probe patching (Algorithm 2 fast path): flipping a counter-style
+# probe rewrites a handful of bytes in a cached object instead of running
+# the middle end — fixed bookkeeping plus a per-site touch cost.
+PATCH_FIXED_MS = 0.05
+PATCH_MS_PER_SITE = 0.01
+# Patching the linked image in place (swap the patched functions, keep
+# data/layout/resolution): far below a full relink's symbol resolution.
+IMAGE_PATCH_FIXED_MS = 1.2
+IMAGE_PATCH_MS_PER_FUNCTION = 0.08
+
 
 def compile_cost_ms(module: "Module") -> float:
     """Simulated middle-end + backend time to compile *module*."""
@@ -133,6 +143,16 @@ def middle_end_cost_ms(module: "Module") -> float:
 def link_cost_ms(num_symbols: int, code_size: int) -> float:
     """Simulated link time for an executable image."""
     return LINK_FIXED_MS + num_symbols * LINK_MS_PER_SYMBOL + code_size * LINK_MS_PER_CODE_UNIT
+
+
+def probe_patch_cost_ms(sites_touched: int) -> float:
+    """Simulated time to flip *sites_touched* probe sites in a cached object."""
+    return PATCH_FIXED_MS + sites_touched * PATCH_MS_PER_SITE
+
+
+def image_patch_cost_ms(functions_replaced: int) -> float:
+    """Simulated time to splice patched functions into the linked image."""
+    return IMAGE_PATCH_FIXED_MS + functions_replaced * IMAGE_PATCH_MS_PER_FUNCTION
 
 
 def frontend_cost_ms(source_lines: int) -> float:

@@ -1,0 +1,124 @@
+"""Stage-1 probe patching: flip probe sites in cached object files.
+
+Algorithm 2's fast path services counter-style probe flips (coverage
+enable/disable) without re-optimizing or re-lowering anything.  The trick
+that makes this byte-exact is *sites-always-compiled*: the engine
+instruments every patchable probe into the fragment IR regardless of its
+enabled state, compiles that to a **master** object, and then realizes
+the current toggle state by deleting the disabled sites from a copy of
+the master (:func:`toggle_object`).  Every tier — full recompile, cache
+hit, stage-1 patch — goes through the same toggle, so a patched object is
+byte-identical to a from-scratch build *by construction*, and ``repro
+check --tiers`` proves it empirically.
+
+Why deleting a probe site cannot perturb the rest of the code:
+
+* a patchable probe lowers to exactly one ``probe`` machine instruction
+  with no destination register, no source registers and no argument
+  registers, so register allocation and every other instruction's cost
+  are unaffected by its presence;
+* blocks always begin with their ``bb`` marker, so a probe instruction is
+  never a branch target; deleting it only *shifts* later instruction
+  indices, which :func:`toggle_object` remaps.
+
+Objects are treated as immutable cache entries throughout: toggling
+returns fresh :class:`ObjectFile` / :class:`MachineFunction` instances
+and shares every function (and the whole object) that holds no affected
+site.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Iterable, List, Set
+
+from repro.backend.machine import MachineFunction, MachineInst, ObjectFile
+
+__all__ = ["probe_site_ids", "toggle_function", "toggle_object"]
+
+
+def probe_site_ids(obj: ObjectFile) -> FrozenSet[int]:
+    """All probe ids with a site compiled into *obj* (any kind)."""
+    ids: Set[int] = set()
+    for mf in obj.functions.values():
+        for inst in mf.insts:
+            if inst.op == "probe":
+                ids.add(inst.probe_id)
+    return frozenset(ids)
+
+
+def _has_site(mf: MachineFunction, disabled: FrozenSet[int]) -> bool:
+    return any(
+        inst.op == "probe" and inst.probe_id in disabled for inst in mf.insts
+    )
+
+
+def toggle_function(
+    mf: MachineFunction, disabled: FrozenSet[int]
+) -> MachineFunction:
+    """Copy of *mf* with the sites of every probe id in *disabled* deleted.
+
+    Branch targets and switch tables are remapped through an old->new
+    index map; everything else (frame, registers, block count/names) is
+    structurally unchanged because probe instructions touch none of it.
+    """
+    if not _has_site(mf, disabled):
+        return mf
+    kept: List[MachineInst] = []
+    index_map = {}
+    for old_index, inst in enumerate(mf.insts):
+        if inst.op == "probe" and inst.probe_id in disabled:
+            continue
+        index_map[old_index] = len(kept)
+        kept.append(inst)
+
+    def remap(old_target: int) -> int:
+        # Probes are never block leaders (the `bb` marker is), so every
+        # branch target survives deletion; the dict hit is guaranteed.
+        return index_map[old_target]
+
+    fixed: List[MachineInst] = []
+    for inst in kept:
+        if inst.targets or inst.table:
+            inst = dataclasses.replace(
+                inst,
+                targets=tuple(remap(t) for t in inst.targets),
+                table=tuple((v, remap(t)) for v, t in inst.table),
+            )
+        fixed.append(inst)
+    return dataclasses.replace(
+        mf,
+        insts=fixed,
+        block_names=dict(mf.block_names),
+    )
+
+
+def toggle_object(master: ObjectFile, disabled: Iterable[int]) -> ObjectFile:
+    """Master object with the sites of *disabled* probe ids deleted.
+
+    The master is the fragment compiled with **all** patchable sites in;
+    this is the single choke point every rebuild tier uses to realize the
+    current enable/disable state, which is what makes the tiers
+    byte-equivalent.  Returns *master* itself when no listed site is
+    present (nothing to delete, nothing to copy).
+    """
+    disabled = frozenset(disabled)
+    if not disabled:
+        return master
+    replaced = {}
+    for name, mf in master.functions.items():
+        toggled = toggle_function(mf, disabled)
+        if toggled is not mf:
+            replaced[name] = toggled
+    if not replaced:
+        return master
+    functions = {
+        name: replaced.get(name, mf) for name, mf in master.functions.items()
+    }
+    return dataclasses.replace(
+        master,
+        functions=functions,
+        data=dict(master.data),
+        aliases=dict(master.aliases),
+        imports=list(master.imports),
+    )

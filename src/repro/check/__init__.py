@@ -41,6 +41,12 @@ from repro.check.oracle import (
     ScheduleOutcome,
     StepOutcome,
 )
+from repro.check.tiers import (
+    TierScheduleOutcome,
+    TierStepOutcome,
+    TierSweep,
+    TierSweepReport,
+)
 from repro.check.schedules import (
     STEP_DISABLE,
     STEP_ENABLE,
@@ -71,6 +77,10 @@ __all__ = [
     "ScheduleOutcome",
     "ScheduleStep",
     "StepOutcome",
+    "TierScheduleOutcome",
+    "TierStepOutcome",
+    "TierSweep",
+    "TierSweepReport",
     "check_backpropagation",
     "check_content_key_determinism",
     "generate_chaos_schedules",

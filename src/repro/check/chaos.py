@@ -339,8 +339,13 @@ class _ChaosSession:
             batch_timeout_s=runner.batch_timeout_s,
         )
         self.service.compiler.fault_injector = self._inject
+        # Patching is off for chaos: the tiered fast path services probe
+        # toggles without ever reaching the worker pool, but armed worker
+        # faults only fire inside a compile batch — every step must take
+        # the full path for the schedule's faults to land where intended.
         self.engine = self.service.register_target(
-            runner.program.name, runner.program.compile(), preserve=PRESERVED
+            runner.program.name, runner.program.compile(), preserve=PRESERVED,
+            enable_patching=False,
         )
         self.client = self.service.client(runner.program.name, "chaos")
         self.tool = OdinCov(self.engine, rebuild_fn=self.client.rebuild_report)

@@ -1,0 +1,329 @@
+"""Tier-sweep differential check (``repro check --tiers``).
+
+The tiered fast path (patch / memo / full, see ``core/engine.py``) is
+only a fast path if every tier produces the *same artifacts*.  This
+module replays one seeded probe schedule through three engine
+configurations side by side:
+
+* **patch** — stage-1 probe patching on, object cache on, memo off: pure
+  toggles are serviced by patching the cached master object;
+* **memo**  — patching off, object cache off, pass memoization on: every
+  rebuild re-lowers, but optimized IR is replayed from the memo;
+* **full**  — everything off: the classic from-scratch incremental path.
+
+All three sessions execute the same corpus inputs and apply the same
+probe ops (picked once, applied by id everywhere, so a behavioural
+divergence cannot cascade into a state divergence).  After every
+effective step the sweep asserts, pairwise against the full path:
+
+1. *object bytes* — each fragment's canonical object fingerprint;
+2. *linked image* — the executable's canonical fingerprint;
+3. *behaviour* — exit code, stdout, trap, cycles and coverage per input.
+
+Zero divergences is the acceptance bar: the fast tiers are not allowed
+to be merely "close" to the slow one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.check.schedules import (
+    STEP_DISABLE,
+    STEP_ENABLE,
+    STEP_PRUNE,
+    STEP_REMOVE,
+    ProbeSchedule,
+    pick_targets,
+)
+from repro.core.engine import Odin
+from repro.fuzz.executor import ENTRY, OdinCovExecutor
+from repro.instrument.coverage import CoverageRuntime, OdinCov
+from repro.linker.linker import Executable
+from repro.programs.registry import TargetProgram
+from repro.utils.rng import DeterministicRNG
+from repro.vm.interpreter import VM
+
+PRESERVED = ("main", "run_input")
+
+# Tier label -> engine configuration.  The full path is last so the two
+# fast tiers always diff against the slowest, most conservative build.
+TIER_LABELS = ("patch", "memo", "full")
+
+
+@dataclass
+class TierStepOutcome:
+    """One replayed step across all tiers."""
+
+    index: int
+    kind: str
+    applied: int                 # probe ops applied (0 = no-op step)
+    compared: bool
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+@dataclass
+class TierScheduleOutcome:
+    schedule: ProbeSchedule
+    steps: List[TierStepOutcome] = field(default_factory=list)
+    # Tier label -> count of rebuilds whose report landed on that tier;
+    # proves the sweep exercised the fast paths, not just the fallback.
+    tiers_hit: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and all(step.ok for step in self.steps)
+
+
+@dataclass
+class TierSweepReport:
+    """Everything ``repro check --tiers`` learned about one program."""
+
+    program: str
+    schedules: List[TierScheduleOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.schedules)
+
+    @property
+    def comparisons(self) -> int:
+        return sum(
+            1
+            for outcome in self.schedules
+            for step in outcome.steps
+            if step.compared
+        )
+
+    @property
+    def tiers_hit(self) -> Dict[str, int]:
+        total: Dict[str, int] = {}
+        for outcome in self.schedules:
+            for tier, count in outcome.tiers_hit.items():
+                total[tier] = total.get(tier, 0) + count
+        return total
+
+    @property
+    def mismatches(self) -> List[str]:
+        out = []
+        for outcome in self.schedules:
+            if outcome.error is not None:
+                out.append(
+                    f"schedule #{outcome.schedule.schedule_id}: {outcome.error}"
+                )
+            for step in outcome.steps:
+                for mismatch in step.mismatches:
+                    out.append(
+                        f"schedule #{outcome.schedule.schedule_id} "
+                        f"step {step.index} ({step.kind}): {mismatch}"
+                    )
+        return out
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.mismatches)} DIVERGENCES"
+        hit = ", ".join(
+            f"{tier}={count}" for tier, count in sorted(self.tiers_hit.items())
+        )
+        return (
+            f"{self.program}: tier sweep, {len(self.schedules)} schedules, "
+            f"{self.comparisons} comparisons, tiers hit [{hit}], {status}"
+        )
+
+
+class _TierSession:
+    """One tier's live engine + coverage tool + executor."""
+
+    def __init__(self, program: TargetProgram, label: str):
+        self.label = label
+        kwargs = dict(preserve=PRESERVED)
+        if label == "patch":
+            from repro.service.cache import InMemoryCodeCache
+
+            kwargs.update(
+                enable_patching=True,
+                object_cache=InMemoryCodeCache(),
+            )
+        elif label == "memo":
+            from repro.service.cache import PassMemoCache
+
+            kwargs.update(enable_patching=False, pass_memo=PassMemoCache())
+        else:  # full
+            kwargs.update(enable_patching=False)
+        self.engine = Odin(program.compile(), **kwargs)
+        self.tool = OdinCov(self.engine)
+        self.tool.add_all_block_probes()
+        self.tool.build()
+        self.executor = OdinCovExecutor(self.tool)
+        self.rebuilds_before = len(self.engine.history)
+
+    def probes_by_id(self) -> Dict[int, object]:
+        return {p.id: p for p in self.engine.manager}
+
+    def apply_ops(self, kind: str, ids: List[int]) -> None:
+        probes = self.probes_by_id()
+        for pid in ids:
+            probe = probes[pid]
+            if kind == STEP_DISABLE:
+                self.engine.manager.disable(probe)
+            elif kind == STEP_ENABLE:
+                self.engine.manager.enable(probe)
+            else:  # remove (covers prune too)
+                self.tool.probes.pop(pid, None)
+                self.engine.manager.remove(probe)
+        if kind == STEP_PRUNE:
+            self.tool.runtime.clear()
+        self.engine.rebuild_if_needed()
+        self.executor._refresh_vm()
+
+    def new_tiers(self) -> List[str]:
+        """Tier labels of rebuilds since the last call."""
+        fresh = self.engine.history[self.rebuilds_before:]
+        self.rebuilds_before = len(self.engine.history)
+        return [report.tier for report in fresh]
+
+
+class TierSweep:
+    """Replays schedules through every tier and diffs all layers."""
+
+    def __init__(
+        self,
+        program: TargetProgram,
+        *,
+        max_inputs: int = 4,
+        corpus_seed: int = 0,
+    ):
+        self.program = program
+        inputs = program.seeds(corpus_seed)
+        if not inputs:
+            raise ValueError(f"program {program.name!r} has an empty seed corpus")
+        self.inputs: List[bytes] = inputs[:max_inputs]
+
+    def run(self, schedules: List[ProbeSchedule]) -> TierSweepReport:
+        report = TierSweepReport(self.program.name)
+        for schedule in schedules:
+            report.schedules.append(self.check_schedule(schedule))
+        return report
+
+    def check_schedule(self, schedule: ProbeSchedule) -> TierScheduleOutcome:
+        outcome = TierScheduleOutcome(schedule)
+        sessions = [_TierSession(self.program, label) for label in TIER_LABELS]
+        lead = sessions[0]
+        try:
+            rng = DeterministicRNG(schedule.seed)
+            cursor = 0
+            for index, step in enumerate(schedule.steps):
+                for _ in range(step.inputs):
+                    data = self.inputs[cursor % len(self.inputs)]
+                    for session in sessions:
+                        session.executor.execute(data)
+                    cursor += 1
+                kind, ids = self._pick_ops(lead, step, rng)
+                step_outcome = TierStepOutcome(index, step.kind, len(ids), False)
+                if ids:
+                    for session in sessions:
+                        session.apply_ops(kind, ids)
+                        for tier in session.new_tiers():
+                            outcome.tiers_hit[tier] = (
+                                outcome.tiers_hit.get(tier, 0) + 1
+                            )
+                    step_outcome.compared = True
+                    step_outcome.mismatches = self._compare(sessions)
+                outcome.steps.append(step_outcome)
+        except Exception as error:  # surface, do not crash the sweep
+            outcome.error = f"{type(error).__name__}: {error}"
+        return outcome
+
+    # -- op selection ------------------------------------------------------------
+
+    def _pick_ops(
+        self, lead: _TierSession, step, rng: DeterministicRNG
+    ) -> Tuple[str, List[int]]:
+        """Pick the step's probe ids once, on the lead session.
+
+        Every session then applies the same ids, so the three probe
+        states stay aligned by construction — a behaviour bug shows up
+        as a comparison mismatch, never as schedule drift.
+        """
+        manager = lead.engine.manager
+        if step.kind == STEP_PRUNE:
+            live = {p.id for p in manager}
+            ids = sorted(
+                pid for pid in lead.tool.runtime.covered_ids() if pid in live
+            )
+            return STEP_PRUNE, ids
+        if step.kind == STEP_DISABLE:
+            eligible = [p for p in manager if p.enabled]
+        elif step.kind == STEP_ENABLE:
+            eligible = [p for p in manager if not p.enabled]
+        else:  # STEP_REMOVE
+            eligible = list(manager)
+        eligible.sort(key=lambda p: p.id)
+        picked = pick_targets(rng, eligible, step.count)
+        return step.kind, [p.id for p in picked]
+
+    # -- equivalence -------------------------------------------------------------
+
+    def _compare(self, sessions: List[_TierSession]) -> List[str]:
+        """Diff every fast tier against the full path, all three layers."""
+        mismatches: List[str] = []
+        reference = sessions[-1]  # full
+        ref_objs = reference.engine.object_fingerprints()
+        ref_exe_fp = reference.engine.executable_fingerprint()
+        ref_behaviour = [
+            _run_one(reference.engine.executable, data) for data in self.inputs
+        ]
+        for session in sessions[:-1]:
+            objs = session.engine.object_fingerprints()
+            if set(objs) != set(ref_objs):
+                mismatches.append(
+                    f"{session.label}: linked fragment set differs from full "
+                    f"({sorted(objs)} != {sorted(ref_objs)})"
+                )
+                continue
+            for fid in sorted(ref_objs):
+                if objs[fid] != ref_objs[fid]:
+                    mismatches.append(
+                        f"{session.label}: fragment #{fid} object bytes differ "
+                        f"from full ({objs[fid][:12]} != {ref_objs[fid][:12]})"
+                    )
+            exe_fp = session.engine.executable_fingerprint()
+            if exe_fp != ref_exe_fp:
+                mismatches.append(
+                    f"{session.label}: linked image differs from full "
+                    f"({str(exe_fp)[:12]} != {str(ref_exe_fp)[:12]})"
+                )
+            for data, ref in zip(self.inputs, ref_behaviour):
+                got = _run_one(session.engine.executable, data)
+                for name, a, b in zip(
+                    ("exit_code", "stdout", "trap", "cycles", "coverage"),
+                    got,
+                    ref,
+                ):
+                    if a != b:
+                        mismatches.append(
+                            f"{session.label}: input {data[:16]!r} {name} "
+                            f"differs from full ({a!r} != {b!r})"
+                        )
+        return mismatches
+
+
+def _run_one(
+    executable: Optional[Executable], data: bytes
+) -> Tuple[int, bytes, Optional[str], int, FrozenSet[int]]:
+    """Run one input on a fresh VM + coverage runtime."""
+    if executable is None:
+        return (-1, b"", "no executable", 0, frozenset())
+    runtime = CoverageRuntime()
+    vm = VM(executable, probe_runtime=runtime)
+    vm.reset()
+    addr = vm.alloc(max(len(data), 1) + 1)
+    vm.write_bytes(addr, data)
+    result = vm.run(ENTRY, (addr, len(data)), reset=False)
+    covered = frozenset(pid for pid, hits in runtime.counters.items() if hits)
+    return (result.exit_code, result.stdout, result.trap, result.cycles, covered)

@@ -162,6 +162,23 @@ def cmd_check(args) -> int:
         max_steps=args.max_steps,
         include_prune=not args.no_prune,
     )
+    if args.tiers:
+        # Tier-sweep mode: replay the same schedules through the
+        # patch-only, memo-only and full paths and demand byte/behaviour
+        # equivalence.  Replaces the ordinary oracle run — three engines
+        # per schedule is the expensive part, not the oracle around it.
+        from repro.check import TierSweep
+
+        failed = False
+        for program in programs:
+            sweep = TierSweep(program, max_inputs=args.max_inputs)
+            report = sweep.run(schedules)
+            print(report.summary())
+            for mismatch in report.mismatches:
+                print(f"  DIVERGENCE {mismatch}")
+            failed = failed or not report.ok
+        print("FAIL" if failed else "PASS")
+        return 1 if failed else 0
     failed = False
     for program in programs:
         oracle = DifferentialOracle(
@@ -606,6 +623,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--workers", type=int, default=1)
     p_check.add_argument(
         "--mode", default="serial", choices=("serial", "thread", "process")
+    )
+    p_check.add_argument(
+        "--tiers", action="store_true",
+        help="replay schedules through patch-only/memo-only/full engines "
+             "and assert object-byte, image and behaviour equivalence",
     )
     p_check.add_argument("--no-prune", action="store_true",
                          help="exclude prune steps from generated schedules")

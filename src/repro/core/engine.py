@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tupl
 
 from repro.backend.isel import lower_module
 from repro.backend.machine import ObjectFile
+from repro.backend.patching import toggle_object
 from repro.core.manager import PatchManager
 from repro.core.partition import (
     Fragment,
@@ -46,7 +47,7 @@ from repro.ir.clone import extract_module
 from repro.ir.module import Module
 from repro.ir.printer import print_module
 from repro.ir.verifier import verify_module
-from repro.linker.linker import Executable, link
+from repro.linker.linker import Executable, link, patch_image
 from repro.obs.tracer import (
     CAT_FRAGMENT,
     CAT_PASS,
@@ -63,12 +64,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.linker.cache import LinkCache
 
 
+# Rebuild tiers, cheapest path last.  Every fragment of a rebuild is
+# tagged with how it was serviced; a report's overall tier is the most
+# expensive tier any of its fragments took.
+TIER_FULL = "full"    # optimize + isel (nothing reusable)
+TIER_MEMO = "memo"    # optimization memoized; isel only
+TIER_CACHE = "cache"  # finished object served from the content cache
+TIER_PATCH = "patch"  # probe sites toggled in the cached master object
+TIER_NOOP = "noop"    # probe-state diff was empty; nothing rebuilt
+
+_TIER_RANK = (TIER_FULL, TIER_MEMO, TIER_CACHE, TIER_PATCH, TIER_NOOP)
+
+
 # -- pure fragment compilation ---------------------------------------------------
 
 
 def compile_fragment(
     frag_module: Module, opt_level: int = 2, verify: bool = True,
-    sanitize: bool = False, canonicalize: bool = True,
+    sanitize: bool = False, canonicalize: bool = True, memo=None,
 ) -> ObjectFile:
     """Optimize (post-instrumentation) and lower one fragment module.
 
@@ -89,6 +102,13 @@ def compile_fragment(
     ``sanitize`` runs the probe-integrity sanitizer between optimization
     passes (debug builds); its findings ride back on the object file as
     ``obj.sanitizer_diagnostics``.
+
+    ``memo`` is an optional pass-memoization cache (anything with
+    ``get(key)``/``put(key, entry)`` over :class:`repro.opt.memo.MemoEntry`
+    payloads, e.g. :class:`repro.service.cache.PassMemoCache`).  On a hit
+    the middle end is skipped entirely: the memoized optimized IR is
+    re-parsed and lowered, charging only the backend share of the cost
+    model (``stage_breakdown["memo_hit"]`` marks such objects).
     """
     from repro.backend.costmodel import compile_cost_ms, middle_end_cost_ms
 
@@ -100,9 +120,31 @@ def compile_fragment(
     # The middle end pays for the *unoptimized* input it receives.
     pre_opt_cost = compile_cost_ms(frag_module)
     opt_model_ms = middle_end_cost_ms(frag_module)
+
+    key = None
+    if memo is not None:
+        from repro.opt.memo import memo_key
+
+        key = memo_key(print_module(frag_module), opt_level, sanitize)
+        entry = memo.get(key)
+        if entry is not None:
+            return _replay_memo_entry(
+                entry, frag_module.name, verify, sanitize,
+                isel_ms=pre_opt_cost - opt_model_ms, real_start=real_start,
+            )
+
     ctx = optimize(frag_module, opt_level, sanitize_each=sanitize)
     if verify:
         verify_module(frag_module)
+    if key is not None:
+        from repro.opt.memo import MemoEntry
+
+        # Snapshot before lowering: isel's critical-edge splitting
+        # mutates the CFG, and replays must lower exactly this IR.
+        memo.put(key, MemoEntry(
+            print_module(frag_module),
+            tuple(ctx.diagnostics) if sanitize else (),
+        ))
     obj = lower_module(frag_module)
     if verify:
         verify_module(frag_module)  # lowering must not break the IR
@@ -118,6 +160,30 @@ def compile_fragment(
     }
     if sanitize:
         obj.sanitizer_diagnostics = list(ctx.diagnostics)
+    return obj
+
+
+def _replay_memo_entry(
+    entry, name: str, verify: bool, sanitize: bool, *,
+    isel_ms: float, real_start: float,
+) -> ObjectFile:
+    """Lower a memoized optimized-IR snapshot: the tier-2 fast path."""
+    from repro.ir.parser import parse_module
+
+    replay = parse_module(entry.ir_text, name)
+    if verify:
+        verify_module(replay)
+    obj = lower_module(replay)
+    obj.compile_ms = isel_ms
+    obj.stage_breakdown = {
+        "optimize_ms": 0.0,
+        "isel_ms": isel_ms,
+        "passes": [],
+        "memo_hit": True,
+        "real_ms": (time.perf_counter() - real_start) * 1000.0,
+    }
+    if sanitize:
+        obj.sanitizer_diagnostics = list(entry.diagnostics)
     return obj
 
 
@@ -214,9 +280,18 @@ def compile_makespan(costs: Iterable[float], workers: int) -> float:
 
     Longest-processing-time greedy assignment — deterministic, and the
     schedule a work-stealing pool converges to.  With one worker this is
-    exactly the serial sum.
+    exactly the serial sum, added in *input* order: float addition is
+    not associative, so summing in LPT order could drift an ULP away
+    from the serial engine's per-fragment clock (and from
+    :func:`assign_lanes`'s serial prefix sums), breaking the exact
+    span-tiling invariants the trace export asserts.
     """
-    loads = [0.0] * max(workers, 1)
+    if workers <= 1:
+        total = 0.0
+        for cost in costs:
+            total += cost
+        return total
+    loads = [0.0] * workers
     for cost in sorted(costs, reverse=True):
         loads[loads.index(min(loads))] += cost
     return max(loads) if loads else 0.0
@@ -263,6 +338,16 @@ class RebuildReport:
     # Content-addressed code-cache hits among the recompiled fragments
     # (their compile was skipped; they charge 0 ms).
     cache_hits: int = 0
+    # Tier accounting: fragment id -> tier it was serviced at, plus
+    # counts of the fast paths taken this rebuild.
+    fragment_tiers: Dict[int, str] = field(default_factory=dict)
+    # Fragments serviced by stage-1 probe patching (sites toggled in the
+    # cached master object; no optimize, no isel).
+    patched: int = 0
+    # Fragments whose middle end was skipped via pass memoization.
+    memo_hits: int = 0
+    # Cache hits whose entry was planted by speculative precompilation.
+    speculative_hits: int = 0
     # Whether the final link was satisfied from the executable cache.
     link_reused: bool = False
     # Compile lanes used; >1 only on the service's worker-pool path.
@@ -299,20 +384,30 @@ class RebuildReport:
         """Elapsed (simulated) time of this rebuild under `workers` lanes."""
         return self.compile_wall_ms + self.link_ms
 
+    @property
+    def tier(self) -> str:
+        """The most expensive tier any fragment of this rebuild took."""
+        tiers = set(self.fragment_tiers.values())
+        for tier in _TIER_RANK:
+            if tier in tiers:
+                return tier
+        return TIER_NOOP
+
 
 class InlineFragmentCompiler:
     """Default compiler: serial, in-process — the original engine path."""
 
     workers = 1
 
-    def __init__(self, sanitize: bool = False):
+    def __init__(self, sanitize: bool = False, memo=None):
         self.sanitize = sanitize
+        self.memo = memo
 
     def compile_batch(
         self, modules: List[Module], opt_level: int, verify: bool
     ) -> List[ObjectFile]:
         return [
-            compile_fragment(m, opt_level, verify, self.sanitize)
+            compile_fragment(m, opt_level, verify, self.sanitize, memo=self.memo)
             for m in modules
         ]
 
@@ -335,6 +430,8 @@ class Odin:
         sanitize: bool = False,
         tracer: Optional[Tracer] = None,
         variant_label: str = "",
+        enable_patching: bool = True,
+        pass_memo=None,
     ):
         if verify:
             verify_module(module)
@@ -354,7 +451,13 @@ class Odin:
         # mapping-like with get(key)/put(key, obj) (see repro.service.cache),
         # `compiler` anything with compile_batch(...) and a `workers` count.
         self.object_cache = object_cache
-        self.compiler = compiler or InlineFragmentCompiler(sanitize=sanitize)
+        # Tier-2 pass memoization, handed to the default compiler.  A
+        # custom `compiler` (service worker pools) receives its memo via
+        # `make_compiler(..., memo=...)` instead.
+        self.pass_memo = pass_memo
+        self.compiler = compiler or InlineFragmentCompiler(
+            sanitize=sanitize, memo=pass_memo
+        )
         self.link_cache = link_cache
         # Variant family this engine compiles (run-time partitioned
         # sanitization, e.g. "clean"/"coverage"/"sanitized").  The label
@@ -364,8 +467,25 @@ class Odin:
         self.variant_label = variant_label
         self.record_fingerprints = record_fingerprints
         # Fragment id -> content key of the object currently in `cache`
-        # (only tracked when content addressing is on).
+        # (only tracked when content addressing is on).  For fragments
+        # holding patchable sites the key carries an `|off=` suffix with
+        # the disabled site set, so the link-cache key distinguishes
+        # toggle states of one master.
         self._frag_keys: Dict[int, str] = {}
+        # Stage-1 patching state.  Sites-always-compiled: `_masters`
+        # holds each fragment's object with *every* patchable probe site
+        # compiled in; `cache` holds the toggle of that master matching
+        # the current enable/disable state; `_site_sets` records which
+        # patchable site ids the master carries (a mismatch with the live
+        # probe set forces a full recompile); `_master_keys` the master's
+        # content key.
+        self.enable_patching = enable_patching
+        self._masters: Dict[int, ObjectFile] = {}
+        self._site_sets: Dict[int, frozenset] = {}
+        self._master_keys: Dict[int, str] = {}
+        # Content keys planted by speculative precompilation; a later
+        # cache hit on one counts as a speculative hit.
+        self.speculative_keys: set = set()
         self.executable: Optional[Executable] = None
         self.clock = SimClock()
         self.history: List[RebuildReport] = []
@@ -380,7 +500,7 @@ class Odin:
         self, patch: Optional[Callable[["Scheduler"], None]] = None
     ) -> RebuildReport:
         """Compile every fragment (with current probes) and link."""
-        self.manager._dirty_symbols.update(self.fragdef.owner.keys())
+        self.manager.mark_symbols_dirty(self.fragdef.owner.keys())
         return self.rebuild(patch)
 
     def rebuild(
@@ -397,31 +517,94 @@ class Odin:
     def rebuild_if_needed(
         self, patch: Optional[Callable[["Scheduler"], None]] = None
     ) -> Optional[RebuildReport]:
-        """Rebuild only when probe state changed since the last build."""
+        """Rebuild only when probe state changed since the last build.
+
+        A pending diff that cancelled out (probe added then removed, or
+        toggled back to its baseline before any rebuild) is a true no-op:
+        the compiled state already matches, so it answers with a
+        zero-cost report carrying an empty span tree instead of paying
+        schedule/extract/link for nothing.
+        """
         if not self.manager.has_pending_changes:
             return None
+        if patch is None and not self.manager.has_effective_changes():
+            return self._noop_rebuild()
         return self.rebuild(patch)
+
+    def _noop_rebuild(self) -> RebuildReport:
+        """Zero-cost report for an empty probe-state diff."""
+        report = RebuildReport()
+        report.workers = self.compiler.workers
+        report.trace = Span(
+            "rebuild",
+            cat=CAT_REBUILD,
+            sim_start_ms=self.clock.now_ms,
+            sim_ms=0.0,
+            real_ms=0.0,
+            args={
+                "target": self.module.name,
+                "workers": report.workers,
+                "fragments": 0,
+                "probes_applied": 0,
+                "tier": TIER_NOOP,
+            },
+        )
+        self.tracer.record(report.trace)
+        self.history.append(report)
+        self.manager.clear_dirty()
+        return report
 
     # -- internals ------------------------------------------------------------------
 
     def _rebuild_from(self, scheduler: "Scheduler") -> RebuildReport:
-        """Split the instrumented temporary IR, compile fragments, relink."""
+        """Split the instrumented temporary IR, compile fragments, relink.
+
+        Every fragment is serviced at one of the tiers: stage-1 *patch*
+        (toggle probe sites in the cached master), content-cache *hit*,
+        *memo* (middle end skipped) or *full* compile.  One unified cost
+        vector — patch cost, 0 for cache hits, the (possibly memo-reduced)
+        compile cost for the rest — prices the makespan, the lane replay
+        in the span tree, and the serial clock, so fast-path fragments can
+        never skew ``compile_wall_ms``.
+        """
+        from repro.backend.costmodel import probe_patch_cost_ms
+
         report = RebuildReport(probes_applied=len(scheduler.active_probes))
         report.workers = self.compiler.workers
         temp = scheduler.temp_module
         sim0 = self.clock.now_ms
         rebuild_real_start = time.perf_counter()
 
+        # Tier "patch": flip sites in cached masters — no extract, no
+        # optimize, no isel.  `entries` accumulates one
+        # [fragment, cost, tier, object] row per serviced fragment.
+        patch_real_start = time.perf_counter()
+        entries: List[list] = []
+        for fragment in scheduler.patched_fragments:
+            master = self._masters[fragment.id]
+            disabled = scheduler.patch_disabled[fragment.id]
+            self.cache[fragment.id] = toggle_object(master, disabled)
+            master_key = self._master_keys.get(fragment.id)
+            if master_key is not None:
+                self._frag_keys[fragment.id] = self._toggled_key(
+                    master_key, disabled
+                )
+            cost = probe_patch_cost_ms(scheduler.patch_touched[fragment.id])
+            entries.append([fragment, cost, TIER_PATCH, master])
+        patch_real_ms = (time.perf_counter() - patch_real_start) * 1000.0
+
         # Split every changed fragment up front and probe the content
         # cache; the remaining misses form one batch for the compiler
-        # (which may fan it out across workers).
+        # (which may fan it out across workers).  Compiled objects are
+        # *masters*: every patchable site is in (sites-always-compiled),
+        # and the current enable state is realized by toggling below.
         split_real_ms = 0.0
-        pending = []  # [fragment, frag_module, content_key, object|None]
+        pending = []  # [fragment, frag_module, content_key, master|None]
         for fragment in scheduler.changed_fragments:
             split_start = time.perf_counter()
             frag_module = self._split_fragment(temp, fragment)
             split_real_ms += (time.perf_counter() - split_start) * 1000.0
-            key = obj = None
+            key = master = None
             if self.object_cache is not None:
                 key = fragment_content_key(
                     frag_module,
@@ -429,8 +612,8 @@ class Odin:
                     self._probe_signature(scheduler, fragment),
                     self.variant_label,
                 )
-                obj = self.object_cache.get(key)
-            pending.append([fragment, frag_module, key, obj])
+                master = self.object_cache.get(key)
+            pending.append([fragment, frag_module, key, master])
 
         misses = [entry for entry in pending if entry[3] is None]
         compile_real_start = time.perf_counter()
@@ -449,28 +632,51 @@ class Odin:
         compile_real_ms = (time.perf_counter() - compile_real_start) * 1000.0
 
         miss_ids = {id(entry) for entry in misses}
-        compiled_costs: List[float] = []
         for entry in pending:
-            fragment, _frag_module, key, obj = entry
-            self.cache[fragment.id] = obj
+            fragment, _frag_module, key, master = entry
+            disabled = scheduler.patchable_disabled(fragment)
+            self.cache[fragment.id] = toggle_object(master, disabled)
+            self._masters[fragment.id] = master
+            self._site_sets[fragment.id] = scheduler.patchable_sites(fragment)
             if key is not None:
-                self._frag_keys[fragment.id] = key
-            report.fragment_ids.append(fragment.id)
-            if self.record_fingerprints:
-                report.object_fingerprints[fragment.id] = object_fingerprint(obj)
+                self._master_keys[fragment.id] = key
+                self._frag_keys[fragment.id] = self._toggled_key(key, disabled)
             if id(entry) in miss_ids:
-                report.fragment_compile_ms[fragment.id] = obj.compile_ms
-                compiled_costs.append(obj.compile_ms)
-                if report.workers == 1:
-                    # Original serial behaviour: the clock moves per
-                    # fragment, in schedule order.
-                    self.clock.advance(obj.compile_ms, "compile")
+                breakdown = getattr(master, "stage_breakdown", None)
+                memo_hit = bool(breakdown and breakdown.get("memo_hit"))
+                tier = TIER_MEMO if memo_hit else TIER_FULL
+                cost = master.compile_ms
             else:
                 # Content-cache hit: no compilation happened, charge 0.
-                report.fragment_compile_ms[fragment.id] = 0.0
+                tier = TIER_CACHE
+                cost = 0.0
                 report.cache_hits += 1
+                if key in self.speculative_keys:
+                    report.speculative_hits += 1
+            entries.append([fragment, cost, tier, master])
 
-        report.compile_wall_ms = compile_makespan(compiled_costs, report.workers)
+        # Unified accounting over the one cost vector.
+        for fragment, cost, tier, _obj in entries:
+            report.fragment_ids.append(fragment.id)
+            report.fragment_compile_ms[fragment.id] = cost
+            report.fragment_tiers[fragment.id] = tier
+            if tier == TIER_PATCH:
+                report.patched += 1
+            elif tier == TIER_MEMO:
+                report.memo_hits += 1
+            if self.record_fingerprints:
+                report.object_fingerprints[fragment.id] = object_fingerprint(
+                    self.cache[fragment.id]
+                )
+            if report.workers == 1:
+                # Original serial behaviour: the clock moves per
+                # fragment, in schedule order (zero-cost tiers move it
+                # by nothing).
+                self.clock.advance(cost, "compile")
+
+        report.compile_wall_ms = compile_makespan(
+            [cost for _f, cost, _t, _o in entries], report.workers
+        )
         if report.workers > 1:
             # A pool's elapsed time is its makespan, not the lane sum.
             self.clock.advance(report.compile_wall_ms, "compile")
@@ -486,12 +692,16 @@ class Odin:
             )
 
         link_real_start = time.perf_counter()
-        self._link(report)
+        patch_only = bool(entries) and all(
+            tier == TIER_PATCH for _f, _c, tier, _o in entries
+        )
+        self._link(report, patch_only=patch_only, rebuilt_any=bool(entries))
         link_real_ms = (time.perf_counter() - link_real_start) * 1000.0
 
         report.trace = self._build_rebuild_trace(
-            scheduler, report, pending, miss_ids, sim0,
+            scheduler, report, entries, sim0,
             split_real_ms=split_real_ms,
+            patch_real_ms=patch_real_ms,
             compile_real_ms=compile_real_ms,
             link_real_ms=link_real_ms,
             rebuild_real_ms=(time.perf_counter() - rebuild_real_start) * 1000.0,
@@ -500,15 +710,22 @@ class Odin:
         self.history.append(report)
         return report
 
+    @staticmethod
+    def _toggled_key(master_key: str, disabled: frozenset) -> str:
+        """Content key of a toggle state of one master object."""
+        if not disabled:
+            return master_key
+        return master_key + "|off=" + ",".join(map(str, sorted(disabled)))
+
     def _build_rebuild_trace(
         self,
         scheduler: "Scheduler",
         report: RebuildReport,
-        pending: List[list],
-        miss_ids,
+        entries: List[list],
         sim0: float,
         *,
         split_real_ms: float,
+        patch_real_ms: float,
         compile_real_ms: float,
         link_real_ms: float,
         rebuild_real_ms: float,
@@ -521,6 +738,12 @@ class Odin:
         sums to the one above it and the stage layer sums to
         ``report.wall_ms``.  Real durations are what this process
         actually measured for the same work.
+
+        The lane replay runs over the *same* unified cost vector that
+        priced the makespan — patched fragments at their patch cost,
+        cache hits at zero — so fast-path spans interleave with full
+        compiles without breaking the tiling invariants.  Every fragment
+        span (and the root) carries its ``tier``.
         """
         root = Span(
             "rebuild",
@@ -533,13 +756,17 @@ class Odin:
                 "workers": report.workers,
                 "fragments": len(report.fragment_ids),
                 "probes_applied": report.probes_applied,
+                "tier": report.tier,
             },
         )
         root.add(Span(
             "schedule",
             sim_start_ms=sim0,
             real_ms=scheduler.schedule_real_ms,
-            args={"changed_fragments": len(scheduler.changed_fragments)},
+            args={
+                "changed_fragments": len(scheduler.changed_fragments),
+                "patched_fragments": len(scheduler.patched_fragments),
+            },
         ))
         root.add(Span(
             "extract",
@@ -556,41 +783,56 @@ class Odin:
             "compile",
             sim_start_ms=sim0,
             sim_ms=report.compile_wall_ms,
-            real_ms=compile_real_ms,
+            real_ms=patch_real_ms + compile_real_ms,
             args={
                 "workers": report.workers,
                 "cache_hits": report.cache_hits,
-                "compiled": len(report.fragment_ids) - report.cache_hits,
+                "patched": report.patched,
+                "memo_hits": report.memo_hits,
+                "compiled": len(report.fragment_ids)
+                - report.cache_hits
+                - report.patched,
             },
         ))
 
-        miss_entries = [e for e in pending if id(e) in miss_ids]
         lanes, starts = assign_lanes(
-            [entry[3].compile_ms for entry in miss_entries], report.workers
+            [cost for _f, cost, _t, _o in entries], report.workers
         )
-        offsets = {id(e): (lane, start)
-                   for e, lane, start in zip(miss_entries, lanes, starts)}
-        for entry in pending:
-            fragment, _frag_module, _key, obj = entry
-            if id(entry) not in offsets:
+        for (fragment, cost, tier, obj), lane, lane_offset in zip(
+            entries, lanes, starts
+        ):
+            frag_start = sim0 + lane_offset
+            if tier == TIER_CACHE:
                 compile_span.add(Span(
                     f"fragment#{fragment.id}",
                     cat=CAT_FRAGMENT,
-                    sim_start_ms=sim0,
-                    args={"cache_hit": True},
+                    sim_start_ms=frag_start,
+                    lane=lane,
+                    args={"cache_hit": True, "tier": tier},
                 ))
                 continue
-            lane, lane_offset = offsets[id(entry)]
-            frag_start = sim0 + lane_offset
+            if tier == TIER_PATCH:
+                compile_span.add(Span(
+                    f"fragment#{fragment.id}",
+                    cat=CAT_FRAGMENT,
+                    sim_start_ms=frag_start,
+                    sim_ms=cost,
+                    lane=lane,
+                    args={
+                        "tier": tier,
+                        "sites_touched": scheduler.patch_touched[fragment.id],
+                    },
+                ))
+                continue
             breakdown = getattr(obj, "stage_breakdown", None)
             frag_span = compile_span.add(Span(
                 f"fragment#{fragment.id}",
                 cat=CAT_FRAGMENT,
                 sim_start_ms=frag_start,
-                sim_ms=obj.compile_ms,
+                sim_ms=cost,
                 real_ms=breakdown["real_ms"] if breakdown else 0.0,
                 lane=lane,
-                args={"symbols": len(fragment.symbols)},
+                args={"symbols": len(fragment.symbols), "tier": tier},
             ))
             if breakdown is None:
                 continue  # custom compiler without stage attribution
@@ -629,8 +871,28 @@ class Odin:
         ))
         return root
 
-    def _link(self, report: RebuildReport) -> None:
-        """Relink the object cache, via the executable cache if possible."""
+    def _link(
+        self,
+        report: RebuildReport,
+        *,
+        patch_only: bool = False,
+        rebuilt_any: bool = True,
+    ) -> None:
+        """Produce the executable: reuse, patch the image, or relink.
+
+        The ladder, cheapest rung first: a rebuild that produced no new
+        objects keeps the current executable as-is; a known toggle state
+        comes straight from the executable cache; a rebuild serviced
+        entirely at the patch tier splices the toggled objects into the
+        existing image (:func:`repro.linker.linker.patch_image`) instead
+        of paying the full link; everything else relinks from the object
+        cache.
+        """
+        if not rebuilt_any and self.executable is not None:
+            report.link_reused = True
+            report.link_ms = 0.0
+            return
+
         link_key = None
         if self.link_cache is not None and len(self._frag_keys) == len(
             self.fragdef.fragments
@@ -647,6 +909,19 @@ class Odin:
                 report.link_ms = 0.0
                 return
 
+        if patch_only and self.executable is not None:
+            patched_objects = {
+                self.cache[fid].name: self.cache[fid]
+                for fid, tier in report.fragment_tiers.items()
+                if tier == TIER_PATCH
+            }
+            self.executable = patch_image(self.executable, patched_objects)
+            report.link_ms = self.executable.link_ms
+            self.clock.advance(report.link_ms, "link")
+            if link_key is not None:
+                self.link_cache.put(link_key, self.executable)
+            return
+
         objects = [self.cache[f.id] for f in self.fragdef.fragments]
         self.executable = link(objects)
         report.link_ms = self.executable.link_ms
@@ -655,11 +930,17 @@ class Odin:
             self.link_cache.put(link_key, self.executable)
 
     def _probe_signature(self, scheduler: "Scheduler", fragment: Fragment) -> str:
-        """Canonical description of the probe state compiled into *fragment*."""
+        """Canonical description of the probe state compiled into *fragment*.
+
+        Signs the *applied* set — active probes plus disabled patchable
+        ones — because that is what the master object physically carries
+        (sites-always-compiled); the enable/disable state lives in the
+        toggle suffix of the link key, not here.
+        """
         symbols = set(fragment.symbols)
         parts = sorted(
             f"{type(p).__name__}#{p.id}"
-            for p in scheduler.active_probes
+            for p in scheduler.applied_probes
             if p.target_symbol() in symbols
         )
         return ",".join(parts)

@@ -28,6 +28,18 @@ if TYPE_CHECKING:  # pragma: no cover
 class Probe:
     """Base probe.  Subclasses implement targeting and patch logic."""
 
+    #: Stage-1 patchability (Algorithm 2 fast path).  A patchable probe's
+    #: instrumentation lowers to a single self-contained ``probe``
+    #: machine instruction that defines no value the surrounding code can
+    #: use (no dst register, no operands) — so enabling/disabling it can
+    #: never change an optimization or register-allocation decision, and
+    #: the engine may realize the flip by deleting/keeping the site in
+    #: the cached object file instead of recompiling the fragment.
+    #: Schemes whose instrumentation feeds values back into the program
+    #: (CmpLog operand logging, ASan/UBSan checks on computed addresses)
+    #: must leave this False.
+    patchable: bool = False
+
     def __init__(self):
         self.id: int = -1          # assigned by the PatchManager
         self.enabled: bool = True  # disabled probes are not applied

@@ -55,6 +55,7 @@ class Fuzzer:
         seed: int = 1,
         prune_interval: int = 0,
         keep_crashes: bool = True,
+        speculator=None,
     ):
         self.executor = executor
         self.corpus = Corpus(seeds)
@@ -62,6 +63,10 @@ class Fuzzer:
         self.mutator = Mutator(self.rng.fork())
         self.prune_interval = prune_interval
         self.keep_crashes = keep_crashes
+        # Optional ProbeStateSpeculator: fed fresh corpus/coverage signal
+        # after every prune so the service can precompile the next prune
+        # state in its idle lanes (the fuzzer never blocks on it).
+        self.speculator = speculator
         self.stats = FuzzStats()
 
     # -- driving --------------------------------------------------------------
@@ -93,6 +98,10 @@ class Fuzzer:
                 report = self.executor.prune()
                 if report.rebuild is not None:
                     self._note_rebuild(report.rebuild)
+                if self.speculator is not None:
+                    self.speculator.observe_corpus(
+                        self.corpus, runtime=self.executor.tool.runtime
+                    )
         self._sync_stats()
         return self.stats
 

@@ -44,7 +44,14 @@ def _is_forwarding_block(block) -> bool:
 
 
 class CovProbe(BlockProbe):
-    """Hit-count probe for one basic block."""
+    """Hit-count probe for one basic block.
+
+    Coverage probes are stage-1 *patchable*: the counter call lowers to
+    one register-free ``probe`` instruction, so enable/disable flips are
+    serviced by patching the cached object instead of recompiling.
+    """
+
+    patchable = True
 
     def __init__(self, function, block):
         super().__init__(function, block)

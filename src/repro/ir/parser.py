@@ -272,6 +272,13 @@ class _FunctionBodyParser:
         self.values: Dict[str, Value] = {a.name: a for a in fn.args}
         self.blocks: Dict[str, BasicBlock] = {}
         self.fixups: List[Tuple[PhiInst, int, str, int]] = []
+        # Non-phi forward references.  SSA only requires that a def
+        # *dominate* its uses, not that it precede them in block layout —
+        # optimized IR (inlined call bodies, reordered blocks) routinely
+        # prints a use before its def.  Undefined operand names become
+        # placeholder Values, rewritten to the real def once the whole
+        # body has been parsed.
+        self.value_fixups: List[Tuple[Value, str, int]] = []
 
     def _block(self, name: str) -> BasicBlock:
         if name not in self.blocks:
@@ -311,6 +318,27 @@ class _FunctionBodyParser:
                 raise IRParseError(f"undefined value %{name}", line)
             value, block = phi.incoming[idx]
             phi.incoming[idx] = (self.values[name], block)
+        # Resolve non-phi forward references: swap each placeholder for
+        # the value the name ended up bound to.
+        if self.value_fixups:
+            unresolved = [
+                (name, line)
+                for _p, name, line in self.value_fixups
+                if name not in self.values
+            ]
+            if unresolved:
+                name, line = unresolved[0]
+                raise IRParseError(f"use of undefined value %{name}", line)
+            replacements = {
+                id(placeholder): self.values[name]
+                for placeholder, name, _line in self.value_fixups
+            }
+            for block in self.fn.blocks:
+                for inst in block.instructions:
+                    for i, op in enumerate(inst.operands):
+                        replacement = replacements.get(id(op))
+                        if replacement is not None:
+                            inst.operands[i] = replacement
         # Validate all referenced blocks were defined.
         for bname, block in self.blocks.items():
             if block not in self.fn.blocks:
@@ -331,7 +359,10 @@ class _FunctionBodyParser:
         if kind == "lname":
             name = value[1:]
             if name not in self.values:
-                raise IRParseError(f"use of undefined value %{name}", line)
+                # Forward reference: the defining block prints later.
+                placeholder = Value(type_, name)
+                self.value_fixups.append((placeholder, name, line))
+                return placeholder
             return self.values[name]
         if kind == "gname":
             return self.p.lookup_global(value[1:], line)

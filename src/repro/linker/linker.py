@@ -21,7 +21,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.backend.costmodel import link_cost_ms
+from repro.backend.costmodel import image_patch_cost_ms, link_cost_ms
 from repro.backend.machine import MachineFunction, ObjectFile
 from repro.errors import LinkError
 
@@ -198,6 +198,51 @@ def link(objects: List[ObjectFile]) -> Executable:
     code_size = sum(o.code_size for o in objects)
     exe.link_ms = link_cost_ms(num_symbols, code_size)
     return exe
+
+
+def patch_image(
+    exe: Executable, objects_by_name: Dict[str, ObjectFile]
+) -> Executable:
+    """Splice patched objects into an existing image without relinking.
+
+    Stage-1 probe patching only deletes/restores probe instructions inside
+    already-linked functions: the function set, symbol addresses, data
+    image and every resolution map are unchanged, so a full symbol
+    resolution pass would recompute exactly what *exe* already holds.
+    This swaps the machine code of the affected functions (sharing each
+    old :class:`LinkedFunction`'s resolution map) and charges the far
+    cheaper image-patch cost.
+
+    *exe* is never mutated — cached executables stay valid.
+    """
+    replaced_functions = 0
+    functions: List[LinkedFunction] = []
+    for lf in exe.functions:
+        obj = objects_by_name.get(lf.object_name)
+        if obj is None:
+            functions.append(lf)
+            continue
+        mf = obj.functions.get(lf.name)
+        if mf is None:
+            raise LinkError(
+                f"patched object {obj.name} dropped function @{lf.name}; "
+                f"a stage-1 patch cannot change the function set"
+            )
+        if mf is lf.mf:
+            functions.append(lf)
+        else:
+            functions.append(LinkedFunction(mf, lf.object_name, lf.resolution))
+            replaced_functions += 1
+    patched = Executable(
+        functions=functions,
+        entry_points=dict(exe.entry_points),
+        data_image=exe.data_image,
+        data_base=exe.data_base,
+        symbol_addresses=dict(exe.symbol_addresses),
+        const_ranges=list(exe.const_ranges),
+        link_ms=image_patch_cost_ms(replaced_functions),
+    )
+    return patched
 
 
 def _export(

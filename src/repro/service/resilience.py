@@ -277,6 +277,7 @@ class SupervisedCompiler:
         batch_timeout_s: Optional[float] = None,
         sleep: Callable[[float], None] = time.sleep,
         fault_injector: Optional[Callable] = None,
+        memo=None,
     ):
         try:
             self.ladder: Tuple[str, ...] = DEGRADATION_LADDERS[mode]
@@ -292,6 +293,10 @@ class SupervisedCompiler:
         self.tracer = tracer
         self.batch_timeout_s = batch_timeout_s
         self.fault_injector = fault_injector
+        # Pass-memoization cache shared by every rung that can use it
+        # (serial/thread; process rungs compile memo-less).  Degrading a
+        # rung therefore never loses memoized middle-end work.
+        self.memo = memo
         self._sleep = sleep
         self._rung = 0
         self._compilers: dict = {}
@@ -320,6 +325,7 @@ class SupervisedCompiler:
             compiler = make_compiler(
                 self.mode, self.requested_workers,
                 batch_timeout_s=self.batch_timeout_s,
+                memo=self.memo,
             )
             self._compilers[self._rung] = compiler
         return compiler

@@ -48,7 +48,12 @@ from repro.linker.cache import LinkCache
 from repro.obs.metrics import ServiceMetrics
 from repro.obs.trace import stage_totals
 from repro.obs.tracer import CAT_FAULT, CAT_SERVICE, Tracer
-from repro.service.cache import CodeCache, InMemoryCodeCache, PersistentCodeCache
+from repro.service.cache import (
+    CodeCache,
+    InMemoryCodeCache,
+    PassMemoCache,
+    PersistentCodeCache,
+)
 from repro.service.jobs import (
     OP_DISABLE,
     OP_ENABLE,
@@ -112,6 +117,7 @@ class RecompilationService:
         batch_timeout_s: Optional[float] = 30.0,
         queue_max_depth: Optional[int] = None,
         drain_timeout_s: float = 30.0,
+        pass_memo: bool = True,
     ):
         if cache is not None and cache_dir is not None:
             raise ServiceError("pass either cache or cache_dir, not both")
@@ -122,6 +128,10 @@ class RecompilationService:
                 else InMemoryCodeCache(max_bytes=cache_max_bytes)
             )
         self.cache = cache
+        # Tier-2 pass memoization, shared by every target and every rung
+        # of the degradation ladder: re-optimizing IR the service has
+        # already optimized (for any target/variant) costs isel only.
+        self.pass_memo = PassMemoCache() if pass_memo else None
         self.metrics = metrics or ServiceMetrics()
         # One tracer shared by every target engine and the dispatcher:
         # rebuild span trees nest under the dispatch ("service.batch")
@@ -137,10 +147,12 @@ class RecompilationService:
                 metrics=self.metrics,
                 tracer=self.tracer,
                 batch_timeout_s=batch_timeout_s,
+                memo=self.pass_memo,
             )
         else:
             self.compiler = make_compiler(
-                worker_mode, workers, batch_timeout_s=batch_timeout_s
+                worker_mode, workers, batch_timeout_s=batch_timeout_s,
+                memo=self.pass_memo,
             )
         self.link_cache_entries = link_cache_entries
         self.queue = JobQueue(max_depth=queue_max_depth, metrics=self.metrics)
@@ -151,6 +163,10 @@ class RecompilationService:
         self._state_lock = threading.Lock()
         self._dispatcher: Optional[threading.Thread] = None
         self._running = threading.Event()
+        # Speculative precompilation: target name -> speculator, serviced
+        # only when the dispatcher finds the queue idle.
+        self._speculators: Dict[str, "ProbeStateSpeculator"] = {}
+        self.speculation_budget = 4
 
     # -- target management -----------------------------------------------------
 
@@ -162,6 +178,7 @@ class RecompilationService:
         # Engine construction is slow; do it outside the lock and settle
         # concurrent registrations of the same name at insertion.
         odin_kwargs.setdefault("tracer", self.tracer)
+        odin_kwargs.setdefault("pass_memo", self.pass_memo)
         engine = Odin(
             module,
             object_cache=self.cache,
@@ -301,10 +318,66 @@ class RecompilationService:
     def _dispatch_loop(self) -> None:
         while self._running.is_set():
             try:
-                self.process_once(timeout=self.poll_interval_s)
+                served = self.process_once(timeout=self.poll_interval_s)
+                if served == 0:
+                    # Idle lane: warm the cache for predicted probe
+                    # states.  Real jobs always win — speculation only
+                    # runs when a poll interval passed with no work.
+                    self.run_speculation()
             except Exception:  # keep the dispatcher alive, whatever happens
                 self.metrics.inc("dispatcher_errors")
                 log.exception("dispatcher error; continuing")
+
+    # -- speculative precompilation --------------------------------------------
+
+    def attach_speculator(
+        self, target: str, *, top_k: int = 3, max_states: int = 4
+    ) -> "ProbeStateSpeculator":
+        """Create and register a speculator for *target*'s engine.
+
+        Feed it corpus observations (``speculator.observe_corpus``); the
+        dispatcher services its predictions whenever the job queue goes
+        idle.  Returns the speculator (also reachable via
+        ``service.speculator(target)``).
+        """
+        from repro.service.speculate import ProbeStateSpeculator
+
+        entry = self._target(target)
+        speculator = ProbeStateSpeculator(
+            entry.engine, top_k=top_k, max_states=max_states
+        )
+        with self._state_lock:
+            self._speculators[target] = speculator
+        return speculator
+
+    def speculator(self, target: str) -> Optional["ProbeStateSpeculator"]:
+        with self._state_lock:
+            return self._speculators.get(target)
+
+    def run_speculation(self, budget: Optional[int] = None) -> int:
+        """Service pending predictions; returns fragments precompiled.
+
+        Backpressure: refuses to speculate while real jobs are queued,
+        and each target's engine lock is taken so speculation can never
+        interleave with a live rebuild of the same target.
+        """
+        if self.queue.depth():
+            return 0
+        budget = self.speculation_budget if budget is None else budget
+        with self._state_lock:
+            speculators = list(self._speculators.items())
+        compiled = 0
+        for target, speculator in speculators:
+            if speculator.pending() == 0:
+                continue
+            if self.queue.depth():  # a real job arrived mid-sweep
+                break
+            entry = self._target(target)
+            with entry.lock:
+                compiled += speculator.precompile(budget)
+        if compiled:
+            self.metrics.inc("speculative_compiles", compiled)
+        return compiled
 
     # -- batch execution -------------------------------------------------------
 
@@ -432,9 +505,16 @@ class RecompilationService:
     def _record_rebuild(self, report: RebuildReport, real_s: float) -> None:
         m = self.metrics
         m.inc("rebuilds_total")
-        m.inc("fragments_compiled", len(report.fragment_ids) - report.cache_hits)
+        # Patched fragments never reached a compiler or the object cache:
+        # they are their own tier, not compiles and not cache traffic.
+        compiled = len(report.fragment_ids) - report.cache_hits - report.patched
+        m.inc("fragments_compiled", compiled)
         m.inc("cache_hits", report.cache_hits)
-        m.inc("cache_misses", len(report.fragment_ids) - report.cache_hits)
+        m.inc("cache_misses", compiled)
+        m.inc("fragments_patched", report.patched)
+        m.inc("memo_hits", report.memo_hits)
+        m.inc("speculative_hits", report.speculative_hits)
+        m.inc(f"rebuild_tier.{report.tier}")
         m.inc("probes_applied", report.probes_applied)
         if report.link_reused:
             m.inc("links_reused")
@@ -452,6 +532,8 @@ class RecompilationService:
         """The ``stats()`` endpoint: metrics + cache + queue snapshot."""
         snapshot = self.metrics.stats()
         snapshot["code_cache"] = self.cache.stats()
+        if self.pass_memo is not None:
+            snapshot["pass_memo"] = self.pass_memo.stats()
         snapshot["queue"] = {
             "depth": self.queue.depth(),
             "submitted": self.queue.submitted,
@@ -478,4 +560,10 @@ class RecompilationService:
             if entry.engine.link_cache is not None:
                 link_stats[name] = entry.engine.link_cache.stats()
         snapshot["link_cache"] = link_stats
+        with self._state_lock:
+            speculators = list(self._speculators.items())
+        if speculators:
+            snapshot["speculation"] = {
+                name: spec.stats() for name, spec in speculators
+            }
         return snapshot

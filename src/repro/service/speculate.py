@@ -1,0 +1,198 @@
+"""Speculative precompilation: warm the code cache before the fuzzer asks.
+
+The tier-3 amortization.  A coverage-guided fuzzing loop has a highly
+predictable probe-state trajectory: probes whose counters fired get
+pruned (removed) at the next ``prune_covered``, and the corpus's
+top-energy entries say which blocks the scheduler will hammer — and
+therefore cover — next.  :class:`ProbeStateSpeculator` turns that signal
+into concrete *predicted probe states*, compiles the affected fragments
+for those states in idle worker lanes, and plants the objects in the
+service's content-addressed cache.  When the prune really happens the
+rebuild's cache probe hits (``RebuildReport.speculative_hits``) and the
+fuzzer never waits on the middle end at all.
+
+Predictions never mutate engine state: the speculator runs a real
+:class:`~repro.core.scheduler.Scheduler` over a :class:`_PredictedManager`
+facade (the live manager minus the predicted-pruned probes), so the
+instrumented IR, probe signature and content key are computed by exactly
+the code the real rebuild will run — a correct prediction is a key-exact
+cache hit, an incorrect one is just a warm entry nobody reads.
+
+Backpressure: the service only calls :meth:`precompile` from its
+dispatcher when the job queue is empty (see
+``RecompilationService._dispatch_loop``), and each call compiles at most
+``budget`` fragments, so speculation can never delay a real rebuild.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+
+from repro.core.engine import Odin, fragment_content_key
+
+__all__ = ["ProbeStateSpeculator"]
+
+
+class _PredictedManager:
+    """The live :class:`PatchManager` with a predicted removal applied.
+
+    Duck-types the slice of the manager interface the scheduler consumes.
+    The removed probes' target symbols are reported as *external* dirt,
+    which forces the scheduler's full path — exactly what the real
+    post-prune rebuild will take (removals change the compiled-in site
+    set, so they can never be patched).
+    """
+
+    def __init__(self, manager, removed_ids: Set[int]):
+        self._manager = manager
+        self._removed = set(removed_ids)
+
+    def __iter__(self) -> Iterator:
+        return (p for p in self._manager if p.id not in self._removed)
+
+    def dirty_symbols(self) -> set:
+        return {
+            p.target_symbol() for p in self._manager if p.id in self._removed
+        }
+
+    def dirty_records(self) -> dict:
+        return {}
+
+    def external_dirty_symbols(self) -> set:
+        return self.dirty_symbols()
+
+
+class ProbeStateSpeculator:
+    """Predicts likely next probe states and precompiles them.
+
+    ``observe_corpus`` reads the fuzzer's corpus (and the coverage
+    runtime, when the tool exposes one) and refreshes the prediction
+    queue; ``precompile`` services that queue, newest prediction first,
+    planting finished masters in the engine's object cache and recording
+    their keys in ``engine.speculative_keys`` so later cache hits are
+    attributed to speculation.
+    """
+
+    def __init__(self, engine: Odin, *, top_k: int = 3, max_states: int = 4):
+        if engine.object_cache is None:
+            raise ValueError(
+                "speculation needs an engine with a content-addressed "
+                "object cache; there is nowhere to plant predictions"
+            )
+        self.engine = engine
+        self.top_k = top_k
+        self.max_states = max_states
+        # Predicted states, best first; each is a frozenset of probe ids
+        # expected to be removed together.
+        self._predictions: List[FrozenSet[int]] = []
+        self._tried: Set[FrozenSet[int]] = set()
+        self._lock = threading.Lock()
+        # Accounting.
+        self.states_predicted = 0
+        self.fragments_precompiled = 0
+
+    # -- prediction ------------------------------------------------------------
+
+    def observe_corpus(self, corpus, runtime=None) -> int:
+        """Refresh predictions from the corpus; returns how many are queued.
+
+        The strongest prediction is the *certain* one: probes whose
+        runtime counter already fired are exactly what the next
+        ``prune_covered`` removes.  Behind it come speculative unions
+        with the coverage of the ``top_k`` highest-energy corpus entries
+        — the inputs the scheduler will fuzz (and therefore cover) next.
+        """
+        live = {p.id for p in self.engine.manager if p.patchable}
+        states: List[FrozenSet[int]] = []
+
+        covered: Set[int] = set()
+        if runtime is not None:
+            covered = set(runtime.covered_ids()) & live
+            if covered:
+                states.append(frozenset(covered))
+
+        entries = sorted(
+            corpus.entries, key=lambda e: e.energy, reverse=True
+        )[: self.top_k]
+        for entry in entries:
+            predicted = frozenset((covered | set(entry.coverage)) & live)
+            if predicted and predicted not in states:
+                states.append(predicted)
+
+        with self._lock:
+            self._predictions = [
+                s for s in states[: self.max_states] if s not in self._tried
+            ]
+            self.states_predicted += len(self._predictions)
+            return len(self._predictions)
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._predictions)
+
+    # -- precompilation --------------------------------------------------------
+
+    def precompile(self, budget: int = 4) -> int:
+        """Compile up to *budget* fragments of queued predictions.
+
+        Returns the number of fragments actually compiled and planted.
+        States whose keys are all already cached cost nothing and are
+        simply retired.
+        """
+        compiled = 0
+        while compiled < budget:
+            with self._lock:
+                if not self._predictions:
+                    return compiled
+                removed = self._predictions.pop(0)
+                self._tried.add(removed)
+            compiled += self._precompile_state(removed, budget - compiled)
+        return compiled
+
+    def _precompile_state(self, removed: FrozenSet[int], budget: int) -> int:
+        engine = self.engine
+        from repro.core.scheduler import Scheduler
+
+        live_ids = {p.id for p in engine.manager}
+        if not removed <= live_ids:
+            return 0  # the state raced a real rebuild; stale prediction
+        scheduler = Scheduler(engine, _PredictedManager(engine.manager, removed))
+        scheduler.apply_probes()
+        compiled = 0
+        pending: List = []
+        keys: Dict[int, str] = {}
+        for fragment in scheduler.changed_fragments:
+            frag_module = engine._split_fragment(
+                scheduler.temp_module, fragment
+            )
+            key = fragment_content_key(
+                frag_module,
+                engine.opt_level,
+                engine._probe_signature(scheduler, fragment),
+                engine.variant_label,
+            )
+            engine.speculative_keys.add(key)
+            if engine.object_cache.get(key) is not None:
+                continue  # already warm (possibly from a prior prediction)
+            pending.append(frag_module)
+            keys[len(pending) - 1] = key
+            if len(pending) >= budget:
+                break
+        if pending:
+            objects = engine.compiler.compile_batch(
+                pending, engine.opt_level, engine.verify
+            )
+            for index, obj in enumerate(objects):
+                engine.object_cache.put(keys[index], obj)
+                compiled += 1
+        self.fragments_precompiled += compiled
+        return compiled
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "states_predicted": self.states_predicted,
+                "fragments_precompiled": self.fragments_precompiled,
+                "pending": len(self._predictions),
+            }

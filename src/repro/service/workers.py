@@ -82,11 +82,20 @@ class WorkerTimeoutError(WorkerError):
 class _PoolFragmentCompiler:
     """Shared supervision plumbing for thread/process pools."""
 
-    def __init__(self, workers: int = 2, batch_timeout_s: Optional[float] = None):
+    def __init__(
+        self,
+        workers: int = 2,
+        batch_timeout_s: Optional[float] = None,
+        memo=None,
+    ):
         if workers < 1:
             raise ValueError("need at least one worker")
         self.workers = workers
         self.batch_timeout_s = batch_timeout_s
+        # Optional pass-memoization cache consulted by each fragment
+        # compile (thread/serial lanes only: a memo cannot cross process
+        # boundaries, so the process flavour compiles without one).
+        self.memo = memo
         # How many times a fault forced this pool to be torn down.
         self.restarts = 0
         self._pool = None
@@ -107,7 +116,10 @@ class _PoolFragmentCompiler:
         self, modules: List[Module], opt_level: int, verify: bool
     ) -> List[ObjectFile]:
         if len(modules) <= 1 or self.workers == 1:
-            return [compile_fragment(m, opt_level, verify) for m in modules]
+            return [
+                compile_fragment(m, opt_level, verify, memo=self.memo)
+                for m in modules
+            ]
         pool = self._ensure_pool()
         try:
             futures = [
@@ -186,7 +198,10 @@ class ThreadFragmentCompiler(_PoolFragmentCompiler):
         )
 
     def _submit(self, pool, module: Module, opt_level: int, verify: bool):
-        return pool.submit(compile_fragment, module, opt_level, verify)
+        return pool.submit(
+            compile_fragment, module, opt_level, verify, False, True,
+            self.memo,
+        )
 
 
 class ProcessFragmentCompiler(_PoolFragmentCompiler):
@@ -219,12 +234,22 @@ def make_compiler(
     mode: str = MODE_SERIAL,
     workers: int = 1,
     batch_timeout_s: Optional[float] = None,
+    memo=None,
 ):
-    """Build the fragment compiler for *mode* / *workers*."""
+    """Build the fragment compiler for *mode* / *workers*.
+
+    ``memo`` (a :class:`repro.service.cache.PassMemoCache`) threads
+    pass memoization through the serial and thread flavours; process
+    pools ignore it — a shared in-memory memo cannot be consulted from a
+    forked worker, and shipping one per batch would cost more than the
+    middle end it saves.
+    """
     if mode == MODE_SERIAL or workers <= 1:
-        return InlineFragmentCompiler()
+        return InlineFragmentCompiler(memo=memo)
     if mode == MODE_THREAD:
-        return ThreadFragmentCompiler(workers, batch_timeout_s=batch_timeout_s)
+        return ThreadFragmentCompiler(
+            workers, batch_timeout_s=batch_timeout_s, memo=memo
+        )
     if mode == MODE_PROCESS:
         return ProcessFragmentCompiler(workers, batch_timeout_s=batch_timeout_s)
     raise ValueError(f"unknown worker mode {mode!r}; expected one of {MODES}")

@@ -22,6 +22,7 @@ from repro.check.chaos import (
 )
 from repro.check.schedules import (
     STEP_DISABLE,
+    STEP_REMOVE,
     STEP_ENABLE,
     STEP_PRUNE,
     ProbeSchedule,
@@ -99,8 +100,12 @@ class TestAcceptance:
         (a miss, never an exception), and the final probe state must be
         byte- and behaviour-equivalent to a fault-free scratch build.
         """
+        # The crash fault arms before step 0, which must therefore be a
+        # step that actually compiles: removes change the compiled-in
+        # site set and force real worker batches, while pure toggles are
+        # serviced by the tiered fast path without touching the pool.
         steps = (
-            ScheduleStep(STEP_DISABLE, count=2, inputs=1),
+            ScheduleStep(STEP_REMOVE, count=2, inputs=1),
             ScheduleStep(STEP_DISABLE, count=2, inputs=1),
             ScheduleStep(STEP_ENABLE, count=1, inputs=1),
         )

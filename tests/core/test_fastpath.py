@@ -1,0 +1,277 @@
+"""The tiered recompile fast path: patching, no-op rebuilds, cached walls.
+
+Three contracts from the tiered-recompilation work:
+
+* **byte identity** — a patch-tier rebuild (toggling probe sites in the
+  cached master object) produces exactly the objects, image and
+  behaviour a from-scratch build of the same probe state produces;
+* **no-op rebuilds** — a probe-state diff that cancelled out costs
+  nothing: zero-cost report, empty span tree, no optimize/isel spans;
+* **tiered cost accounting** — cache and patch hits contribute their
+  tier's cost (zero for cache, patch cost for patches) to
+  ``compile_wall_ms``, so a fully-cached rebuild reports ~0 compile wall.
+"""
+
+import pytest
+
+from repro.backend.patching import probe_site_ids, toggle_object
+from repro.core.engine import (
+    TIER_CACHE,
+    TIER_FULL,
+    TIER_NOOP,
+    TIER_PATCH,
+    Odin,
+)
+from repro.core.manager import REC_CANCELLED, REC_REMOVED, REC_TOGGLED
+from repro.frontend.codegen import compile_source
+from repro.instrument.coverage import OdinCov
+from repro.service.cache import InMemoryCodeCache
+from repro.vm.interpreter import VM
+
+SOURCE = r"""
+static int acc;
+
+int helper_a(int x) {
+    int i;
+    for (i = 0; i < x; i = i + 1) acc = acc + i * 3;
+    return acc;
+}
+
+int helper_b(int x) {
+    if (x > 5) return helper_a(x - 2);
+    return acc - x;
+}
+
+int run_input(const char *data, long size) {
+    int i;
+    int r;
+    r = 0;
+    for (i = 0; i < size; i = i + 1) {
+        r = r + helper_b((int)data[i] & 255);
+    }
+    return r;
+}
+
+int main(void) { return run_input("seed", 4); }
+"""
+
+
+def build_engine(**kwargs):
+    engine = Odin(
+        compile_source(SOURCE, "fastpath"), preserve=("main", "run_input"),
+        **kwargs,
+    )
+    tool = OdinCov(engine)
+    tool.add_all_block_probes()
+    tool.build()
+    return engine, tool
+
+
+def probes_by_id(engine):
+    return {p.id: p for p in engine.manager}
+
+
+def run_main(engine) -> int:
+    vm = VM(engine.executable)
+    return vm.run("main", ()).exit_code
+
+
+class TestPatchByteIdentity:
+    def test_patched_objects_match_scratch_build(self):
+        engine, _ = build_engine()
+        victims = sorted(probes_by_id(engine))[:3]
+        for pid in victims:
+            engine.manager.disable(probes_by_id(engine)[pid])
+        report = engine.rebuild_if_needed()
+        assert report.tier == TIER_PATCH
+
+        # From scratch: fresh engine, same probes disabled *before* the
+        # first build, so it never sees a patch path.
+        scratch, _tool = (None, None)
+        scratch_engine = Odin(
+            compile_source(SOURCE, "fastpath"), preserve=("main", "run_input")
+        )
+        tool = OdinCov(scratch_engine)
+        tool.add_all_block_probes()
+        for pid in victims:
+            scratch_engine.manager.disable(probes_by_id(scratch_engine)[pid])
+        tool.build()
+
+        assert (
+            engine.object_fingerprints()
+            == scratch_engine.object_fingerprints()
+        )
+        assert (
+            engine.executable_fingerprint()
+            == scratch_engine.executable_fingerprint()
+        )
+        assert run_main(engine) == run_main(scratch_engine)
+
+    def test_toggle_back_restores_original_bytes(self):
+        engine, _ = build_engine()
+        baseline_objs = engine.object_fingerprints()
+        baseline_exe = engine.executable_fingerprint()
+        victim = sorted(probes_by_id(engine))[0]
+
+        engine.manager.disable(probes_by_id(engine)[victim])
+        off = engine.rebuild_if_needed()
+        assert off.tier == TIER_PATCH
+        assert engine.object_fingerprints() != baseline_objs
+
+        engine.manager.enable(probes_by_id(engine)[victim])
+        on = engine.rebuild_if_needed()
+        assert on.tier == TIER_PATCH
+        assert engine.object_fingerprints() == baseline_objs
+        assert engine.executable_fingerprint() == baseline_exe
+
+    def test_toggle_object_unit_roundtrip(self):
+        """toggle_object deletes exactly the asked-for sites, shares the rest."""
+        engine, _ = build_engine()
+        # The engine keeps the site-complete masters privately; pick a
+        # fragment that actually carries patchable sites.
+        fid = next(f for f in sorted(engine._site_sets) if engine._site_sets[f])
+        master = engine._masters[fid]
+        sites = engine._site_sets[fid]
+        victim = sorted(sites)[0]
+        toggled = toggle_object(master, frozenset({victim}))
+        assert probe_site_ids(toggled) == sites - {victim}
+        # Toggling nothing is the identity (same object, not a copy).
+        assert toggle_object(master, frozenset()) is master
+
+
+class TestNoopRebuild:
+    def test_cancelled_diff_is_a_real_noop(self):
+        engine, _ = build_engine()
+        victim = sorted(probes_by_id(engine))[0]
+        engine.manager.disable(probes_by_id(engine)[victim])
+        engine.manager.enable(probes_by_id(engine)[victim])
+        assert engine.manager.has_pending_changes
+        assert not engine.manager.has_effective_changes()
+
+        exe_before = engine.executable
+        report = engine.rebuild_if_needed()
+        assert report is not None
+        assert report.tier == TIER_NOOP
+        assert report.wall_ms == 0.0
+        assert report.total_compile_ms == 0.0
+        assert report.fragment_ids == []
+        assert engine.executable is exe_before
+        # Empty span tree: no schedule/compile/link stages, and in
+        # particular no optimize or isel spans anywhere.
+        assert report.trace is not None
+        assert report.trace.sim_ms == 0.0
+        assert report.trace.children == []
+        # The clean state is fully consumed: a second ask is silent.
+        assert engine.rebuild_if_needed() is None
+
+    def test_noop_records_classified_cancelled(self):
+        engine, _ = build_engine()
+        victim = sorted(probes_by_id(engine))[0]
+        engine.manager.disable(probes_by_id(engine)[victim])
+        record = engine.manager.dirty_records()[victim]
+        assert record.kind == REC_TOGGLED
+        engine.manager.enable(probes_by_id(engine)[victim])
+        assert record.effective_kind() == REC_CANCELLED
+
+    def test_remove_is_never_a_noop(self):
+        engine, _ = build_engine()
+        victim = sorted(probes_by_id(engine))[0]
+        engine.manager.remove(probes_by_id(engine)[victim])
+        record = engine.manager.dirty_records()[victim]
+        assert record.effective_kind() == REC_REMOVED
+        assert engine.manager.has_effective_changes()
+        report = engine.rebuild_if_needed()
+        assert report.tier == TIER_FULL
+
+    def test_initial_build_survives_cancelled_records(self):
+        """Regression: probes added then removed before the first build.
+
+        The differential oracle's from-scratch reference does exactly
+        this — add every probe, remove some to mirror the incremental
+        state, then build.  The cancelled add+remove records must not
+        let the classifier skip a never-compiled fragment: the external
+        dirt initial_build plants has to stay visible even on symbols a
+        probe record also covers (it used to be inferred away, leaving
+        a fragment uncompiled and the link raising PartitionError).
+        """
+        engine = Odin(
+            compile_source(SOURCE, "fastpath"), preserve=("main", "run_input")
+        )
+        tool = OdinCov(engine)
+        tool.add_all_block_probes()
+        # Wipe every probe on one function before anything is compiled:
+        # its add+remove records all cancel out.
+        doomed = [
+            p for p in engine.manager if p.target_symbol() == "helper_a"
+        ]
+        assert doomed
+        for probe in doomed:
+            tool.probes.pop(probe.id, None)
+            engine.manager.remove(probe)
+        # External dirt (initial build) must win over cancelled records.
+        assert engine.manager.has_effective_changes()
+        report = tool.build()
+        assert engine.executable is not None
+        # Every fragment was compiled, including helper_a's.
+        assert sorted(engine.cache) == sorted(
+            f.id for f in engine.fragdef.fragments
+        )
+        assert sorted(report.fragment_ids) == sorted(engine.cache)
+        # And the image behaves like any other build of this program.
+        reference, _ = build_engine()
+        assert run_main(engine) == run_main(reference)
+
+    def test_external_dirt_visible_despite_probe_records(self):
+        """mark_symbols_dirty on a symbol with a cancelled record."""
+        engine, _ = build_engine()
+        victim = sorted(probes_by_id(engine))[0]
+        symbol = probes_by_id(engine)[victim].target_symbol()
+        probe = probes_by_id(engine)[victim]
+        engine.manager.disable(probe)
+        engine.manager.enable(probe)  # record cancels out
+        engine.manager.mark_symbols_dirty([symbol])
+        assert symbol in engine.manager.external_dirty_symbols()
+        assert engine.manager.has_effective_changes()
+        report = engine.rebuild_if_needed()
+        assert report is not None
+        assert report.tier == TIER_FULL
+        assert engine.manager.external_dirty_symbols() == set()
+
+
+class TestTieredCompileWall:
+    def test_patch_tier_costs_are_tiny_but_nonzero(self):
+        engine, _ = build_engine()
+        victim = sorted(probes_by_id(engine))[0]
+        full_wall = engine.history[0].compile_wall_ms
+        engine.manager.disable(probes_by_id(engine)[victim])
+        report = engine.rebuild_if_needed()
+        assert report.tier == TIER_PATCH
+        assert report.patched == len(report.fragment_ids) > 0
+        assert all(t == TIER_PATCH for t in report.fragment_tiers.values())
+        assert 0.0 < report.compile_wall_ms < full_wall / 100.0
+
+    def test_fully_cached_rebuild_reports_zero_compile_wall(self):
+        """Satellite 1: a warm content cache means zero compile wall."""
+        shared = InMemoryCodeCache()
+        first, _ = build_engine(object_cache=shared)
+        # Second engine, same module and probe state, sharing the cache:
+        # its initial build is all content-key hits.
+        second = Odin(
+            compile_source(SOURCE, "fastpath"),
+            preserve=("main", "run_input"),
+            object_cache=shared,
+        )
+        tool = OdinCov(second)
+        tool.add_all_block_probes()
+        tool.build()
+        report = second.history[0]
+        assert report.tier == TIER_CACHE
+        assert report.cache_hits == len(report.fragment_ids) > 0
+        assert report.compile_wall_ms == 0.0
+        assert report.total_compile_ms == 0.0
+        assert all(t == TIER_CACHE for t in report.fragment_tiers.values())
+        # The two engines still agree on every artifact.
+        assert second.object_fingerprints() == first.object_fingerprints()
+        assert (
+            second.executable_fingerprint() == first.executable_fingerprint()
+        )

@@ -1,0 +1,105 @@
+"""Property tests for the lane-accounting pair (satellite of the tiered
+fast path).
+
+``compile_makespan`` prices a batch and ``assign_lanes`` replays exactly
+that LPT schedule to place per-fragment spans.  The tiered engine now
+feeds them cost vectors where cache hits cost 0.0 and patches cost
+fractions of a millisecond, interleaved arbitrarily with full compiles —
+the properties below pin down that zero-cost entries can never perturb
+the schedule:
+
+* the busiest lane always ends exactly at the makespan;
+* within a lane, spans tile contiguously from zero — no gaps, no overlap;
+* inserting zero-cost entries anywhere leaves every nonzero entry's
+  (lane, start) placement unchanged, and the makespan unchanged;
+* one worker degenerates to the serial prefix-sum clock.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import assign_lanes, compile_makespan
+
+# Costs mix realistic tiers: zero (cache hits), tiny (patches), big
+# (full compiles).  Integers scaled down keep float addition exact
+# enough for equality checks on sums of small lists.
+cost = st.one_of(
+    st.just(0.0),
+    st.integers(1, 50).map(lambda n: n / 100.0),   # patch-sized
+    st.integers(1, 400).map(lambda n: float(n)),   # compile-sized
+)
+costs_lists = st.lists(cost, min_size=0, max_size=24)
+workers = st.integers(1, 6)
+
+
+def lane_loads(costs, lanes, n_workers):
+    loads = [0.0] * n_workers
+    for c, lane in zip(costs, lanes):
+        loads[lane] += c
+    return loads
+
+
+@settings(max_examples=200, deadline=None)
+@given(costs_lists, workers)
+def test_busiest_lane_ends_at_makespan(costs, n):
+    lanes, starts = assign_lanes(costs, n)
+    span_ends = [s + c for s, c in zip(starts, costs)]
+    makespan = compile_makespan(costs, n)
+    assert (max(span_ends) if span_ends else 0.0) == makespan
+
+
+@settings(max_examples=200, deadline=None)
+@given(costs_lists, workers)
+def test_lanes_tile_without_gaps(costs, n):
+    lanes, starts = assign_lanes(costs, n)
+    per_lane = {}
+    for i, lane in enumerate(lanes):
+        per_lane.setdefault(lane, []).append((starts[i], costs[i]))
+    for spans in per_lane.values():
+        spans.sort()
+        cursor = 0.0
+        for start, c in spans:
+            assert start == cursor
+            cursor += c
+
+
+@settings(max_examples=200, deadline=None)
+@given(costs_lists, workers, st.data())
+def test_zero_cost_entries_never_displace_real_work(costs, n, data):
+    """Interleaving cache hits anywhere is schedule-invariant."""
+    nonzero = [c for c in costs if c > 0.0]
+    base_lanes, base_starts = assign_lanes(nonzero, n)
+    base = list(zip(base_lanes, base_starts))
+
+    # Splice the zero-cost entries back at random positions.
+    mixed = list(nonzero)
+    zeros = len(costs) - len(nonzero)
+    for _ in range(zeros):
+        pos = data.draw(st.integers(0, len(mixed)))
+        mixed.insert(pos, 0.0)
+
+    mixed_lanes, mixed_starts = assign_lanes(mixed, n)
+    placed = [
+        (mixed_lanes[i], mixed_starts[i])
+        for i, c in enumerate(mixed)
+        if c > 0.0
+    ]
+    assert placed == base
+    assert compile_makespan(mixed, n) == compile_makespan(nonzero, n)
+    # Zero-cost spans still land *inside* the schedule, never past the
+    # makespan — their spans must not stretch the compile stage.
+    makespan = compile_makespan(mixed, n)
+    for i, c in enumerate(mixed):
+        if c == 0.0:
+            assert mixed_starts[i] <= makespan
+
+
+@settings(max_examples=100, deadline=None)
+@given(costs_lists)
+def test_single_worker_is_the_serial_clock(costs):
+    lanes, starts = assign_lanes(costs, 1)
+    assert all(lane == 0 for lane in lanes)
+    cursor = 0.0
+    for i, c in enumerate(costs):
+        assert starts[i] == cursor
+        cursor += c
+    assert compile_makespan(costs, 1) == sum(costs)

@@ -89,8 +89,17 @@ def check_tree_invariants(report) -> None:
         assert frag_span.cat == CAT_FRAGMENT
         fid = int(frag_span.name.split("#")[1])
         assert frag_span.sim_ms == report.fragment_compile_ms[fid]
+        tier = frag_span.args.get("tier")
+        assert tier == report.fragment_tiers[fid]
         if frag_span.args.get("cache_hit"):
+            assert tier == "cache"
             assert frag_span.sim_ms == 0.0
+            continue
+        if tier == "patch":
+            # Patched fragments never ran optimize or isel: a flat span
+            # priced at the patch cost, with no phase children.
+            assert frag_span.children == []
+            assert frag_span.sim_ms > 0.0
             continue
         opt, isel = frag_span.children[0], frag_span.children[-1]
         assert opt.name == "optimize" and isel.name == "isel"
@@ -100,6 +109,12 @@ def check_tree_invariants(report) -> None:
         assert isel.sim_start_ms == frag_span.sim_start_ms + opt.sim_ms
         # ...and the per-pass spans tile optimize exactly.
         passes = opt.children
+        if tier == "memo":
+            # Memoized middle end: the optimize span collapses to zero
+            # cost with no per-pass children; isel carries everything.
+            assert opt.sim_ms == 0.0
+            assert passes == []
+            continue
         assert passes, "expected per-pass spans under optimize"
         assert all(p.cat == CAT_PASS for p in passes)
         assert all(p.sim_ms >= 0.0 for p in passes)

@@ -65,8 +65,12 @@ class TestContentKey:
             frag, 2, "CovProbe#2"
         )
 
-    def test_probe_state_changes_key(self):
-        """Disabling a probe changes the instrumented IR, hence the key."""
+    def test_probe_toggle_preserves_master_key(self):
+        """Sites-always-compiled: disabling a patchable probe leaves the
+        instrumented IR — and therefore the master's content key —
+        unchanged.  The enable/disable state is realized by toggling the
+        compiled object and carried in the link key's ``|off=`` suffix,
+        never in the content address."""
         engine = Odin(get_program("libjpeg").compile(), preserve=PRESERVED)
         tool = OdinCov(engine)
         tool.add_all_block_probes()
@@ -78,7 +82,13 @@ class TestContentKey:
             if probe.target_symbol() in symbols:
                 engine.manager.disable(probe)
         frag_b, _ = split_probed_fragment(engine)
-        assert fragment_content_key(frag_a, 2) != fragment_content_key(frag_b, 2)
+        assert fragment_content_key(frag_a, 2) == fragment_content_key(frag_b, 2)
+        # Toggle states of one master get distinct link keys.
+        assert Odin._toggled_key("k", frozenset()) == "k"
+        assert Odin._toggled_key("k", frozenset({3, 1})) == "k|off=1,3"
+        assert Odin._toggled_key("k", frozenset({3})) != Odin._toggled_key(
+            "k", frozenset({1})
+        )
 
 
 class TestInMemoryCache:

@@ -415,8 +415,11 @@ class TestServiceRetry:
 
         service.compiler.fault_injector = injector
         client = service.client("target", "c1")
+        # Removes change the compiled-in site set and force a real worker
+        # batch; a pure toggle would take the patch tier and never give
+        # the injected fault a compile to fire in.
         pid = sorted(tool.probes)[0]
-        job = client.submit([ProbeOp("disable", pid)])
+        job = client.submit([ProbeOp("remove", pid)])
         served = service.process_once()
         assert served == 1
         reply = job.result(5.0)
@@ -440,21 +443,23 @@ class TestServiceRetry:
         # Exhaust the supervised ladder so every batch truly fails.
         service.compiler.ladder = ("serial",)
         client = service.client("target", "c1")
-        pid = sorted(tool.probes)[0]
-        for _ in range(2):
-            job = client.submit([ProbeOp("disable", pid)])
+        # Removes force real (failing) compile batches; toggles would be
+        # serviced by the patch tier without ever reaching the workers.
+        pids = sorted(tool.probes)
+        for pid in pids[:2]:
+            job = client.submit([ProbeOp("remove", pid)])
             service.process_once()
             with pytest.raises(WorkerError):
                 job.result(5.0)
         assert breaker.state == BREAKER_OPEN
         with pytest.raises(ServiceError) as excinfo:
-            client.submit([ProbeOp("enable", pid)])
+            client.submit([ProbeOp("remove", pids[2])])
         assert excinfo.value.retry_after_s == pytest.approx(5.0)
         assert service.stats()["breaker"]["state"] == BREAKER_OPEN
         # After the reset timeout one trial passes and a success closes it.
         clock.t = 5.0
         service.compiler.fault_injector = None
-        job = client.submit([ProbeOp("disable", pid)])
+        job = client.submit([ProbeOp("remove", pids[2])])
         service.process_once()
         job.result(5.0)
         assert breaker.state == BREAKER_CLOSED
@@ -476,9 +481,11 @@ class TestStopDrainBounded:
         client = service.client("target", "c1")
         pids = sorted(tool.probes)
         service.start()
-        client.submit([ProbeOp("disable", pids[0])])  # wedges the dispatcher
+        # Removes force real compile batches, so the blocking injector
+        # actually wedges the dispatcher (toggles would bypass the pool).
+        client.submit([ProbeOp("remove", pids[0])])  # wedges the dispatcher
         assert entered.wait(10.0)
-        client.submit([ProbeOp("disable", pids[1])])  # queued behind the wedge
+        client.submit([ProbeOp("remove", pids[1])])  # queued behind the wedge
         start = time.perf_counter()
         abandoned = service.stop(drain=True, drain_timeout_s=0.5)
         elapsed = time.perf_counter() - start

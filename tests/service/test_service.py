@@ -90,21 +90,25 @@ class TestCacheBehaviour:
         assert report.cache_reused == engine.num_fragments - 1
 
     def test_warm_rebuild_skips_compilation(self):
-        """Flipping back to a previously-compiled probe state hits the
-        content cache: zero compile charged, hit rate > 0."""
+        """Flipping a probe off and back on never recompiles: both steps
+        are serviced at the patch tier (sites toggled in the cached
+        master), and the return to the baseline state reuses the original
+        linked image outright."""
         service, engine, tool = make_service()
         client = service.client(PROGRAM)
         pid = sorted(tool.probes)[0]
         client.disable(pid)
         service.process_once()
+        off = engine.history[-1]
+        assert off.tier == "patch"
+        assert off.patched == len(off.fragment_ids) == 1
+        assert 0.0 < off.total_compile_ms < 1.0  # patch cost, not a compile
         client.enable(pid)       # back to the initial-build state
         service.process_once()
         report = engine.history[-1]
-        assert report.cache_hits == len(report.fragment_ids) > 0
-        assert report.total_compile_ms == 0.0
+        assert report.tier == "patch"
+        assert report.total_compile_ms < 1.0
         assert report.link_reused  # identical object set: relink skipped
-        assert service.cache.stats()["hit_rate"] > 0
-        assert service.stats()["derived"]["cache_hit_rate"] > 0
 
     def test_cold_vs_warm_service_restart(self, tmp_path):
         """Persistent cache: a restarted service rebuilds the same target
@@ -214,8 +218,9 @@ class TestBatchingAndDedup:
         stats = service.stats()
         assert stats["counters"]["requests_total"] == 24
         assert stats["queue"]["depth"] == 0
-        # Re-visited probe states come from the content cache.
-        assert stats["derived"]["cache_hit_rate"] > 0
+        # Pure toggles never recompile: every rebuild that wasn't batched
+        # away was serviced by patching the cached masters.
+        assert all(r.tier in ("patch", "noop") for r in engine.history[1:])
         assert stats["latency"]["rebuild_sim_ms"]["count"] >= 1
 
 

@@ -1,0 +1,210 @@
+"""Speculative precompilation: prediction, planting, attribution, backpressure.
+
+The tier-3 contract: the speculator turns corpus energy + live coverage
+into predicted probe states, precompiles them into the shared object
+cache in idle lanes, and when the real prune arrives the rebuild's cache
+hits are attributed as ``speculative_hits`` — without speculation ever
+changing engine state or delaying a real job.
+"""
+
+import pytest
+
+from repro.core.engine import Odin
+from repro.frontend.codegen import compile_source
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.executor import OdinCovExecutor
+from repro.instrument.coverage import OdinCov
+from repro.service import RecompilationService
+from repro.service.cache import InMemoryCodeCache
+from repro.service.speculate import ProbeStateSpeculator
+
+SOURCE = r"""
+static int acc;
+
+int left(int x) {
+    if (x > 64) { acc = acc + x; return acc; }
+    return x;
+}
+
+int right(int x) {
+    int i;
+    for (i = 0; i < x; i = i + 1) acc = acc ^ i;
+    return acc;
+}
+
+int run_input(const char *data, long size) {
+    int i;
+    int r;
+    r = 0;
+    for (i = 0; i < size; i = i + 1) {
+        if ((int)data[i] & 1) r = r + left((int)data[i] & 255);
+        else r = r + right((int)data[i] & 15);
+    }
+    return r;
+}
+
+int main(void) { return run_input("ab", 2); }
+"""
+
+
+def build_session():
+    engine = Odin(
+        compile_source(SOURCE, "spec"),
+        preserve=("main", "run_input"),
+        object_cache=InMemoryCodeCache(),
+    )
+    tool = OdinCov(engine)
+    tool.add_all_block_probes()
+    tool.build()
+    executor = OdinCovExecutor(tool)
+    return engine, tool, executor
+
+
+def covered_corpus(executor, inputs):
+    corpus = Corpus()
+    for i, data in enumerate(inputs):
+        outcome = executor.execute(data)
+        corpus.consider(data, outcome.coverage, i)
+    return corpus
+
+
+class TestPrediction:
+    def test_requires_an_object_cache(self):
+        engine = Odin(
+            compile_source(SOURCE, "spec"), preserve=("main", "run_input")
+        )
+        with pytest.raises(ValueError):
+            ProbeStateSpeculator(engine)
+
+    def test_observe_corpus_predicts_from_runtime_and_energy(self):
+        engine, tool, executor = build_session()
+        corpus = covered_corpus(executor, [b"ab", b"\x01\x02"])
+        spec = ProbeStateSpeculator(engine)
+        queued = spec.observe_corpus(corpus, runtime=tool.runtime)
+        assert queued >= 1
+        assert spec.pending() == queued
+        # The certain prediction — the runtime's covered set — is first.
+        covered = frozenset(
+            pid
+            for pid in tool.runtime.covered_ids()
+            if pid in {p.id for p in engine.manager if p.patchable}
+        )
+        assert covered
+        assert spec._predictions[0] == covered
+
+    def test_predictions_are_not_retried(self):
+        engine, tool, executor = build_session()
+        corpus = covered_corpus(executor, [b"ab"])
+        spec = ProbeStateSpeculator(engine)
+        spec.observe_corpus(corpus, runtime=tool.runtime)
+        spec.precompile(budget=64)
+        assert spec.pending() == 0
+        # Same signal again: every state was already tried.
+        assert spec.observe_corpus(corpus, runtime=tool.runtime) == 0
+
+
+class TestPrecompile:
+    def test_precompile_plants_speculative_keys(self):
+        engine, tool, executor = build_session()
+        corpus = covered_corpus(executor, [b"ab", b"\x01\x02"])
+        spec = ProbeStateSpeculator(engine)
+        spec.observe_corpus(corpus, runtime=tool.runtime)
+        compiled = spec.precompile(budget=64)
+        assert compiled >= 1
+        assert spec.fragments_precompiled == compiled
+        assert engine.speculative_keys
+        for key in engine.speculative_keys:
+            assert engine.object_cache.get(key) is not None
+
+    def test_real_prune_hits_speculated_objects(self):
+        engine, tool, executor = build_session()
+        corpus = covered_corpus(executor, [b"ab", b"\x01\x02"])
+        spec = ProbeStateSpeculator(engine)
+        spec.observe_corpus(corpus, runtime=tool.runtime)
+        spec.precompile(budget=64)
+
+        report = executor.prune()
+        assert report.pruned > 0
+        rebuild = report.rebuild
+        assert rebuild is not None
+        assert rebuild.speculative_hits > 0
+        assert rebuild.speculative_hits <= rebuild.cache_hits
+
+    def test_speculation_never_mutates_engine_state(self):
+        engine, tool, executor = build_session()
+        corpus = covered_corpus(executor, [b"ab"])
+        state_before = {p.id: p.enabled for p in engine.manager}
+        objs_before = engine.object_fingerprints()
+        exe_before = engine.executable_fingerprint()
+        history_before = len(engine.history)
+        spec = ProbeStateSpeculator(engine)
+        spec.observe_corpus(corpus, runtime=tool.runtime)
+        spec.precompile(budget=64)
+        assert {p.id: p.enabled for p in engine.manager} == state_before
+        assert engine.object_fingerprints() == objs_before
+        assert engine.executable_fingerprint() == exe_before
+        assert len(engine.history) == history_before
+
+    def test_stale_prediction_is_dropped(self):
+        engine, tool, executor = build_session()
+        corpus = covered_corpus(executor, [b"ab"])
+        spec = ProbeStateSpeculator(engine)
+        spec.observe_corpus(corpus, runtime=tool.runtime)
+        # The predicted probes vanish before the idle lane gets to them.
+        for probe in [p for p in engine.manager]:
+            engine.manager.remove(probe)
+        engine.rebuild_if_needed()
+        assert spec.precompile(budget=64) == 0
+
+
+class TestServiceIntegration:
+    def test_attach_and_run_speculation(self):
+        service = RecompilationService(workers=1)
+        try:
+            engine = service.register_target(
+                "spec", compile_source(SOURCE, "spec"),
+                preserve=("main", "run_input"),
+            )
+            tool = OdinCov(engine)
+            tool.add_all_block_probes()
+            service.build("spec")
+            executor = OdinCovExecutor(tool)
+            corpus = covered_corpus(executor, [b"ab", b"\x01\x02"])
+
+            spec = service.attach_speculator("spec")
+            assert service.speculator("spec") is spec
+            spec.observe_corpus(corpus, runtime=tool.runtime)
+            compiled = service.run_speculation(budget=64)
+            assert compiled >= 1
+            stats = service.stats()
+            assert stats["speculation"]["spec"]["fragments_precompiled"] >= 1
+            assert stats["counters"]["speculative_compiles"] >= 1
+        finally:
+            service.close()
+
+    def test_backpressure_skips_speculation_under_load(self):
+        service = RecompilationService(workers=1)
+        try:
+            engine = service.register_target(
+                "spec", compile_source(SOURCE, "spec"),
+                preserve=("main", "run_input"),
+            )
+            tool = OdinCov(engine)
+            tool.add_all_block_probes()
+            service.build("spec")
+            executor = OdinCovExecutor(tool)
+            corpus = covered_corpus(executor, [b"ab"])
+            spec = service.attach_speculator("spec")
+            spec.observe_corpus(corpus, runtime=tool.runtime)
+
+            # A queued real job starves the idle lanes.
+            from repro.service.jobs import OP_DISABLE, ProbeOp
+
+            pid = sorted(p.id for p in engine.manager)[0]
+            client = service.client("spec", "bp")
+            client.submit([ProbeOp(OP_DISABLE, pid)])
+            assert service.queue.depth() > 0
+            assert service.run_speculation(budget=64) == 0
+            assert spec.pending() > 0
+        finally:
+            service.close()
