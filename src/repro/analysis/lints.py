@@ -12,7 +12,16 @@ check                     severity  meaning
 ``uninitialized-load``    warning   load may observe an unwritten local
 ``constant-condition``    warning   branch condition provably constant
 ``overflow-candidate``    note      signed overflow cannot be ruled out
+``div-by-zero``           varies    divisor interval contains zero
+``shift-range``           varies    shift amount may be out of range
 ========================  ========  =======================================
+
+The interval lints grade their findings: a *warning* when the range
+analysis proves the hazard (constant zero divisor, shift amount whose
+whole interval is out of range) or narrows the operand to an interval
+that still straddles the hazard, and a *note* when the operand is simply
+unknown (full range) — unknown divisors are everywhere and would drown
+real findings at warning severity.
 
 ``overflow-candidate`` doubles as the placement oracle for guided UBSan
 instrumentation (:meth:`repro.instrument.ubsan.UBSanTool
@@ -30,8 +39,10 @@ from repro.analysis.dataflow import (
     DataflowProblem,
     ReachingStores,
     UNINIT,
+    ValueRange,
     compute_value_ranges,
     escaping_allocas,
+    full_range,
     may_overflow,
     solve,
 )
@@ -57,13 +68,41 @@ ALL_LINTS = (
     "uninitialized-load",
     "constant-condition",
     "overflow-candidate",
+    "div-by-zero",
+    "shift-range",
 )
+
+
+def _sort_key(diag: Diagnostic):
+    return (
+        diag.function or "",
+        diag.block or "",
+        diag.check,
+        diag.severity,
+        diag.message,
+        diag.pass_name or "",
+        -1 if diag.probe_id is None else diag.probe_id,
+    )
+
+
+def stable_diagnostics(diags: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Deterministic lint output: sorted by (function, block, kind) and
+    de-duplicated, so repeated ``repro lint`` runs are byte-identical.
+
+    :class:`Diagnostic` is frozen (hashable), so duplicates — the same
+    finding reached through two analysis paths — collapse by value.
+    """
+    return sorted(dict.fromkeys(diags), key=_sort_key)
 
 
 def run_lints(
     module: Module, checks: Optional[Iterable[str]] = None
 ) -> List[Diagnostic]:
-    """Run the lint suite over every defined function of *module*."""
+    """Run the lint suite over every defined function of *module*.
+
+    The result is stably sorted and de-duplicated
+    (:func:`stable_diagnostics`): byte-identical across repeated runs.
+    """
     enabled = set(checks) if checks is not None else set(ALL_LINTS)
     unknown = enabled - set(ALL_LINTS)
     if unknown:
@@ -80,7 +119,11 @@ def run_lints(
             diags.extend(lint_constant_conditions(fn))
         if "overflow-candidate" in enabled:
             diags.extend(lint_overflow_candidates(fn))
-    return diags
+        if "div-by-zero" in enabled:
+            diags.extend(lint_div_by_zero(fn))
+        if "shift-range" in enabled:
+            diags.extend(lint_shift_range(fn))
+    return stable_diagnostics(diags)
 
 
 def _tracked_allocas(fn: Function) -> List[AllocaInst]:
@@ -212,6 +255,106 @@ def lint_constant_conditions(fn: Function) -> List[Diagnostic]:
                 message=(
                     f"branch condition is always "
                     f"{'true' if verdict else 'false'}"
+                ),
+                function=fn.name,
+                block=block.name,
+            ))
+    return diags
+
+
+_DIV_OPCODES = ("sdiv", "udiv", "srem", "urem")
+_SHIFT_OPCODES = ("shl", "lshr", "ashr")
+
+
+def _range_of(value, ranges) -> ValueRange:
+    if isinstance(value, ConstantInt):
+        return ValueRange(value.signed, value.signed)
+    r = ranges.get(value)
+    if r is not None:
+        return r
+    return full_range(value.type)
+
+
+def _provably_nonzero(value) -> bool:
+    """Bit-level refinement the interval analysis cannot express:
+    ``x | c`` with ``c != 0`` keeps at least c's bits set, so the result
+    is nonzero — the standard ``d | 1`` divisor-guard idiom."""
+    if isinstance(value, ConstantInt):
+        return value.value != 0
+    if isinstance(value, BinaryInst) and value.opcode == "or":
+        return _provably_nonzero(value.lhs) or _provably_nonzero(value.rhs)
+    return False
+
+
+def lint_div_by_zero(fn: Function) -> List[Diagnostic]:
+    """Divisions whose divisor interval contains zero.
+
+    Zero has the same bit pattern under both signedness conventions, so
+    the signed interval answers for ``udiv``/``urem`` too: the divisor
+    may be zero iff its signed interval straddles 0.
+    """
+    ranges = compute_value_ranges(fn)
+    diags: List[Diagnostic] = []
+    for block in reachable_blocks(fn):
+        for inst in block.instructions:
+            if not (isinstance(inst, BinaryInst)
+                    and inst.opcode in _DIV_OPCODES):
+                continue
+            if _provably_nonzero(inst.rhs):
+                continue
+            r = _range_of(inst.rhs, ranges)
+            if not (r.lo <= 0 <= r.hi):
+                continue  # proven nonzero
+            if r.lo == r.hi == 0:
+                severity, what = SEVERITY_WARNING, "is always zero"
+            elif r != full_range(inst.rhs.type):
+                severity, what = SEVERITY_WARNING, f"may be zero (range {r})"
+            else:
+                severity, what = SEVERITY_NOTE, "is unknown and may be zero"
+            diags.append(Diagnostic(
+                severity=severity,
+                check="div-by-zero",
+                message=f"divisor of {inst.opcode} %{inst.name} {what}",
+                function=fn.name,
+                block=block.name,
+            ))
+    return diags
+
+
+def lint_shift_range(fn: Function) -> List[Diagnostic]:
+    """Shift amounts that may be negative or >= the operand width.
+
+    The IR's shift semantics are total (over-wide shifts saturate to
+    0 / sign fill, see :mod:`repro.ir.semantics`), so this is a logic
+    lint, not a UB lint: such shifts almost always mean the program
+    computed the amount wrong.
+    """
+    ranges = compute_value_ranges(fn)
+    diags: List[Diagnostic] = []
+    for block in reachable_blocks(fn):
+        for inst in block.instructions:
+            if not (isinstance(inst, BinaryInst)
+                    and inst.opcode in _SHIFT_OPCODES):
+                continue
+            bits = inst.type.bits
+            r = _range_of(inst.rhs, ranges)
+            if 0 <= r.lo and r.hi < bits:
+                continue  # proven in range
+            if r.hi < 0 or r.lo >= bits:
+                severity = SEVERITY_WARNING
+                what = f"is always out of range (range {r})"
+            elif r != full_range(inst.rhs.type):
+                severity = SEVERITY_WARNING
+                what = f"may be out of range (range {r})"
+            else:
+                severity = SEVERITY_NOTE
+                what = "is unknown and may be out of range"
+            diags.append(Diagnostic(
+                severity=severity,
+                check="shift-range",
+                message=(
+                    f"shift amount of {inst.opcode} %{inst.name} {what} "
+                    f"for {inst.type}"
                 ),
                 function=fn.name,
                 block=block.name,

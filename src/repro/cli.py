@@ -141,6 +141,72 @@ def cmd_fuzz(args) -> int:
     return 0
 
 
+def cmd_selffuzz(args) -> int:
+    """Turn the toolchain on itself: composition-steered differential
+    fuzzing of the -O2 pipeline against -O0 ground truth."""
+    import json
+
+    from repro.selffuzz import (
+        SelfFuzzCampaign,
+        SelfFuzzHarness,
+        parse_style_mix,
+    )
+
+    mix = parse_style_mix(args.styles) if args.styles else None
+    harness = SelfFuzzHarness(sanitize=not args.no_sanitize)
+
+    def progress(verdict):
+        if verdict.ok:
+            if args.verbose:
+                print(f"  {verdict.name} [{verdict.style}] ok")
+            return
+        print(f"  {verdict.name} [{verdict.style}] {verdict.status}"
+              + (f" -> {verdict.pass_name}" if verdict.pass_name else ""))
+        if verdict.detail and args.verbose:
+            print(f"    {verdict.detail}")
+
+    campaign = SelfFuzzCampaign(
+        seed=args.seed, count=args.count, mix=mix,
+        minimize=args.minimize, harness=harness, on_program=progress,
+    )
+    report = campaign.run()
+
+    print(report.summary())
+    for style, counts in sorted(report.styles.items()):
+        print(f"  {style:15s} {counts['programs']:4d} programs, "
+              f"{counts['failures']} failures")
+    if report.passes:
+        print("failures by pass:")
+        for pass_name, n in sorted(report.passes.items()):
+            print(f"  {pass_name}: {n}")
+
+    if args.report_json:
+        with open(args.report_json, "w") as fp:
+            json.dump(report.to_dict(), fp, indent=2, sort_keys=True)
+        print(f"report written to {args.report_json}")
+
+    if args.corpus and report.failures:
+        import os
+
+        os.makedirs(args.corpus, exist_ok=True)
+        for verdict in report.failures:
+            path = os.path.join(args.corpus, f"{verdict.name}.c")
+            source = verdict.minimized_source or verdict.source
+            header = (
+                f"// selffuzz reproducer: {verdict.status}\n"
+                f"// seed={verdict.seed} index={verdict.index} "
+                f"style={verdict.style}\n"
+                + (f"// pass: {verdict.pass_name}\n" if verdict.pass_name
+                   else "")
+                + (f"// detail: {verdict.detail}\n" if verdict.detail else "")
+            )
+            with open(path, "w") as fp:
+                fp.write(header + source)
+            print(f"reproducer written to {path}")
+
+    return 0 if report.ok else 1
+
+
 DEFAULT_CHECK_PROGRAMS = ("libjpeg", "lcms")
 
 
@@ -603,6 +669,37 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="write the campaign's rebuild span trees as Chrome trace JSON",
     )
     p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    p_selffuzz = sub.add_parser(
+        "selffuzz",
+        help="differential fuzzing of the -O2 pipeline (toolchain on itself)",
+    )
+    p_selffuzz.add_argument("--seed", type=int, default=0)
+    p_selffuzz.add_argument("-n", "--count", type=int, default=100,
+                            help="number of programs to generate")
+    p_selffuzz.add_argument(
+        "--styles", default=None,
+        help="composition-style mix, e.g. 'inline-chain=2,diamond' "
+             "(default: every style, equal weight)",
+    )
+    p_selffuzz.add_argument(
+        "--minimize", action="store_true",
+        help="auto-minimize every failing program to a 1-minimal reproducer",
+    )
+    p_selffuzz.add_argument(
+        "--no-sanitize", action="store_true",
+        help="skip the probe-integrity sanitizer leg",
+    )
+    p_selffuzz.add_argument(
+        "--report-json", default=None, metavar="PATH",
+        help="write the campaign report (per-style/per-pass tallies) as JSON",
+    )
+    p_selffuzz.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="write (minimized) reproducers for every failure into DIR",
+    )
+    p_selffuzz.add_argument("-v", "--verbose", action="store_true")
+    p_selffuzz.set_defaults(fn=cmd_selffuzz)
 
     p_check = sub.add_parser(
         "check", help="differential rebuild oracle + fault/invariant suites"

@@ -1,0 +1,232 @@
+"""MiniC AST pretty-printer: the inverse of :mod:`repro.frontend.parser`.
+
+``print_unit(parse(src))`` re-parses to an equivalent translation unit,
+which is what the selffuzz auto-minimizer relies on: it deletes AST
+statements and re-emits compilable source after every reduction.  The
+printer is deliberately canonical — one statement per line, every body
+braced, fully parenthesised expressions — so printing is a stable
+fixpoint: ``print_unit(parse(print_unit(u))) == print_unit(u)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend import ast
+from repro.frontend.ctypes import (
+    CArray,
+    CFunction,
+    CInt,
+    CPointer,
+    CType,
+    CVoid,
+)
+
+_INDENT = "    "
+
+
+def type_prefix(ctype: CType) -> str:
+    """The declaration prefix of *ctype* (arrays print via suffixes)."""
+    if isinstance(ctype, CVoid):
+        return "void"
+    if isinstance(ctype, CInt):
+        return str(ctype)
+    if isinstance(ctype, CPointer):
+        return f"{type_prefix(ctype.pointee)} *"
+    if isinstance(ctype, CArray):
+        return type_prefix(ctype.element)
+    raise ValueError(f"cannot print type {ctype!r}")
+
+
+def type_suffix(ctype: CType) -> str:
+    """Array dimension suffixes, outermost first."""
+    dims: List[str] = []
+    while isinstance(ctype, CArray):
+        dims.append(f"[{ctype.count}]")
+        ctype = ctype.element
+    return "".join(dims)
+
+
+def print_expr(expr: ast.Expr) -> str:
+    """One expression, fully parenthesised."""
+    if isinstance(expr, ast.IntLit):
+        return f"{expr.value}{expr.suffix}"
+    if isinstance(expr, ast.StringLit):
+        data = expr.data[:-1] if expr.data.endswith(b"\x00") else expr.data
+        out = []
+        for byte in data:
+            ch = chr(byte)
+            if ch == '"':
+                out.append('\\"')
+            elif ch == "\\":
+                out.append("\\\\")
+            elif ch == "\n":
+                out.append("\\n")
+            elif ch == "\t":
+                out.append("\\t")
+            elif ch == "\r":
+                out.append("\\r")
+            elif byte == 0:
+                out.append("\\0")
+            elif 32 <= byte < 127:
+                out.append(ch)
+            else:
+                # The MiniC lexer has no \xNN escape; such literals
+                # cannot round-trip through source.
+                raise ValueError(f"unprintable byte {byte:#x} in string literal")
+        return '"' + "".join(out) + '"'
+    if isinstance(expr, ast.Ident):
+        return expr.name
+    if isinstance(expr, ast.Unary):
+        inner = print_expr(expr.operand)
+        if expr.op in ("++", "--"):
+            return f"({inner}{expr.op})" if expr.postfix else f"({expr.op}{inner})"
+        return f"({expr.op}{inner})"
+    if isinstance(expr, ast.Binary):
+        return f"({print_expr(expr.lhs)} {expr.op} {print_expr(expr.rhs)})"
+    if isinstance(expr, ast.Assign):
+        return f"({print_expr(expr.target)} {expr.op} {print_expr(expr.value)})"
+    if isinstance(expr, ast.Ternary):
+        return (
+            f"({print_expr(expr.cond)} ? {print_expr(expr.if_true)}"
+            f" : {print_expr(expr.if_false)})"
+        )
+    if isinstance(expr, ast.Call):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{print_expr(expr.callee)}({args})"
+    if isinstance(expr, ast.Index):
+        return f"{print_expr(expr.base)}[{print_expr(expr.index)}]"
+    if isinstance(expr, ast.Cast):
+        return f"(({type_prefix(expr.ctype)}){print_expr(expr.operand)})"
+    if isinstance(expr, ast.SizeofType):
+        return f"sizeof({type_prefix(expr.ctype)}{type_suffix(expr.ctype)})"
+    raise ValueError(f"cannot print expression {expr!r}")
+
+
+def _declarator(decl: ast.Declarator) -> str:
+    text = f"{decl.name}{type_suffix(decl.ctype)}"
+    if decl.init is not None:
+        text += f" = {print_expr(decl.init)}"
+    elif decl.init_list is not None:
+        items = ", ".join(print_expr(e) for e in decl.init_list)
+        text += " = {" + items + "}"
+    return text
+
+
+def _print_stmt(stmt: ast.Stmt, depth: int, lines: List[str]) -> None:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.Block):
+        lines.append(f"{pad}{{")
+        for child in stmt.stmts:
+            _print_stmt(child, depth + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, ast.DeclStmt):
+        if not stmt.decls:
+            return  # minimizer may have emptied it
+        # A DeclStmt shares one base type; arrays differ only in suffix.
+        base = stmt.decls[0].ctype
+        while isinstance(base, CArray):
+            base = base.element
+        decls = ", ".join(_declarator(d) for d in stmt.decls)
+        lines.append(f"{pad}{type_prefix(base)} {decls};")
+    elif isinstance(stmt, ast.ExprStmt):
+        lines.append(f"{pad}{print_expr(stmt.expr)};")
+    elif isinstance(stmt, ast.If):
+        lines.append(f"{pad}if ({print_expr(stmt.cond)})")
+        _print_braced(stmt.then, depth, lines)
+        if stmt.orelse is not None:
+            lines.append(f"{pad}else")
+            _print_braced(stmt.orelse, depth, lines)
+    elif isinstance(stmt, ast.While):
+        lines.append(f"{pad}while ({print_expr(stmt.cond)})")
+        _print_braced(stmt.body, depth, lines)
+    elif isinstance(stmt, ast.DoWhile):
+        lines.append(f"{pad}do")
+        _print_braced(stmt.body, depth, lines)
+        lines.append(f"{pad}while ({print_expr(stmt.cond)});")
+    elif isinstance(stmt, ast.For):
+        init = ""
+        if isinstance(stmt.init, ast.DeclStmt):
+            buf: List[str] = []
+            _print_stmt(stmt.init, 0, buf)
+            init = buf[0].rstrip(";") if buf else ""
+        elif isinstance(stmt.init, ast.ExprStmt):
+            init = print_expr(stmt.init.expr)
+        cond = print_expr(stmt.cond) if stmt.cond is not None else ""
+        step = print_expr(stmt.step) if stmt.step is not None else ""
+        lines.append(f"{pad}for ({init}; {cond}; {step})")
+        _print_braced(stmt.body, depth, lines)
+    elif isinstance(stmt, ast.Switch):
+        lines.append(f"{pad}switch ({print_expr(stmt.scrutinee)}) {{")
+        for case in stmt.cases:
+            if case.values:
+                for value in case.values:
+                    lines.append(f"{pad}case {value}:")
+            else:
+                lines.append(f"{pad}default:")
+            for child in case.stmts:
+                _print_stmt(child, depth + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            lines.append(f"{pad}return;")
+        else:
+            lines.append(f"{pad}return {print_expr(stmt.value)};")
+    elif isinstance(stmt, ast.Break):
+        lines.append(f"{pad}break;")
+    elif isinstance(stmt, ast.Continue):
+        lines.append(f"{pad}continue;")
+    else:
+        raise ValueError(f"cannot print statement {stmt!r}")
+
+
+def _print_braced(stmt: Optional[ast.Stmt], depth: int, lines: List[str]) -> None:
+    """Print a control-flow body, always braced (canonical form)."""
+    if isinstance(stmt, ast.Block):
+        _print_stmt(stmt, depth, lines)
+    else:
+        pad = _INDENT * depth
+        lines.append(f"{pad}{{")
+        if stmt is not None:
+            _print_stmt(stmt, depth + 1, lines)
+        lines.append(f"{pad}}}")
+
+
+def _signature(item) -> str:
+    ctype: CFunction = item.ctype
+    static = "static " if item.static else ""
+    names = list(getattr(item, "param_names", []) or [])
+    params = []
+    for index, ptype in enumerate(ctype.params):
+        pname = names[index] if index < len(names) else f"arg{index}"
+        params.append(f"{type_prefix(ptype)} {pname}".rstrip())
+    if ctype.vararg:
+        params.append("...")
+    inner = ", ".join(params) if params else "void"
+    return f"{static}{type_prefix(ctype.ret)} {item.name}({inner})"
+
+
+def print_unit(unit: ast.TranslationUnit) -> str:
+    """Re-emit a translation unit as canonical MiniC source."""
+    lines: List[str] = []
+    for item in unit.items:
+        if isinstance(item, ast.FuncDecl):
+            lines.append(f"{_signature(item)};")
+        elif isinstance(item, ast.FuncDef):
+            lines.append(_signature(item))
+            _print_stmt(item.body, 0, lines)
+            lines.append("")
+        elif isinstance(item, ast.GlobalDecl):
+            static = "static " if item.static else ""
+            const = "const " if item.const else ""
+            text = f"{static}{const}{type_prefix(item.ctype)} " \
+                   f"{item.name}{type_suffix(item.ctype)}"
+            if item.init is not None:
+                text += f" = {print_expr(item.init)}"
+            elif item.init_list is not None:
+                items = ", ".join(print_expr(e) for e in item.init_list)
+                text += " = {" + items + "}"
+            lines.append(text + ";")
+        else:
+            raise ValueError(f"cannot print top-level item {item!r}")
+    return "\n".join(lines).rstrip("\n") + "\n"

@@ -1,0 +1,470 @@
+"""Seeded MiniC program generator with composition styles.
+
+Grammar-level composition-style testing (Zhou et al., PAPERS.md): instead
+of sampling the grammar uniformly, each *style* is a weighted template
+that deliberately arranges the pass interactions the -O2 pipeline is
+known to chain —
+
+========================  =====================================================
+style                     pass composition it steers toward
+========================  =====================================================
+``inline-chain``          call chains of tiny helpers with constant leaves:
+                          inline -> sccp/instcombine constant collapse
+``unroll-thread``         small constant-trip loops whose bodies branch on
+                          the induction variable: loop-unroll x jump-threading
+``diamond``               locals written on both arms of if/else diamonds:
+                          mem2reg phi insertion x simplifycfg collapse
+``cse-calls``             repeated pure subexpressions straddling calls:
+                          early-cse across call boundaries (+ inline)
+``mixed``                 one helper from each of the above in one unit
+========================  =====================================================
+
+Every generated program is well-typed and UB-free **by construction**, so
+the -O0 run is the behavioural ground truth:
+
+* all locals and globals are initialized before use;
+* every divisor is forced odd (``expr | 1``) — never zero;
+* every array index is masked to the array bounds (power-of-two sizes);
+* loops have constant trip counts or strictly decreasing counters;
+* calls form a DAG (helpers only call lower-numbered helpers) — no
+  recursion, so termination is structural.
+
+Shift amounts and signed overflow are deliberately *not* restricted: the
+IR semantics (:mod:`repro.ir.semantics`) define both totally, so folding
+them is exactly the folder-vs-VM agreement selffuzz exists to test.
+
+Determinism: one :class:`~repro.utils.rng.DeterministicRNG` seeded from
+``(campaign seed, program index)`` drives every choice, so a fixed seed,
+index and style mix always yields byte-identical source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.utils.rng import DeterministicRNG
+
+STYLE_INLINE_CHAIN = "inline-chain"
+STYLE_UNROLL_THREAD = "unroll-thread"
+STYLE_DIAMOND = "diamond"
+STYLE_CSE_CALLS = "cse-calls"
+STYLE_MIXED = "mixed"
+
+ALL_STYLES = (
+    STYLE_INLINE_CHAIN,
+    STYLE_UNROLL_THREAD,
+    STYLE_DIAMOND,
+    STYLE_CSE_CALLS,
+    STYLE_MIXED,
+)
+
+#: Default style mix: every composition style with equal weight.
+DEFAULT_MIX: Dict[str, float] = {style: 1.0 for style in ALL_STYLES}
+
+# Constants that sit on fold boundaries: type extremes, powers of two,
+# and shift amounts at/over the 32-bit width.
+_INTERESTING = (
+    0, 1, 2, 3, 5, 7, 8, 15, 16, 31, 32, 33, 63, 64, 100, 127, 128,
+    255, 256, 1000, 4096, 65535, 2147483647,
+)
+
+
+def parse_style_mix(spec: Optional[str]) -> Dict[str, float]:
+    """Parse ``style[=weight],...`` into a weight map (CLI surface).
+
+    ``None`` or the empty string yields the default equal-weight mix.
+    """
+    if not spec:
+        return dict(DEFAULT_MIX)
+    mix: Dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" in part:
+            name, raw = part.split("=", 1)
+            weight = float(raw)
+        else:
+            name, weight = part, 1.0
+        name = name.strip()
+        if name not in ALL_STYLES:
+            raise ValueError(
+                f"unknown composition style {name!r} "
+                f"(choose from {', '.join(ALL_STYLES)})"
+            )
+        if weight <= 0:
+            raise ValueError(f"style weight must be positive: {part!r}")
+        mix[name] = mix.get(name, 0.0) + weight
+    return mix
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated MiniC unit plus the provenance needed to replay it."""
+
+    name: str
+    style: str
+    seed: int
+    index: int
+    source: str
+
+
+class _FuncSpec:
+    """A helper function available for calls: name + parameter count."""
+
+    def __init__(self, name: str, params: int):
+        self.name = name
+        self.params = params
+
+
+class _Emitter:
+    """Generates one function body: scope tracking + safe expressions."""
+
+    def __init__(self, rng: DeterministicRNG, callees: Sequence[_FuncSpec]):
+        self.rng = rng
+        self.callees = list(callees)
+        self.lines: List[str] = []
+        self.scope: List[str] = []     # in-scope int variables
+        self.arrays: List[Tuple[str, int]] = []  # (name, power-of-two size)
+        self._fresh = 0
+
+    def fresh(self, prefix: str = "v") -> str:
+        self._fresh += 1
+        return f"{prefix}{self._fresh}"
+
+    def emit(self, text: str, depth: int) -> None:
+        self.lines.append("    " * depth + text)
+
+    # -- safe expressions ---------------------------------------------------
+
+    def const(self) -> str:
+        value = self.rng.choice(_INTERESTING)
+        if self.rng.chance(0.3):
+            value = -value
+        return f"({value})" if value < 0 else str(value)
+
+    def leaf(self) -> str:
+        if self.scope and self.rng.chance(0.6):
+            return self.rng.choice(self.scope)
+        return self.const()
+
+    def expr(self, depth: int = 0) -> str:
+        """A well-defined int expression over the current scope."""
+        if depth >= 3 or self.rng.chance(0.25):
+            return self.leaf()
+        roll = self.rng.random()
+        a = self.expr(depth + 1)
+        b = self.expr(depth + 1)
+        if roll < 0.45:
+            op = self.rng.choice(("+", "-", "*", "&", "|", "^"))
+            return f"({a} {op} {b})"
+        if roll < 0.60:
+            # Shifts: amounts are sometimes masked, sometimes raw — the
+            # semantics define out-of-range shifts, so folding them must
+            # agree with the VM.
+            op = self.rng.choice(("<<", ">>"))
+            if self.rng.chance(0.5):
+                return f"({a} {op} ({b} & 31))"
+            return f"({a} {op} {self.rng.randint(0, 40)})"
+        if roll < 0.72:
+            # Division: the divisor is forced odd, hence never zero.
+            op = self.rng.choice(("/", "%"))
+            return f"({a} {op} ({b} | 1))"
+        if roll < 0.84:
+            pred = self.rng.choice(("<", "<=", ">", ">=", "==", "!="))
+            return f"({a} {pred} {b})"
+        if roll < 0.92:
+            return f"(({a} {self.rng.choice(('<', '>', '=='))} {b}) ? {self.expr(depth + 1)} : {self.expr(depth + 1)})"
+        op = self.rng.choice(("-", "~", "!"))
+        return f"({op}{a})"
+
+    def call_expr(self) -> Optional[str]:
+        """A call to one of the available (lower-numbered) helpers."""
+        if not self.callees:
+            return None
+        spec = self.rng.choice(self.callees)
+        args = ", ".join(self.expr(2) for _ in range(spec.params))
+        return f"{spec.name}({args})"
+
+    # -- statements ---------------------------------------------------------
+
+    def decl(self, depth: int, init: Optional[str] = None) -> str:
+        name = self.fresh()
+        self.emit(f"int {name} = {init if init is not None else self.expr(1)};", depth)
+        self.scope.append(name)
+        return name
+
+    def assign(self, depth: int) -> None:
+        if not self.scope:
+            self.decl(depth)
+            return
+        target = self.rng.choice(self.scope)
+        if self.rng.chance(0.3):
+            op = self.rng.choice(("+=", "-=", "^=", "&=", "|="))
+            self.emit(f"{target} {op} {self.expr(1)};", depth)
+        else:
+            self.emit(f"{target} = {self.expr(1)};", depth)
+
+    def array_decl(self, depth: int) -> None:
+        name = self.fresh("a")
+        size = self.rng.choice((4, 8))
+        items = ", ".join(self.const() for _ in range(size))
+        self.emit(f"int {name}[{size}] = {{{items}}};", depth)
+        self.arrays.append((name, size))
+
+    def array_touch(self, depth: int) -> None:
+        if not self.arrays:
+            return
+        name, size = self.rng.choice(self.arrays)
+        index = f"({self.expr(2)} & {size - 1})"
+        if self.rng.chance(0.5) and self.scope:
+            target = self.rng.choice(self.scope)
+            self.emit(f"{target} ^= {name}[{index}];", depth)
+        else:
+            self.emit(f"{name}[{index}] = {self.expr(1)};", depth)
+
+
+class ProgramGenerator:
+    """Deterministic generator over the MiniC grammar, steered by styles."""
+
+    def __init__(self, seed: int = 0, mix: Optional[Dict[str, float]] = None):
+        self.seed = seed
+        self.mix = dict(mix) if mix else dict(DEFAULT_MIX)
+        for style in self.mix:
+            if style not in ALL_STYLES:
+                raise ValueError(f"unknown composition style {style!r}")
+        self._styles = sorted(self.mix)
+        self._weights = [self.mix[s] for s in self._styles]
+
+    # -- public API ---------------------------------------------------------
+
+    def generate(self, index: int) -> GeneratedProgram:
+        """Generate program *index* of this campaign (pure in seed/index)."""
+        rng = DeterministicRNG((self.seed << 24) ^ (index * 2654435761 & 0xFFFFFF))
+        style = self._pick_style(rng)
+        source = self._generate_source(style, rng)
+        return GeneratedProgram(
+            name=f"selffuzz_{self.seed}_{index}",
+            style=style,
+            seed=self.seed,
+            index=index,
+            source=source,
+        )
+
+    def _pick_style(self, rng: DeterministicRNG) -> str:
+        total = sum(self._weights)
+        roll = rng.random() * total
+        acc = 0.0
+        for style, weight in zip(self._styles, self._weights):
+            acc += weight
+            if roll < acc:
+                return style
+        return self._styles[-1]
+
+    # -- program scaffolding ------------------------------------------------
+
+    def _generate_source(self, style: str, rng: DeterministicRNG) -> str:
+        lines: List[str] = [f"/* selffuzz style={style} */"]
+        n_globals = rng.randint(1, 3)
+        globals_: List[str] = []
+        for i in range(n_globals):
+            name = f"g{i}"
+            globals_.append(name)
+            lines.append(f"int {name} = {rng.choice(_INTERESTING)};")
+        lines.append("")
+
+        helpers: List[_FuncSpec] = []
+        if style == STYLE_MIXED:
+            builders = [self._helper_inline_chain, self._helper_unroll_thread,
+                        self._helper_diamond, self._helper_cse]
+            rng.shuffle(builders)
+            chosen = builders[: rng.randint(2, len(builders))]
+        else:
+            builder = {
+                STYLE_INLINE_CHAIN: self._helper_inline_chain,
+                STYLE_UNROLL_THREAD: self._helper_unroll_thread,
+                STYLE_DIAMOND: self._helper_diamond,
+                STYLE_CSE_CALLS: self._helper_cse,
+            }[style]
+            chosen = [builder] * rng.randint(2, 3)
+        for build in chosen:
+            spec, text = build(rng, helpers, globals_)
+            helpers.append(spec)
+            lines.extend(text)
+            lines.append("")
+
+        lines.extend(self._main(rng, helpers, globals_))
+        return "\n".join(lines) + "\n"
+
+    def _main(self, rng: DeterministicRNG, helpers: List[_FuncSpec],
+              globals_: List[str]) -> List[str]:
+        em = _Emitter(rng, helpers)
+        em.emit("int main(void)", 0)
+        em.emit("{", 0)
+        acc = em.fresh("acc")
+        em.emit(f"int {acc} = 0;", 1)
+        em.scope.append(acc)
+        for name in globals_:
+            em.scope.append(name)
+        # Call every helper at least once so nothing is trivially dead,
+        # then a few extra calls with fresh arguments.
+        for spec in helpers:
+            args = ", ".join(em.expr(2) for _ in range(spec.params))
+            em.emit(f"{acc} ^= {spec.name}({args});", 1)
+        for _ in range(rng.randint(1, 3)):
+            call = em.call_expr()
+            if call is not None:
+                em.emit(f"{acc} = ({acc} * 31) + {call};", 1)
+        for name in globals_:
+            em.emit(f"{acc} ^= {name};", 1)
+        em.emit(f'printf("%d\\n", {acc});', 1)
+        em.emit(f"return {acc} & 127;", 1)
+        em.emit("}", 0)
+        return em.lines
+
+    # -- style templates ----------------------------------------------------
+
+    def _helper_inline_chain(
+        self, rng: DeterministicRNG, helpers: List[_FuncSpec],
+        globals_: List[str],
+    ) -> Tuple[_FuncSpec, List[str]]:
+        """Tiny body under the inline threshold; calls the previous helper
+        with partially-constant arguments so inlining exposes folds."""
+        name = f"f{len(helpers)}"
+        params = rng.randint(1, 2)
+        em = _Emitter(rng, helpers)
+        em.scope.extend(f"p{i}" for i in range(params))
+        header = f"int {name}({', '.join(f'int p{i}' for i in range(params))})"
+        em.emit(header, 0)
+        em.emit("{", 0)
+        result = em.expr(1)
+        prev = em.call_expr()
+        if prev is not None and rng.chance(0.8):
+            # Constant leaves at the callsite: inline -> constant folding.
+            result = f"({result} + {prev})"
+        em.emit(f"return {result};", 1)
+        em.emit("}", 0)
+        return _FuncSpec(name, params), em.lines
+
+    def _helper_unroll_thread(
+        self, rng: DeterministicRNG, helpers: List[_FuncSpec],
+        globals_: List[str],
+    ) -> Tuple[_FuncSpec, List[str]]:
+        """Constant-trip loop (within the unroll threshold) whose body
+        branches on the induction variable: unroll x jump-threading."""
+        name = f"f{len(helpers)}"
+        params = rng.randint(1, 2)
+        em = _Emitter(rng, helpers)
+        em.scope.extend(f"p{i}" for i in range(params))
+        em.emit(f"int {name}({', '.join(f'int p{i}' for i in range(params))})", 0)
+        em.emit("{", 0)
+        acc = em.decl(1, "0")
+        trip = rng.randint(2, 8)  # LoopUnroll's MAX_TRIP_COUNT is 8
+        ivar = em.fresh("i")
+        em.emit(f"for (int {ivar} = 0; {ivar} < {trip}; {ivar}++)", 1)
+        em.emit("{", 1)
+        em.scope.append(ivar)
+        # Branch on the induction variable: after unrolling each copy's
+        # condition is constant, which is jump-threading's food.
+        cond = rng.choice((f"({ivar} & 1)", f"({ivar} < {rng.randint(1, trip)})",
+                           f"({ivar} == {rng.randint(0, trip - 1)})"))
+        em.emit(f"if ({cond})", 2)
+        em.emit("{", 2)
+        em.emit(f"{acc} += {em.expr(1)};", 3)
+        em.emit("}", 2)
+        em.emit("else", 2)
+        em.emit("{", 2)
+        em.emit(f"{acc} ^= {em.expr(1)};", 3)
+        em.emit("}", 2)
+        em.emit("}", 1)
+        em.scope.remove(ivar)
+        if rng.chance(0.4):
+            # A second, while-shaped loop with a decreasing counter.
+            n = em.fresh("n")
+            em.emit(f"int {n} = {rng.randint(1, 6)};", 1)
+            em.emit(f"while ({n} > 0)", 1)
+            em.emit("{", 1)
+            em.emit(f"{acc} = ({acc} + {em.expr(2)});", 2)
+            em.emit(f"{n} = {n} - 1;", 2)
+            em.emit("}", 1)
+        em.emit(f"return {acc};", 1)
+        em.emit("}", 0)
+        return _FuncSpec(name, params), em.lines
+
+    def _helper_diamond(
+        self, rng: DeterministicRNG, helpers: List[_FuncSpec],
+        globals_: List[str],
+    ) -> Tuple[_FuncSpec, List[str]]:
+        """Locals written on both arms of (possibly nested) diamonds —
+        mem2reg phi insertion, simplifycfg collapse, select formation."""
+        name = f"f{len(helpers)}"
+        params = rng.randint(1, 3)
+        em = _Emitter(rng, helpers)
+        em.scope.extend(f"p{i}" for i in range(params))
+        em.emit(f"int {name}({', '.join(f'int p{i}' for i in range(params))})", 0)
+        em.emit("{", 0)
+        if rng.chance(0.4):
+            em.array_decl(1)
+        locals_ = [em.decl(1) for _ in range(rng.randint(2, 3))]
+        for _ in range(rng.randint(1, 3)):
+            target = rng.choice(locals_)
+            em.emit(f"if ({em.expr(1)})", 1)
+            em.emit("{", 1)
+            if rng.chance(0.3):
+                # Same value on both arms: the phi is foldable.
+                value = em.expr(1)
+                em.emit(f"{target} = {value};", 2)
+                em.emit("}", 1)
+                em.emit("else", 1)
+                em.emit("{", 1)
+                em.emit(f"{target} = {value};", 2)
+            else:
+                em.emit(f"{target} = {em.expr(1)};", 2)
+                if rng.chance(0.5):
+                    em.emit(f"if ({em.expr(2)})", 2)
+                    em.emit("{", 2)
+                    em.emit(f"{target} ^= {em.expr(2)};", 3)
+                    em.emit("}", 2)
+                em.emit("}", 1)
+                em.emit("else", 1)
+                em.emit("{", 1)
+                em.emit(f"{target} = {em.expr(1)};", 2)
+            em.emit("}", 1)
+            em.array_touch(1)
+        result = " ^ ".join(locals_)
+        em.emit(f"return ({result});", 1)
+        em.emit("}", 0)
+        return _FuncSpec(name, params), em.lines
+
+    def _helper_cse(
+        self, rng: DeterministicRNG, helpers: List[_FuncSpec],
+        globals_: List[str],
+    ) -> Tuple[_FuncSpec, List[str]]:
+        """Repeated pure subexpressions, re-materialized across calls and
+        global stores — EarlyCSE must prove availability to merge them."""
+        name = f"f{len(helpers)}"
+        params = rng.randint(1, 2)
+        em = _Emitter(rng, helpers)
+        em.scope.extend(f"p{i}" for i in range(params))
+        em.emit(f"int {name}({', '.join(f'int p{i}' for i in range(params))})", 0)
+        em.emit("{", 0)
+        common = em.expr(1)
+        a = em.decl(1, common)
+        between = em.call_expr()
+        if between is not None and globals_ and rng.chance(0.6):
+            # A call and a global store between the two copies: the
+            # second copy is only CSE-able if the pass reasons correctly
+            # about memory effects.
+            em.emit(f"{rng.choice(globals_)} += {between};", 1)
+        elif between is not None:
+            em.emit(f"{a} ^= {between};", 1)
+        b = em.decl(1, common)
+        c = em.decl(1, f"({a} + {b})")
+        if globals_ and rng.chance(0.5):
+            g = rng.choice(globals_)
+            em.scope.append(g)
+            em.emit(f"{c} ^= ({g} * {em.const()});", 1)
+        em.emit(f"return ({c} - ({common}));", 1)
+        em.emit("}", 0)
+        return _FuncSpec(name, params), em.lines

@@ -1,0 +1,472 @@
+"""Dataflow-guided auto-minimization of selffuzz reproducers.
+
+The minimizer works on the MiniC **AST** (parse → mutate →
+:func:`repro.frontend.printer.print_unit` → re-check), never on raw
+text, so every candidate is syntactically valid by construction.
+Soundness needs no cleverness: the oracle — the same differential
+harness that found the bug — re-runs after *every* candidate reduction,
+and a reduction is kept only if the failure signature survives.  The
+dataflow analyses only *steer* which reductions to try first; they can
+be arbitrarily wrong without ever producing a wrong reproducer.
+
+Reduction runs in four phases, coarse to fine:
+
+1. **top-level** — drop whole functions and globals (callees of a
+   deleted caller become droppable in later rounds);
+2. **dataflow-guided batch** — compile the candidate at -O0 and run the
+   output-relevance closure over each function:
+   :class:`~repro.analysis.dataflow.ReachingStores` tells which stores a
+   relevant load may observe and :class:`~repro.analysis.dataflow.Liveness`
+   seeds the SSA values feeding observable effects (returns, calls,
+   global/escaping stores).  Local variables whose allocas stay outside
+   the closure provably cannot affect the divergence, so every statement
+   that only writes them is deleted in one batch — the wholesale step
+   that makes 200-statement reproducers tractable;
+3. **block-level delta debugging** — classic ddmin chunk removal over
+   every statement list, halving chunk sizes;
+4. **statement fixpoint** — try deleting every single remaining
+   statement (and declarator, and else-arm) until none can go: the
+   result is 1-minimal by definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.dataflow import (
+    Liveness,
+    ReachingStores,
+    escaping_allocas,
+    solve,
+)
+from repro.frontend import ast, compile_source, parse
+from repro.frontend.printer import print_unit
+from repro.ir.instructions import (
+    AllocaInst,
+    CallInst,
+    GepInst,
+    Instruction,
+    LoadInst,
+    RetInst,
+    StoreInst,
+)
+from repro.ir.module import Function
+from repro.ir.values import Value
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of one minimization run."""
+
+    source: str
+    original_statements: int
+    final_statements: int
+    checks: int
+    rounds: int
+    one_minimal: bool
+
+    def describe(self) -> str:
+        return (
+            f"{self.original_statements} -> {self.final_statements} statements "
+            f"in {self.checks} oracle checks"
+            f"{' (1-minimal)' if self.one_minimal else ''}"
+        )
+
+
+# -- IR-side output-relevance closure ---------------------------------------------
+
+
+def _pointer_root(value: Value) -> Value:
+    while isinstance(value, GepInst):
+        value = value.base
+    return value
+
+
+def relevant_allocas(fn: Function) -> Set[AllocaInst]:
+    """Allocas that may feed an observable effect of *fn*.
+
+    Observable effects are returns, calls (any call: the callee may
+    print, trap, or write globals) and stores through non-local
+    pointers.  :class:`Liveness` seeds the closure with the SSA values
+    those effects consume; :class:`ReachingStores` closes the memory
+    edge: when a load from slot A is relevant, exactly the stores that
+    may reach it (not every store to A ever) join the frontier.
+    Escaping allocas are relevant wholesale — aliases are untrackable.
+    """
+    escaped = escaping_allocas(fn)
+    tracked = [
+        inst
+        for block in fn.blocks
+        for inst in block.instructions
+        if isinstance(inst, AllocaInst) and inst not in escaped
+    ]
+    reaching = ReachingStores(tracked)
+    reaching_in = solve(reaching, fn).block_in
+    live_in = solve(Liveness(), fn).block_in
+
+    # Reaching-store state immediately before each instruction.
+    before: Dict[Instruction, Dict] = {}
+    for block in fn.blocks:
+        state = dict(reaching_in.get(block, {}))
+        for inst in block.instructions:
+            before[inst] = {k: v for k, v in state.items()}
+            reaching.step(inst, state)
+
+    relevant: Set[Value] = set()
+    worklist: List[Value] = []
+
+    def push(value: Value) -> None:
+        if isinstance(value, Instruction) and value not in relevant:
+            relevant.add(value)
+            worklist.append(value)
+
+    for block in fn.blocks:
+        # Anything live into a block is consumed by an effect eventually
+        # reached from it only if the consumer itself is relevant, so
+        # liveness alone cannot seed; effects do.
+        for inst in block.instructions:
+            if isinstance(inst, (RetInst, CallInst)):
+                push(inst)
+            elif inst.is_terminator:
+                push(inst)
+            elif isinstance(inst, StoreInst):
+                root = _pointer_root(inst.pointer)
+                if not isinstance(root, AllocaInst) or root in escaped:
+                    push(inst)  # store to a global / escaped slot
+
+    while worklist:
+        inst = worklist.pop()
+        assert isinstance(inst, Instruction)
+        for op in inst.operands:
+            push(op)
+        if isinstance(inst, LoadInst):
+            root = _pointer_root(inst.pointer)
+            if isinstance(root, AllocaInst):
+                push(root)
+                for store in before.get(inst, {}).get(root, ()):  # may-reach set
+                    if isinstance(store, StoreInst):
+                        push(store)
+
+    out: Set[AllocaInst] = set(escaped)
+    for value in relevant:
+        if isinstance(value, AllocaInst):
+            out.add(value)
+        elif isinstance(value, StoreInst):
+            root = _pointer_root(value.pointer)
+            if isinstance(root, AllocaInst):
+                out.add(root)
+    # Independent Liveness net: a load that is live across a block edge
+    # has a consumer somewhere downstream; if the closure mis-modelled
+    # that consumer the slot would be wrongly batch-deleted, so keep any
+    # slot whose loads cross block boundaries.  Two analyses must now
+    # *agree* a slot is dead before the batch phase touches it.
+    for state in live_in.values():
+        for value in state:
+            if isinstance(value, LoadInst):
+                root = _pointer_root(value.pointer)
+                if isinstance(root, AllocaInst):
+                    out.add(root)
+    return out
+
+
+def dead_local_names(fn: Function) -> Set[str]:
+    """Source-variable names provably unable to affect *fn*'s behaviour.
+
+    Allocas are named after their source variable (uniquified with a
+    ``.N`` suffix); a *name* is dead only if **every** alloca sharing its
+    base name is outside the relevance closure, which keeps shadowed
+    variables conservative.
+    """
+    keep = {a.name.split(".")[0] for a in relevant_allocas(fn)}
+    dead: Set[str] = set()
+    for block in fn.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, AllocaInst):
+                base = inst.name.split(".")[0]
+                if base not in keep:
+                    dead.add(base)
+    return dead
+
+
+# -- AST-side reduction machinery -------------------------------------------------
+
+
+def _stmt_lists(stmt: ast.Stmt, out: List[List[ast.Stmt]]) -> None:
+    if isinstance(stmt, ast.Block):
+        out.append(stmt.stmts)
+        for child in stmt.stmts:
+            _stmt_lists(child, out)
+    elif isinstance(stmt, ast.If):
+        _stmt_lists(stmt.then, out)
+        if stmt.orelse is not None:
+            _stmt_lists(stmt.orelse, out)
+    elif isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+        _stmt_lists(stmt.body, out)
+    elif isinstance(stmt, ast.Switch):
+        for case in stmt.cases:
+            out.append(case.stmts)
+            for child in case.stmts:
+                _stmt_lists(child, out)
+
+
+def statement_lists(unit: ast.TranslationUnit) -> List[List[ast.Stmt]]:
+    """Every mutable statement list in the unit, document order."""
+    out: List[List[ast.Stmt]] = []
+    for item in unit.items:
+        if isinstance(item, ast.FuncDef):
+            _stmt_lists(item.body, out)
+    return out
+
+
+def count_statements(unit: ast.TranslationUnit) -> int:
+    return sum(len(lst) for lst in statement_lists(unit))
+
+
+def _writes_only(expr: ast.Expr, dead: Set[str]) -> bool:
+    """True when *expr* is a pure write to dead variables: deleting the
+    enclosing statement cannot change behaviour (modulo the oracle's
+    confirmation).  Conservative: any call, or any write to a live
+    variable, disqualifies."""
+    if isinstance(expr, ast.Assign):
+        target = expr.target
+        base = target
+        while isinstance(base, ast.Index):
+            base = base.base
+        if not (isinstance(base, ast.Ident) and base.name in dead):
+            return False
+        return _pure(expr.value) and (
+            not isinstance(target, ast.Index) or _pure(target.index)
+        )
+    return False
+
+
+def _pure(expr: ast.Expr) -> bool:
+    """No calls, no assignments, no increments: evaluation is effect-free
+    (MiniC integer semantics are total — division traps are effects, but
+    a trapping divide would already diverge at -O0 and never reach the
+    minimizer)."""
+    if isinstance(expr, (ast.IntLit, ast.StringLit, ast.Ident, ast.SizeofType)):
+        return True
+    if isinstance(expr, ast.Unary):
+        return expr.op not in ("++", "--") and _pure(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return _pure(expr.lhs) and _pure(expr.rhs)
+    if isinstance(expr, ast.Ternary):
+        return _pure(expr.cond) and _pure(expr.if_true) and _pure(expr.if_false)
+    if isinstance(expr, ast.Index):
+        return _pure(expr.base) and _pure(expr.index)
+    if isinstance(expr, ast.Cast):
+        return _pure(expr.operand)
+    return False
+
+
+class Minimizer:
+    """Shrinks a failing program while preserving its failure signature."""
+
+    def __init__(self, harness, signature: Tuple[str, Optional[str]],
+                 max_checks: int = 4000):
+        # A reduction-tuned twin of the caller's harness: attribution
+        # (bisection) off — it would replay the schedule dozens of times
+        # per candidate — and the sanitizer leg only when the failure
+        # being preserved *is* a sanitizer failure.
+        from repro.selffuzz.harness import STATUS_SANITIZER, SelfFuzzHarness
+
+        self.signature = signature
+        self.oracle = SelfFuzzHarness(
+            pipeline=harness.pipeline,
+            sanitize=(signature[0] == STATUS_SANITIZER),
+            attribute=False,
+            max_steps=harness.max_steps,
+        )
+        self.max_checks = max_checks
+        self.checks = 0
+
+    # -- oracle --------------------------------------------------------------
+
+    def reproduces(self, source: str, name: str) -> bool:
+        self.checks += 1
+        verdict = self.oracle.check_source(source, name)
+        return verdict.signature() == self.signature
+
+    def _budget(self) -> bool:
+        return self.checks < self.max_checks
+
+    def _attempt(self, unit: ast.TranslationUnit, name: str) -> Optional[str]:
+        """Print and oracle-check a mutated unit; None if it regressed."""
+        try:
+            text = print_unit(unit)
+        except ValueError:
+            return None
+        if self.reproduces(text, name):
+            return text
+        return None
+
+    # -- phases --------------------------------------------------------------
+
+    def _drop_toplevel(self, unit: ast.TranslationUnit, name: str) -> bool:
+        changed = False
+        for index in range(len(unit.items) - 1, -1, -1):
+            if not self._budget():
+                break
+            item = unit.items.pop(index)
+            if self._attempt(unit, name) is None:
+                unit.items.insert(index, item)
+            else:
+                changed = True
+        return changed
+
+    def _dataflow_batch(self, unit: ast.TranslationUnit, name: str) -> bool:
+        """Phase 2: delete every pure write to provably-dead variables at
+        once; one oracle check validates the whole batch (with a
+        per-function fallback when the batch is rejected)."""
+        try:
+            module = compile_source(print_unit(unit), name)
+        except Exception:
+            return False
+        dead_by_fn = {
+            fn.name: dead_local_names(fn) for fn in module.defined_functions()
+        }
+        if not any(dead_by_fn.values()):
+            return False
+
+        removed: List[Tuple[List, int, object]] = []
+        for item in unit.items:
+            if not isinstance(item, ast.FuncDef):
+                continue
+            dead = dead_by_fn.get(item.name) or set()
+            if not dead:
+                continue
+            lists: List[List[ast.Stmt]] = []
+            _stmt_lists(item.body, lists)
+            for lst in lists:
+                for index in range(len(lst) - 1, -1, -1):
+                    stmt = lst[index]
+                    doomed = False
+                    if isinstance(stmt, ast.ExprStmt):
+                        doomed = _writes_only(stmt.expr, dead)
+                    elif isinstance(stmt, ast.DeclStmt):
+                        doomed = all(
+                            d.name in dead
+                            and (d.init is None or _pure(d.init))
+                            and not d.init_list
+                            for d in stmt.decls
+                        )
+                    if doomed:
+                        removed.append((lst, index, lst.pop(index)))
+        if not removed:
+            return False
+        if self._attempt(unit, name) is not None:
+            return True
+        # The closure was too optimistic somewhere — restore everything;
+        # the ddmin + fixpoint phases will redo the work retail.
+        for lst, index, stmt in reversed(removed):
+            lst.insert(index, stmt)
+        return False
+
+    def _ddmin_lists(self, unit: ast.TranslationUnit, name: str) -> bool:
+        changed = False
+        for lst in statement_lists(unit):
+            size = len(lst)
+            chunk = size // 2
+            while chunk >= 2 and self._budget():
+                start = 0
+                while start < len(lst):
+                    saved = lst[start:start + chunk]
+                    if not saved:
+                        break
+                    del lst[start:start + chunk]
+                    if self._attempt(unit, name) is None:
+                        lst[start:start] = saved
+                        start += chunk
+                    else:
+                        changed = True
+                chunk //= 2
+        return changed
+
+    def _statement_fixpoint(self, unit: ast.TranslationUnit, name: str) -> bool:
+        """Phase 4: single-deletion fixpoint — on exit, no one statement,
+        declarator, or else-arm can be removed: the program is 1-minimal."""
+        any_change = False
+        progress = True
+        while progress and self._budget():
+            progress = False
+            for lst in statement_lists(unit):
+                for index in range(len(lst) - 1, -1, -1):
+                    if not self._budget():
+                        return any_change
+                    stmt = lst.pop(index)
+                    if self._attempt(unit, name) is None:
+                        lst.insert(index, stmt)
+                    else:
+                        progress = any_change = True
+            progress = self._declarator_fixpoint(unit, name) or progress
+            progress = self._else_arms(unit, name) or progress
+        return any_change
+
+    def _declarator_fixpoint(self, unit: ast.TranslationUnit, name: str) -> bool:
+        changed = False
+        for lst in statement_lists(unit):
+            for stmt in lst:
+                if not isinstance(stmt, ast.DeclStmt):
+                    continue
+                for index in range(len(stmt.decls) - 1, -1, -1):
+                    if not self._budget():
+                        return changed
+                    decl = stmt.decls.pop(index)
+                    if self._attempt(unit, name) is None:
+                        stmt.decls.insert(index, decl)
+                    else:
+                        changed = True
+        return changed
+
+    def _else_arms(self, unit: ast.TranslationUnit, name: str) -> bool:
+        changed = False
+        for lst in statement_lists(unit):
+            for stmt in lst:
+                if isinstance(stmt, ast.If) and stmt.orelse is not None:
+                    if not self._budget():
+                        return changed
+                    arm = stmt.orelse
+                    stmt.orelse = None
+                    if self._attempt(unit, name) is None:
+                        stmt.orelse = arm
+                    else:
+                        changed = True
+        return changed
+
+    # -- driver --------------------------------------------------------------
+
+    def minimize(self, source: str, name: str = "selffuzz") -> MinimizeResult:
+        unit = parse(source, name)
+        original = count_statements(unit)
+
+        # Canonicalize first: all later phases assume printer-shaped
+        # (fully braced) ASTs.  If canonical form no longer reproduces —
+        # printer bug or unprintable construct — hand the source back.
+        try:
+            canonical = print_unit(unit)
+        except ValueError:
+            canonical = None
+        if canonical is None or not self.reproduces(canonical, name):
+            return MinimizeResult(source, original, original, self.checks, 0, False)
+        unit = parse(canonical, name)
+
+        rounds = 0
+        while self._budget():
+            rounds += 1
+            changed = self._drop_toplevel(unit, name)
+            changed = self._dataflow_batch(unit, name) or changed
+            changed = self._ddmin_lists(unit, name) or changed
+            changed = self._statement_fixpoint(unit, name) or changed
+            if not changed:
+                break
+
+        return MinimizeResult(
+            source=print_unit(unit),
+            original_statements=original,
+            final_statements=count_statements(unit),
+            checks=self.checks,
+            rounds=rounds,
+            one_minimal=self._budget(),
+        )

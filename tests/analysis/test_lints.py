@@ -33,7 +33,7 @@ entry:
         ) == []
 
     def test_every_lint_has_a_slug(self):
-        assert len(ALL_LINTS) == 5
+        assert len(ALL_LINTS) == 7
 
 
 class TestUnreachableBlock:
@@ -158,6 +158,166 @@ no:
             ["constant-condition"],
         )
         assert checks_of(diags) == ["constant-condition"]
+
+
+class TestDivByZero:
+    def test_constant_zero_divisor_is_a_warning(self):
+        diags = lints_for(
+            """
+define i32 @f(i32 %a) {
+entry:
+  %q = sdiv i32 %a, 0
+  ret i32 %q
+}
+""",
+            ["div-by-zero"],
+        )
+        assert checks_of(diags) == ["div-by-zero"]
+        assert diags[0].severity == "warning"
+        assert "always zero" in diags[0].message
+
+    def test_interval_straddling_zero_is_a_warning(self):
+        # %d is masked to [0, 7]: zero is still in range.
+        diags = lints_for(
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %d = and i32 %b, 7
+  %q = sdiv i32 %a, %d
+  ret i32 %q
+}
+""",
+            ["div-by-zero"],
+        )
+        assert checks_of(diags) == ["div-by-zero"]
+        assert diags[0].severity == "warning"
+        assert "range [0, 7]" in diags[0].message
+
+    def test_unknown_divisor_is_a_note(self):
+        diags = lints_for(
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %q = udiv i32 %a, %b
+  ret i32 %q
+}
+""",
+            ["div-by-zero"],
+        )
+        assert checks_of(diags) == ["div-by-zero"]
+        assert diags[0].severity == "note"
+
+    def test_proven_nonzero_divisor_is_silent(self):
+        # The `| 1` trick: divisor is provably odd, hence nonzero.
+        diags = lints_for(
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %d = or i32 %b, 1
+  %q = sdiv i32 %a, %d
+  ret i32 %q
+}
+""",
+            ["div-by-zero"],
+        )
+        assert diags == []
+
+
+class TestShiftRange:
+    def test_constant_overwide_shift_is_a_warning(self):
+        diags = lints_for(
+            """
+define i32 @f(i32 %a) {
+entry:
+  %s = shl i32 %a, 40
+  ret i32 %s
+}
+""",
+            ["shift-range"],
+        )
+        assert checks_of(diags) == ["shift-range"]
+        assert diags[0].severity == "warning"
+        assert "always out of range" in diags[0].message
+
+    def test_interval_reaching_width_is_a_warning(self):
+        # %n in [0, 63]: amounts 32..63 are out of range for i32.
+        diags = lints_for(
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %n = and i32 %b, 63
+  %s = lshr i32 %a, %n
+  ret i32 %s
+}
+""",
+            ["shift-range"],
+        )
+        assert checks_of(diags) == ["shift-range"]
+        assert diags[0].severity == "warning"
+
+    def test_unknown_amount_is_a_note(self):
+        diags = lints_for(
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %s = ashr i32 %a, %b
+  ret i32 %s
+}
+""",
+            ["shift-range"],
+        )
+        assert checks_of(diags) == ["shift-range"]
+        assert diags[0].severity == "note"
+
+    def test_masked_amount_is_silent(self):
+        diags = lints_for(
+            """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %n = and i32 %b, 31
+  %s = shl i32 %a, %n
+  ret i32 %s
+}
+""",
+            ["shift-range"],
+        )
+        assert diags == []
+
+
+class TestDeterministicOutput:
+    SOURCE = """
+define i32 @zz(i32 %a, i32 %b) {
+entry:
+  %q = sdiv i32 %a, %b
+  %s = shl i32 %q, %b
+  ret i32 %s
+dead:
+  ret i32 0
+}
+
+define i32 @aa(i32 %a, i32 %b) {
+entry:
+  %q = udiv i32 %a, %b
+  ret i32 %q
+}
+"""
+
+    def test_sorted_by_function_block_kind(self):
+        diags = lints_for(self.SOURCE)
+        keys = [(d.function, d.block or "", d.check) for d in diags]
+        assert keys == sorted(keys)
+        assert diags[0].function == "aa"  # despite @zz being defined first
+
+    def test_repeated_runs_byte_identical(self):
+        first = "\n".join(str(d) for d in lints_for(self.SOURCE))
+        second = "\n".join(str(d) for d in lints_for(self.SOURCE))
+        assert first == second
+
+    def test_duplicates_collapse(self):
+        from repro.analysis.lints import stable_diagnostics
+
+        diags = lints_for(self.SOURCE)
+        assert stable_diagnostics(diags + diags) == diags
 
 
 class TestOverflowCandidate:

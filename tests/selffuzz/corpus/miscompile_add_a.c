@@ -1,0 +1,32 @@
+// selffuzz reproducer (planted-bug regression seed)
+// status: behaviour-divergence
+// planted-pass: miscompile-add
+// origin: seed=7 index=0 style=cse-calls
+// expectation: clean (STATUS_OK) under the real -O2 pipeline
+int g0 = 256;
+int f0(int p0)
+{
+    int v1 = (((31 > (-65535)) ? p0 : 64) + p0);
+    int v2 = (((31 > (-65535)) ? p0 : 64) + p0);
+    int v3 = (v1 + v2);
+    return (v3 - (((31 > (-65535)) ? p0 : 64) + p0));
+}
+
+int f1(int p0)
+{
+    (g0 += f0(((-127) + 5)));
+}
+
+int f2(int p0, int p1)
+{
+    int v1 = ((33 % (p1 | 1)) / ((255 % (p0 | 1)) | 1));
+    (v1 ^= f1(((-8) % (v1 | 1))));
+}
+
+int main(void)
+{
+    int acc1 = 0;
+    (acc1 = ((acc1 * 31) + f2((15 << 32), (-(-63)))));
+    (acc1 ^= g0);
+    printf("%d\n", acc1);
+}

@@ -1,0 +1,22 @@
+// selffuzz reproducer (planted-bug regression seed)
+// status: behaviour-divergence
+// planted-pass: miscompile-add
+// origin: seed=11 index=0 style=inline-chain
+// expectation: clean (STATUS_OK) under the real -O2 pipeline
+int g1 = 32;
+int f0(int p0)
+{
+    return ((p0 ^ 32) - (p0 << 36));
+}
+
+int f1(int p0, int p1)
+{
+    return (5 + f0(((-3) >> (1000 & 31))));
+}
+
+int main(void)
+{
+    int acc1 = 0;
+    (acc1 = ((acc1 * 31) + f1((1 >> 16), g1)));
+    return (acc1 & 127);
+}

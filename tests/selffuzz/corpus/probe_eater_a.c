@@ -1,0 +1,8 @@
+// selffuzz reproducer (planted-bug regression seed)
+// status: sanitizer-error
+// planted-pass: probe-eater
+// origin: seed=7 index=0 style=cse-calls
+// expectation: clean (STATUS_OK) under the real -O2 pipeline
+int main(void)
+{
+}

@@ -1,0 +1,80 @@
+"""Deliberately buggy passes planted into the -O2 pipeline for tests.
+
+The selffuzz loop is only trustworthy if it catches bugs we *know* are
+there: these passes inject each failure mode the harness claims to
+detect — behavioural miscompiles, probe destruction, pass crashes and
+verifier breakage — via the harness's pipeline-factory hook.
+"""
+
+from repro.instrument.coverage import ODIN_COV_RUNTIME
+from repro.ir.instructions import BinaryInst, CallInst
+from repro.opt.pass_manager import Pass
+from repro.opt.pipeline import o2_pipeline
+
+
+class MiscompileAdd(Pass):
+    """Rewrites the first ``add`` in a non-main function to ``sub``."""
+
+    name = "miscompile-add"
+
+    def run(self, module, ctx):
+        for fn in module.defined_functions():
+            if fn.name == "main":
+                continue
+            for block in fn.blocks:
+                for inst in block.instructions:
+                    if isinstance(inst, BinaryInst) and inst.opcode == "add":
+                        inst.opcode = "sub"
+                        return True
+        return False
+
+
+class ProbeEater(Pass):
+    """Silently deletes every coverage probe call — the exact failure
+    the probe-integrity sanitizer exists to catch."""
+
+    name = "probe-eater"
+
+    def run(self, module, ctx):
+        doomed = [
+            inst
+            for fn in module.defined_functions()
+            for block in fn.blocks
+            for inst in block.instructions
+            if isinstance(inst, CallInst)
+            and getattr(inst.callee, "name", None) == ODIN_COV_RUNTIME
+        ]
+        for inst in doomed:
+            inst.erase()
+        return bool(doomed)
+
+
+class CrashingPass(Pass):
+    name = "crashing-pass"
+
+    def run(self, module, ctx):
+        raise RuntimeError("planted crash")
+
+
+class TerminatorThief(Pass):
+    """Strips one block terminator, leaving verifier-invalid IR."""
+
+    name = "terminator-thief"
+
+    def run(self, module, ctx):
+        for fn in module.defined_functions():
+            for block in fn.blocks:
+                term = block.terminator
+                if term is not None:
+                    term.erase()
+                    return True
+        return False
+
+
+def pipeline_with(*bugs):
+    """A pipeline factory: the planted passes, then the real -O2 list."""
+
+    def factory():
+        return [bug() for bug in bugs] + list(o2_pipeline().passes)
+
+    return factory

@@ -1,0 +1,88 @@
+"""Corpus loader: every reproducer in ``tests/selffuzz/corpus/`` must
+
+1. carry a well-formed metadata header (status, planted pass, origin),
+2. be clean (STATUS_OK) under the **real** -O2 pipeline — these files
+   are regression seeds: if one starts failing, a real bug appeared in
+   exactly the pass-interaction shape a past (planted or real) bug had,
+3. still reproduce its recorded failure when its planted pass is
+   re-planted — the corpus keeps witnessing the loop works.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.selffuzz import STATUS_OK, SelfFuzzHarness
+
+from tests.selffuzz.planted import (
+    MiscompileAdd,
+    ProbeEater,
+    TerminatorThief,
+    CrashingPass,
+    pipeline_with,
+)
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+PLANTED_BY_NAME = {
+    "miscompile-add": MiscompileAdd,
+    "probe-eater": ProbeEater,
+    "terminator-thief": TerminatorThief,
+    "crashing-pass": CrashingPass,
+}
+
+_HEADER_RE = re.compile(r"^// (?P<key>[a-z-]+): (?P<value>.+)$")
+
+
+def load_corpus():
+    entries = []
+    for filename in sorted(os.listdir(CORPUS_DIR)):
+        if not filename.endswith(".c"):
+            continue
+        path = os.path.join(CORPUS_DIR, filename)
+        with open(path) as fp:
+            text = fp.read()
+        meta = {}
+        for line in text.splitlines():
+            match = _HEADER_RE.match(line)
+            if match:
+                meta[match.group("key")] = match.group("value")
+        entries.append((filename, meta, text))
+    return entries
+
+
+CORPUS = load_corpus()
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, "tests/selffuzz/corpus/ has no reproducers"
+
+
+@pytest.mark.parametrize(
+    "filename,meta,text", CORPUS, ids=[e[0] for e in CORPUS]
+)
+class TestCorpusEntry:
+    def test_header_metadata(self, filename, meta, text):
+        assert "status" in meta, f"{filename} lacks a status header"
+        assert "origin" in meta, f"{filename} lacks an origin header"
+        assert meta.get("planted-pass") in PLANTED_BY_NAME, (
+            f"{filename} names unknown planted pass "
+            f"{meta.get('planted-pass')!r}"
+        )
+
+    def test_clean_under_real_pipeline(self, filename, meta, text):
+        verdict = SelfFuzzHarness().check_source(text, filename)
+        assert verdict.status == STATUS_OK, (
+            f"REGRESSION: corpus reproducer {filename} now fails the real "
+            f"pipeline: {verdict.status} ({verdict.detail})"
+        )
+
+    def test_still_reproduces_with_planted_pass(self, filename, meta, text):
+        planted = PLANTED_BY_NAME[meta["planted-pass"]]
+        harness = SelfFuzzHarness(pipeline=pipeline_with(planted))
+        verdict = harness.check_source(text, filename)
+        assert verdict.status == meta["status"], (
+            f"{filename} no longer reproduces {meta['status']} "
+            f"(got {verdict.status}) — minimized witness went stale"
+        )

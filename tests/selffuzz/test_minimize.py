@@ -1,0 +1,115 @@
+"""The auto-minimizer must preserve the failure signature, shrink hard,
+and terminate 1-minimal."""
+
+import pytest
+
+from repro.frontend import compile_source, parse
+from repro.frontend.printer import print_unit
+from repro.selffuzz import (
+    STATUS_DIVERGENCE,
+    Minimizer,
+    ProgramGenerator,
+    SelfFuzzHarness,
+)
+from repro.selffuzz.minimize import (
+    count_statements,
+    dead_local_names,
+    relevant_allocas,
+    statement_lists,
+)
+
+from tests.selffuzz.planted import MiscompileAdd, pipeline_with
+
+
+def planted_failure():
+    harness = SelfFuzzHarness(pipeline=pipeline_with(MiscompileAdd))
+    gen = ProgramGenerator(7)
+    for index in range(20):
+        verdict = harness.check_program(gen.generate(index))
+        if verdict.status == STATUS_DIVERGENCE:
+            return harness, verdict
+    raise AssertionError("planted bug never fired")
+
+
+class TestMinimizer:
+    def test_shrinks_and_preserves_failure(self):
+        harness, verdict = planted_failure()
+        minimizer = Minimizer(harness, verdict.signature())
+        result = minimizer.minimize(verdict.source, verdict.name)
+        assert result.final_statements < result.original_statements
+        # The reduced program must still fail the same way under the
+        # *full* harness (bisection re-attributes to the planted pass).
+        reduced = harness.check_source(result.source, verdict.name)
+        assert reduced.status == STATUS_DIVERGENCE
+        assert reduced.pass_name == "miscompile-add"
+
+    def test_result_is_one_minimal(self):
+        harness, verdict = planted_failure()
+        minimizer = Minimizer(harness, verdict.signature())
+        result = minimizer.minimize(verdict.source, verdict.name)
+        assert result.one_minimal
+        # 1-minimality, checked directly: deleting any single remaining
+        # statement must break the reproduction.
+        unit = parse(result.source, "check")
+        for lst in statement_lists(unit):
+            for index in range(len(lst)):
+                stmt = lst.pop(index)
+                try:
+                    candidate = print_unit(unit)
+                except ValueError:
+                    candidate = None
+                if candidate is not None:
+                    assert not minimizer.reproduces(candidate, "check"), (
+                        f"statement {index} was deletable: {candidate}"
+                    )
+                lst.insert(index, stmt)
+
+    def test_passing_program_returns_unchanged(self):
+        harness = SelfFuzzHarness(pipeline=pipeline_with(MiscompileAdd))
+        source = "int main(void)\n{\n    return 0;\n}\n"
+        minimizer = Minimizer(harness, (STATUS_DIVERGENCE, None))
+        result = minimizer.minimize(source, "clean")
+        assert result.source == source
+        assert result.rounds == 0
+
+
+class TestDataflowGuidance:
+    SOURCE = """
+int f(int a)
+{
+    int used = a + 1;
+    int wasted = a * 3;
+    wasted = wasted + 7;
+    printf("%d\\n", used);
+    return used;
+}
+
+int main(void)
+{
+    return f(4) & 127;
+}
+"""
+
+    def test_dead_locals_found(self):
+        module = compile_source(self.SOURCE, "dead")
+        fn = next(f for f in module.defined_functions() if f.name == "f")
+        dead = dead_local_names(fn)
+        assert "wasted" in dead
+        assert "used" not in dead
+
+    def test_relevant_allocas_keep_observable_state(self):
+        module = compile_source(self.SOURCE, "dead")
+        fn = next(f for f in module.defined_functions() if f.name == "f")
+        names = {a.name.split(".")[0] for a in relevant_allocas(fn)}
+        assert "used" in names
+
+    def test_batch_deletion_drops_dead_writes(self):
+        # A harness whose "failure" is simply printing the right value:
+        # statements the closure proves irrelevant vanish in one batch.
+        harness, verdict = planted_failure()
+        minimizer = Minimizer(harness, verdict.signature())
+        unit = parse(print_unit(parse(verdict.source, "v")), "v")
+        before = count_statements(unit)
+        minimizer._dataflow_batch(unit, "v")
+        after = count_statements(unit)
+        assert after <= before  # never grows; usually shrinks
