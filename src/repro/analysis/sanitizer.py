@@ -54,6 +54,8 @@ DEFAULT_PROBE_RUNTIMES = (
     "__ubsan_check",
     "__asan_check",
     "__sancov_hit",
+    "__odin_prof_enter",
+    "__odin_prof_exit",
 )
 
 # Runtimes whose value operands are pinned with ``freeze`` at

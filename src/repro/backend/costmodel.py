@@ -57,10 +57,12 @@ CALL_PER_ARG_COST = 1
 SPILL_PENALTY = 0  # see DESIGN.md: naive spill ranking mispriced inlining
 
 PROBE_COST: Dict[str, int] = {
-    "cov": 2,      # inlined 8-bit counter: load, inc, store (reg-cached)
-    "cmplog": 8,   # record both operands + header into a log
-    "asan": 6,     # shadow load + compare + branch
-    "ubsan": 4,    # range/overflow check + branch
+    "cov": 2,          # inlined 8-bit counter: load, inc, store (reg-cached)
+    "cmplog": 8,       # record both operands + header into a log
+    "asan": 6,         # shadow load + compare + branch
+    "ubsan": 4,        # range/overflow check + branch
+    "prof_enter": 9,   # read timestamp + push shadow-stack frame + edge count
+    "prof_exit": 7,    # read timestamp + pop frame + accumulate incl/excl
 }
 
 # Number of "physical" registers; the hottest vregs get them, the rest spill.

@@ -76,6 +76,8 @@ PROBE_RUNTIME_FUNCTIONS: Dict[str, str] = {
     "__cmplog_hit": "cmplog",
     "__asan_check": "asan",
     "__ubsan_check": "ubsan",
+    "__odin_prof_enter": "prof_enter",
+    "__odin_prof_exit": "prof_exit",
 }
 
 

@@ -20,6 +20,10 @@ Commands:
   target through a multi-variant image (clean/coverage/sanitized) under
   a budget-controlled dispatch mix and report per-variant execution
   shares, achieved overhead and de-instrumented hot functions
+* ``profile [PROGRAMS]`` — budgeted call-path profiling: instrument
+  every function with enter/exit timing probes, hold the slowdown to a
+  target budget by de-instrumenting hot symbols through the patch tier,
+  and report the flat + call-path profile with cold paths retained
 * ``experiment NAME`` — regenerate one of the paper's tables/figures
 * ``serve PROGRAM`` — run the recompilation service under a synthetic
   multi-client probe-flip workload and report its metrics
@@ -404,6 +408,74 @@ def cmd_partisan(args) -> int:
     return 1 if failed else 0
 
 
+DEFAULT_PROFILE_PROGRAMS = ("json", "lcms")
+
+
+def cmd_profile(args) -> int:
+    """Budgeted call-path profiling through the patch tier."""
+    from repro.profile import run_profile
+
+    programs = [
+        get_program(name)
+        for name in (args.programs or DEFAULT_PROFILE_PROGRAMS)
+    ]
+    failed = False
+    payload = []
+    all_spans = []
+    for program in programs:
+        run = run_profile(
+            program,
+            budget=args.budget,
+            executions=args.executions,
+            seed=args.seed,
+            window=args.window,
+            max_inputs=args.max_inputs,
+        )
+        report = run.report
+        print(report.summary())
+        for row in report.flat[: args.top]:
+            state = "on " if row["enabled"] else "off"
+            print(
+                f"  [{state}] {row['symbol']:>16}: {row['calls']:>6} calls, "
+                f"incl {row['incl_cycles']:>9}, excl {row['excl_cycles']:>9}"
+            )
+        for edge in report.edges[: args.top]:
+            print(
+                f"  edge {edge['caller']} -> {edge['callee']}: "
+                f"{edge['calls']} calls"
+            )
+        if report.cold_instrumented:
+            print(f"  cold (still instrumented): "
+                  f"{', '.join(report.cold_instrumented)}")
+        if report.unattributed:
+            print(f"  unattributed counter events: {report.unattributed}")
+        if args.windows:
+            for window in run.controller.windows:
+                print(f"  {window.summary}")
+        payload.append(report.to_dict())
+        all_spans.extend(run.tracer.roots())
+        if args.strict:
+            if not report.converged:
+                failed = True
+                print(f"  NOT CONVERGED (budget {args.budget:+.3f})")
+            if not report.toggles_patch_only:
+                failed = True
+                print(
+                    f"  TOGGLES COMPILED: {report.compile_batches} fragment "
+                    f"compiles in {report.rebuilds} toggle rebuilds "
+                    f"(tiers: {', '.join(report.rebuild_tiers)})"
+                )
+
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"profile report written to {args.report_json}")
+    if args.trace_out:
+        _write_trace_file(args.trace_out, all_spans)
+    print("FAIL" if failed else "PASS")
+    return 1 if failed else 0
+
+
 def cmd_lint(args) -> int:
     """IR lint suite + probe-integrity-sanitized instrumented build."""
     from collections import Counter
@@ -769,6 +841,34 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_partisan.add_argument("--trace-out", default=None,
                             help="export build/deinstrument span trees here")
     p_partisan.set_defaults(fn=cmd_partisan)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="budgeted call-path profiling through the patch tier",
+    )
+    p_profile.add_argument(
+        "programs", nargs="*",
+        help=f"targets to profile (default: {' '.join(DEFAULT_PROFILE_PROGRAMS)})",
+    )
+    p_profile.add_argument("--budget", type=float, default=0.25,
+                           help="target fractional slowdown over clean")
+    p_profile.add_argument("--executions", type=int, default=300)
+    p_profile.add_argument("--seed", type=int, default=1)
+    p_profile.add_argument("--window", type=int, default=20,
+                           help="executions per controller window")
+    p_profile.add_argument("--max-inputs", type=int, default=4,
+                           help="seed-corpus inputs cycled through")
+    p_profile.add_argument("--top", type=int, default=8,
+                           help="flat-profile and edge rows to print")
+    p_profile.add_argument("--windows", action="store_true",
+                           help="print every controller window")
+    p_profile.add_argument("--strict", action="store_true",
+                           help="fail unless converged with patch-only toggles")
+    p_profile.add_argument("--report-json", default=None,
+                           help="write the machine-readable report here")
+    p_profile.add_argument("--trace-out", default=None,
+                           help="export the call-path span tree here")
+    p_profile.set_defaults(fn=cmd_profile)
 
     p_chaos = sub.add_parser(
         "chaos", help="seeded fault injection against the live service"

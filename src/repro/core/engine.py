@@ -341,6 +341,10 @@ class RebuildReport:
     # Tier accounting: fragment id -> tier it was serviced at, plus
     # counts of the fast paths taken this rebuild.
     fragment_tiers: Dict[int, str] = field(default_factory=dict)
+    # Probe families behind each fragment's rebuild: for compiled
+    # fragments the families applied into the master, for patch-tier
+    # fragments the families whose toggles drove the patch.
+    fragment_families: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
     # Fragments serviced by stage-1 probe patching (sites toggled in the
     # cached master object; no optimize, no isel).
     patched: int = 0
@@ -590,6 +594,9 @@ class Odin:
                     master_key, disabled
                 )
             cost = probe_patch_cost_ms(scheduler.patch_touched[fragment.id])
+            report.fragment_families[fragment.id] = tuple(
+                sorted(scheduler.patch_families.get(fragment.id, ()))
+            )
             entries.append([fragment, cost, TIER_PATCH, master])
         patch_real_ms = (time.perf_counter() - patch_real_start) * 1000.0
 
@@ -660,6 +667,10 @@ class Odin:
             report.fragment_ids.append(fragment.id)
             report.fragment_compile_ms[fragment.id] = cost
             report.fragment_tiers[fragment.id] = tier
+            if fragment.id not in report.fragment_families:
+                report.fragment_families[fragment.id] = (
+                    self._fragment_families(scheduler, fragment)
+                )
             if tier == TIER_PATCH:
                 report.patched += 1
             elif tier == TIER_MEMO:
@@ -939,11 +950,22 @@ class Odin:
         """
         symbols = set(fragment.symbols)
         parts = sorted(
-            f"{type(p).__name__}#{p.id}"
+            f"{p.family or '-'}/{type(p).__name__}#{p.id}"
             for p in scheduler.applied_probes
             if p.target_symbol() in symbols
         )
         return ",".join(parts)
+
+    def _fragment_families(
+        self, scheduler: "Scheduler", fragment: Fragment
+    ) -> Tuple[str, ...]:
+        """Families of the probes applied into *fragment* this rebuild."""
+        symbols = set(fragment.symbols)
+        return tuple(sorted({
+            p.family
+            for p in scheduler.applied_probes
+            if p.family and p.target_symbol() in symbols
+        }))
 
     def _split_fragment(self, temp: Module, fragment: Fragment) -> Module:
         """Extract one fragment's (instrumented) module from the temp IR."""

@@ -142,11 +142,18 @@ class PatchManager:
 
     def disable(self, probe: Probe) -> None:
         """Keep the probe object but stop instrumenting with it."""
+        # Like mark_changed: toggling a probe that was never added (or
+        # was removed, id == -1) would record dirt keyed at a bogus id
+        # and silently corrupt the dirty set.
+        if probe.id not in self._probes:
+            raise ScheduleError(f"probe {probe!r} is not registered")
         if probe.enabled:
             probe.enabled = False
             self._note_toggle(probe, baseline=True)
 
     def enable(self, probe: Probe) -> None:
+        if probe.id not in self._probes:
+            raise ScheduleError(f"probe {probe!r} is not registered")
         if not probe.enabled:
             probe.enabled = True
             self._note_toggle(probe, baseline=False)

@@ -40,6 +40,13 @@ class Probe:
     #: must leave this False.
     patchable: bool = False
 
+    #: Probe family this probe belongs to ("cov", "ubsan", "asan",
+    #: "cmplog", "prof", ...).  The tag flows into fragment content keys
+    #: (two families with identical IR never alias each other's cached
+    #: objects) and into ``RebuildReport.fragment_families``, so rebuild
+    #: reports say *which* instrumentation scheme drove each fragment.
+    family: str = ""
+
     def __init__(self):
         self.id: int = -1          # assigned by the PatchManager
         self.enabled: bool = True  # disabled probes are not applied

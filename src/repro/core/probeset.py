@@ -1,0 +1,179 @@
+"""ProbeSet: one tool's probe registry over the shared PatchManager.
+
+Every probe-family tool (coverage, UBSan/ASan, CmpLog, profiling) used
+to keep its own ``Dict[int, Probe]`` next to the :class:`PatchManager`
+and re-implement the same loops over it: register-and-remember, flip a
+symbol's probes, map runtime counters back onto probe annotations.
+:class:`ProbeSet` owns those loops once, so coverage, sanitizers and
+profiling are three uniform clients of one scheduler rather than
+coverage being special-cased.
+
+The set is deliberately dict-compatible (iteration yields ids,
+``tool.probes[pid]``, ``.pop``, ``.get``, ``.values()``, ``.items()``,
+``len``, ``in``): every existing caller that treated ``tool.probes`` as
+a plain dict keeps working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, TypeVar
+
+from repro.core.probe import Probe
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manager import PatchManager
+
+P = TypeVar("P", bound=Probe)
+
+
+@dataclass
+class SyncOutcome:
+    """Result of one counter sync: what landed, what could not."""
+
+    #: Events accumulated onto a registered probe's annotation.
+    attributed: int = 0
+    #: Events whose probe id is no longer in the set (pruned/removed
+    #: between the counting and the sync).  Callers fold these into a
+    #: lifetime tally instead of silently dropping them.
+    unattributed: int = 0
+
+
+class ProbeSet:
+    """Dict-like ``{probe id -> Probe}`` bound to a :class:`PatchManager`.
+
+    All mutations that must be visible to the scheduler (register,
+    discard, enable/disable) go through the manager, so probe-state diffs
+    recorded here and dirt records stay in lockstep.
+    """
+
+    def __init__(self, manager: "PatchManager", family: str = ""):
+        self.manager = manager
+        #: Family tag of probes this set holds (informational; the
+        #: authoritative tag lives on each probe class).
+        self.family = family
+        self._probes: Dict[int, Probe] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, probe: P) -> P:
+        """Add *probe* to the manager and remember it here."""
+        probe = self.manager.add(probe)
+        self._probes[probe.id] = probe
+        return probe
+
+    def adopt(self, probe: P) -> P:
+        """Track an already-registered probe."""
+        if probe.id < 0:
+            raise ValueError(f"probe {probe!r} is not registered")
+        self._probes[probe.id] = probe
+        return probe
+
+    def discard(self, probe_id: int) -> Optional[Probe]:
+        """Forget a probe and unregister it from the manager (if still
+        registered).  Returns the probe, or None if unknown."""
+        probe = self._probes.pop(probe_id, None)
+        if probe is not None and probe.id >= 0:
+            self.manager.remove(probe)
+        return probe
+
+    # -- dict protocol --------------------------------------------------------
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._probes)
+
+    def __len__(self) -> int:
+        return len(self._probes)
+
+    def __contains__(self, probe_id: object) -> bool:
+        return probe_id in self._probes
+
+    def __getitem__(self, probe_id: int) -> Probe:
+        return self._probes[probe_id]
+
+    def __setitem__(self, probe_id: int, probe: Probe) -> None:
+        self._probes[probe_id] = probe
+
+    def get(self, probe_id: int, default=None):
+        return self._probes.get(probe_id, default)
+
+    def pop(self, probe_id: int, *default):
+        return self._probes.pop(probe_id, *default)
+
+    def keys(self):
+        return self._probes.keys()
+
+    def values(self):
+        return self._probes.values()
+
+    def items(self):
+        return self._probes.items()
+
+    # -- probe-state queries ----------------------------------------------------
+
+    def for_symbol(self, symbol: str) -> List[Probe]:
+        return [
+            p for p in self._probes.values() if p.target_symbol() == symbol
+        ]
+
+    def symbols(self) -> Set[str]:
+        return {p.target_symbol() for p in self._probes.values()}
+
+    def enabled_state(self) -> Dict[int, bool]:
+        """Snapshot of every probe's enabled flag (probe-state diffs)."""
+        return {pid: p.enabled for pid, p in self._probes.items()}
+
+    # -- probe-state mutation ----------------------------------------------------
+
+    def set_symbol_enabled(self, symbol: str, enabled: bool) -> int:
+        """Flip every probe of this set targeting *symbol*; returns how
+        many changed state.  Probes that lost their registration out of
+        band (id reset to -1) are skipped — the manager would reject the
+        toggle."""
+        changed = 0
+        for probe in list(self._probes.values()):
+            if probe.target_symbol() != symbol or probe.enabled == enabled:
+                continue
+            if probe.id < 0:
+                continue
+            if enabled:
+                self.manager.enable(probe)
+            else:
+                self.manager.disable(probe)
+            changed += 1
+        return changed
+
+    def apply_state(self, desired: Dict[int, bool]) -> int:
+        """Drive the set's enabled flags to *desired* (a probe-state
+        diff); ids absent from the set are ignored.  Returns flips."""
+        changed = 0
+        for pid, want in desired.items():
+            probe = self._probes.get(pid)
+            if probe is None or probe.enabled == want or probe.id < 0:
+                continue
+            if want:
+                self.manager.enable(probe)
+            else:
+                self.manager.disable(probe)
+            changed += 1
+        return changed
+
+    # -- profile sync ------------------------------------------------------------
+
+    def sync_counts(self, counts: Dict[int, int], attr: str) -> SyncOutcome:
+        """Accumulate runtime counters onto probe annotations.
+
+        Counters whose probe id is no longer in the set are *not*
+        silently dropped: they are tallied into
+        :attr:`SyncOutcome.unattributed` so lifetime totals survive
+        concurrent pruning/de-instrumentation.
+        """
+        outcome = SyncOutcome()
+        for pid, count in counts.items():
+            probe = self._probes.get(pid)
+            if probe is None:
+                outcome.unattributed += count
+                continue
+            setattr(probe, attr, getattr(probe, attr, 0) + count)
+            outcome.attributed += count
+        return outcome

@@ -69,6 +69,9 @@ class Scheduler:
         self.patched_fragments: List[Fragment] = []
         self.patch_disabled: Dict[int, frozenset] = {}
         self.patch_touched: Dict[int, int] = {}
+        # Probe families whose toggles drove each patched fragment —
+        # rebuild reports attribute patch-tier work to its scheme.
+        self.patch_families: Dict[int, frozenset] = {}
         self.skipped_fragments: List[Fragment] = []
         if changed_symbols:
             self._classify_fast_path(changed_symbols)
@@ -139,6 +142,7 @@ class Scheduler:
             if not frag_dirty:
                 continue
             touched = 0
+            families: set = set()
             blocked = False
             for symbol in frag_dirty:
                 if symbol in external:
@@ -150,6 +154,8 @@ class Scheduler:
                         continue
                     if kind == REC_TOGGLED and record.probe.patchable:
                         touched += 1
+                        if record.probe.family:
+                            families.add(record.probe.family)
                     else:
                         blocked = True
                         break
@@ -185,6 +191,7 @@ class Scheduler:
                 if p.patchable and not p.enabled and p.target_symbol() in symbols
             )
             self.patch_touched[fragment.id] = touched
+            self.patch_families[fragment.id] = frozenset(families)
 
     def patchable_sites(self, fragment: Fragment) -> frozenset:
         """Ids of all patchable probes targeting *fragment* (any state)."""

@@ -34,6 +34,8 @@ _ASAN_FN_TYPE = FunctionType(VOID, (I64, PTR, I64))
 class MemAccessProbe(InstructionProbe):
     """Validates the address range of one load or store."""
 
+    family = "asan"
+
     def __init__(self, inst: Instruction):
         if not isinstance(inst, (LoadInst, StoreInst)):
             raise TypeError("MemAccessProbe targets a load or store")
@@ -99,17 +101,17 @@ class ASanRuntime(ProbeRuntime):
 class ASanTool(SanitizerTool):
     """ASan-lite with online hot-check pruning."""
 
+    family = "asan"
+
     def __init__(self, engine: Odin, *, trap: bool = True):
         super().__init__(engine, ASanRuntime(trap=trap))
-        self.probes: Dict[int, MemAccessProbe] = {}
 
     def add_all_access_probes(self) -> int:
         count = 0
         for fn in self.engine.module.defined_functions():
             for inst in fn.instructions():
                 if isinstance(inst, (LoadInst, StoreInst)):
-                    probe = self.engine.manager.add(MemAccessProbe(inst))
-                    self.probes[probe.id] = probe
+                    self.register(MemAccessProbe(inst))
                     count += 1
         return count
 

@@ -21,10 +21,14 @@ two profile hooks:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, TypeVar
 
 from repro.core.engine import Odin, RebuildReport
+from repro.core.probe import Probe
+from repro.core.probeset import ProbeSet, SyncOutcome
 from repro.vm.interpreter import ProbeRuntime, VM
+
+P = TypeVar("P", bound=Probe)
 
 
 class SanitizerTool:
@@ -33,10 +37,21 @@ class SanitizerTool:
     #: Probe annotation attribute the profile-sync loop accumulates into.
     profile_attr = "hits"
 
+    #: Probe family this tool installs (mirrors its probes' ``family``).
+    family = ""
+
     def __init__(self, engine: Odin, runtime: ProbeRuntime):
         self.engine = engine
         self.runtime = runtime
-        self.probes: Dict[int, object] = {}
+        self.probes: ProbeSet = ProbeSet(engine.manager, family=self.family)
+        #: Lifetime tally of counter events whose probe was gone by sync
+        #: time (pruned or de-instrumented mid-window); surfaced by the
+        #: profiling report instead of silently vanishing.
+        self.unattributed = 0
+
+    def register(self, probe: P) -> P:
+        """Register *probe* with the engine and track it in this tool."""
+        return self.probes.register(probe)
 
     # -- builds -----------------------------------------------------------------
 
@@ -64,24 +79,25 @@ class SanitizerTool:
     def clear_profile_counts(self) -> None:
         """Reset the runtime counters consumed by :meth:`sync_profiles`."""
 
-    def sync_profiles(self, clear: bool = True) -> None:
+    def sync_profiles(self, clear: bool = True) -> SyncOutcome:
         """Accumulate runtime counters onto probe annotations.
 
         With ``clear`` (the default) the runtime counters are reset so
         the next sync sees only new activity; pass ``clear=False`` when
         the caller still needs the raw counters (e.g. coverage pruning
         reads the covered set after syncing).
+
+        Counters whose probe id is no longer registered (pruned or
+        removed between counting and sync) are folded into the lifetime
+        :attr:`unattributed` tally rather than discarded.
         """
-        for pid, count in self.profile_counts().items():
-            probe = self.probes.get(pid)
-            if probe is not None:
-                setattr(
-                    probe,
-                    self.profile_attr,
-                    getattr(probe, self.profile_attr, 0) + count,
-                )
+        outcome = self.probes.sync_counts(
+            self.profile_counts(), self.profile_attr
+        )
+        self.unattributed += outcome.unattributed
         if clear:
             self.clear_profile_counts()
+        return outcome
 
     # -- probe state ------------------------------------------------------------
 
@@ -89,17 +105,9 @@ class SanitizerTool:
         """Enable/disable every *registered* probe of this tool targeting
         *symbol*; returns how many probes changed state.
 
-        The budget controller de-instruments hot functions with this:
+        The budget controllers de-instrument hot functions with this:
         flipping the probes off marks their fragment dirty, and the next
-        ``rebuild_if_needed()`` recompiles just that fragment.
+        ``rebuild_if_needed()`` recompiles just that fragment — at the
+        stage-1 patch tier when the probes are patchable.
         """
-        changed = 0
-        for probe in list(self.probes.values()):
-            if probe.target_symbol() != symbol or probe.enabled == enabled:
-                continue
-            if enabled:
-                self.engine.manager.enable(probe)
-            else:
-                self.engine.manager.disable(probe)
-            changed += 1
-        return changed
+        return self.probes.set_symbol_enabled(symbol, enabled)

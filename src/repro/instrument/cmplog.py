@@ -37,6 +37,8 @@ MAX_PAIRS_PER_PROBE = 32
 class CmpProbe(InstructionProbe):
     """Records the operands of one comparison (paper §4's ``CmpProbe``)."""
 
+    family = "cmplog"
+
     def __init__(self, the_cmp: IcmpInst):
         if not isinstance(the_cmp, IcmpInst):
             raise TypeError("CmpProbe targets an icmp instruction")

@@ -52,6 +52,7 @@ class CovProbe(BlockProbe):
     """
 
     patchable = True
+    family = "cov"
 
     def __init__(self, function, block):
         super().__init__(function, block)
@@ -94,10 +95,11 @@ class OdinCov(SanitizerTool):
     ``prune=False`` gives OdinCov-NoPrune: probes stay in forever.
     """
 
+    family = "cov"
+
     def __init__(self, engine: Odin, *, prune: bool = True, rebuild_fn=None):
         super().__init__(engine, CoverageRuntime())
         self.prune = prune
-        self.probes: Dict[int, CovProbe] = {}
         # How on-the-fly recompiles run: directly on the engine (default)
         # or through a recompilation-service client
         # (``rebuild_fn=client.rebuild_report``), which batches this
@@ -119,8 +121,7 @@ class OdinCov(SanitizerTool):
             for block in fn.blocks:
                 if _is_forwarding_block(block):
                     continue
-                probe = self.engine.manager.add(CovProbe(fn, block))
-                self.probes[probe.id] = probe
+                self.register(CovProbe(fn, block))
                 count += 1
         return count
 
@@ -141,9 +142,17 @@ class OdinCov(SanitizerTool):
         self.sync_profiles(clear=False)
 
     def prune_covered(self) -> PruneReport:
-        """Remove probes whose block was covered; recompile on the fly."""
+        """Remove probes whose block was covered; recompile on the fly.
+
+        OdinCov-NoPrune keeps every probe, but the hit counts still sync:
+        callers rely on ``prune_covered`` being the one cadence point
+        where runtime counters land on ``CovProbe.hits`` regardless of
+        pruning mode.  The NoPrune sync *clears* the runtime counters —
+        leaving them would double-count on the next call.
+        """
         report = PruneReport()
         if not self.prune:
+            self.sync_profiles(clear=True)
             report.remaining = len(self.probes)
             return report
         self.sync_hit_counts()

@@ -40,6 +40,8 @@ _CHECKED_OPCODES = ("add", "sub", "mul")
 class OverflowProbe(InstructionProbe):
     """Checks one signed arithmetic instruction for overflow."""
 
+    family = "ubsan"
+
     def __init__(self, inst: BinaryInst):
         if not (isinstance(inst, BinaryInst) and inst.opcode in _CHECKED_OPCODES):
             raise TypeError("OverflowProbe targets add/sub/mul")
@@ -100,9 +102,10 @@ class UBSanRuntime(ProbeRuntime):
 class UBSanTool(SanitizerTool):
     """UBSan with Odin-style on-demand probe removal."""
 
+    family = "ubsan"
+
     def __init__(self, engine: Odin, *, trap: bool = True):
         super().__init__(engine, UBSanRuntime(trap=trap))
-        self.probes: Dict[int, OverflowProbe] = {}
         self.removed: List[int] = []
         self.pruned = 0  # probes statically discharged by guided placement
 
@@ -128,8 +131,7 @@ class UBSanTool(SanitizerTool):
                     if guided and not may_overflow(inst, ranges):
                         self.pruned += 1
                         continue
-                    probe = self.engine.manager.add(OverflowProbe(inst))
-                    self.probes[probe.id] = probe
+                    self.register(OverflowProbe(inst))
                     count += 1
         return count
 

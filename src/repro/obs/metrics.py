@@ -24,6 +24,7 @@ wraparound while the lifetime aggregates kept growing.
 from __future__ import annotations
 
 import json
+import math
 import threading
 from typing import Dict, List
 
@@ -72,10 +73,20 @@ class LatencyStat:
         return self._stride
 
     def percentile(self, p: float) -> float:
+        """Deterministic nearest-rank percentile (ties round *up*).
+
+        ``round()`` is banker's rounding: a tie lands on the even rank,
+        so p50 over two samples picked the lower one and p90 could
+        under-report by a rank depending on reservoir parity.  Nearest
+        rank with ``ceil`` never under-reports and is parity-independent.
+        The 1e-9 slack absorbs float noise (0.9 * 10 == 9.000000000000002
+        must not ceil to 10); true midpoints like 0.5 stay above it.
+        """
         if not self._samples:
             return 0.0
         ordered = sorted(self._samples)
-        rank = min(len(ordered) - 1, max(0, round(p / 100 * (len(ordered) - 1))))
+        n = len(ordered)
+        rank = min(n - 1, max(0, math.ceil(p / 100 * (n - 1) - 1e-9)))
         return ordered[rank]
 
     def summary(self) -> Dict[str, float]:

@@ -1,0 +1,62 @@
+"""Profiling probes: function entry/exit timing hooks.
+
+One :class:`ProfEnterProbe` at each function's entry block and one
+:class:`ProfExitProbe` before each of its ``ret`` instructions.  Both
+emit a single runtime call carrying only the probe id, so they lower to
+one register-free ``probe`` machine instruction — the stage-1
+*patchable* shape: the overhead controller's enable/disable flips are
+serviced by toggling sites in the cached master object, never by a
+recompile.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.probe import BlockProbe, InstructionProbe
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Instruction, RetInst
+from repro.ir.module import Function
+from repro.ir.types import FunctionType, I64, VOID
+from repro.ir.values import ConstantInt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.scheduler import Scheduler
+
+PROF_ENTER_RUNTIME = "__odin_prof_enter"
+PROF_EXIT_RUNTIME = "__odin_prof_exit"
+_PROF_FN_TYPE = FunctionType(VOID, (I64,))
+
+
+class ProfEnterProbe(BlockProbe):
+    """Fires when its function is entered (anchored at the entry block)."""
+
+    patchable = True
+    family = "prof"
+
+    def __init__(self, function: Function):
+        super().__init__(function, function.entry)
+        self.calls = 0  # annotation synced from the profiling runtime
+
+    def instrument(self, builder: IRBuilder, sched: "Scheduler") -> None:
+        runtime = sched.declare_runtime(PROF_ENTER_RUNTIME, _PROF_FN_TYPE)
+        builder.call(runtime, [ConstantInt(I64, self.id)], _PROF_FN_TYPE)
+
+
+class ProfExitProbe(InstructionProbe):
+    """Fires just before one ``ret`` of its function."""
+
+    patchable = True
+    family = "prof"
+
+    def __init__(self, ret: Instruction):
+        if not isinstance(ret, RetInst):
+            raise TypeError("ProfExitProbe targets a ret instruction")
+        super().__init__(ret)
+        self.calls = 0
+
+    def instrument(
+        self, builder: IRBuilder, mapped: Instruction, sched: "Scheduler"
+    ) -> None:
+        runtime = sched.declare_runtime(PROF_EXIT_RUNTIME, _PROF_FN_TYPE)
+        builder.call(runtime, [ConstantInt(I64, self.id)], _PROF_FN_TYPE)

@@ -1,0 +1,63 @@
+"""The profiling tool: a :class:`SanitizerTool` for the "prof" family.
+
+Installs one :class:`ProfEnterProbe` per defined function plus one
+:class:`ProfExitProbe` per ``ret``, wires them to a
+:class:`ProfilingRuntime`, and exposes the shared tool surface
+(``build``/``make_vm``/``sync_profiles``/``set_symbol_probes_enabled``)
+so the overhead controller and the variants machinery can treat
+profiling exactly like coverage or a sanitizer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.engine import Odin
+from repro.instrument.base import SanitizerTool
+from repro.ir.instructions import RetInst
+from repro.obs.metrics import MetricsRegistry
+from repro.profile.probes import ProfEnterProbe, ProfExitProbe
+from repro.profile.runtime import ProfilingRuntime
+
+
+class Profiler(SanitizerTool):
+    """Function-level timing + call-path profiling over an Odin engine."""
+
+    family = "prof"
+    #: sync_profiles folds enter/exit event counts into ``probe.calls``.
+    profile_attr = "calls"
+
+    def __init__(self, engine: Odin, *, metrics: Optional[MetricsRegistry] = None):
+        super().__init__(engine, ProfilingRuntime(metrics=metrics))
+        self.runtime: ProfilingRuntime  # narrow the base annotation
+
+    def add_all_function_probes(
+        self, skip: Iterable[str] = ()
+    ) -> List[Tuple[str, int]]:
+        """One enter probe + one exit probe per ``ret`` for every defined
+        function not in *skip*; returns ``(symbol, probe_count)`` pairs.
+        """
+        skipped = set(skip)
+        installed: List[Tuple[str, int]] = []
+        for fn in self.engine.module.defined_functions():
+            if fn.name in skipped:
+                continue
+            count = 0
+            enter = self.register(ProfEnterProbe(fn))
+            self.runtime.register_probe(enter.id, fn.name, "enter")
+            count += 1
+            for inst in fn.instructions():
+                if isinstance(inst, RetInst):
+                    exit_probe = self.register(ProfExitProbe(inst))
+                    self.runtime.register_probe(exit_probe.id, fn.name, "exit")
+                    count += 1
+            installed.append((fn.name, count))
+        return installed
+
+    # -- profile-sync hooks ------------------------------------------------------
+
+    def profile_counts(self) -> Dict[int, int]:
+        return self.runtime.event_counts()
+
+    def clear_profile_counts(self) -> None:
+        self.runtime.clear_event_counts()

@@ -82,6 +82,26 @@ class TestPatchManager:
         with pytest.raises(ScheduleError):
             engine.manager.remove(probe)
 
+    def test_disable_unregistered_rejected(self):
+        # Regression: disable/enable on a never-added probe used to record
+        # dirt keyed at id -1 instead of raising.
+        engine = make_engine()
+        fn = engine.module.get("alpha")
+        probe = NopProbe(fn, fn.entry)
+        with pytest.raises(ScheduleError):
+            engine.manager.disable(probe)
+        with pytest.raises(ScheduleError):
+            engine.manager.enable(probe)
+        assert not engine.manager.has_pending_changes
+
+    def test_toggle_after_remove_rejected(self):
+        engine = make_engine()
+        fn = engine.module.get("alpha")
+        probe = engine.manager.add(NopProbe(fn, fn.entry))
+        engine.manager.remove(probe)
+        with pytest.raises(ScheduleError):
+            engine.manager.disable(probe)
+
     def test_unknown_target_rejected(self):
         engine = make_engine()
         other = parse_module(PROGRAM).get("alpha")

@@ -84,6 +84,41 @@ class TestOdinCov:
         report = tool.prune_covered()
         assert report.pruned == 0 and report.rebuild is None
 
+    def test_noprune_prune_covered_still_syncs_hit_counts(self):
+        # Regression: the NoPrune early return used to skip the profile
+        # sync, so CovProbe.hits stayed 0 forever in NoPrune mode.
+        tool = make_tool(prune=False)
+        tool.make_vm().run("main")
+        report = tool.prune_covered()
+        assert report.remaining == len(tool.probes)
+        assert sum(p.hits for p in tool.probes.values()) > 0
+
+    def test_noprune_sync_clears_counters_no_double_count(self):
+        tool = make_tool(prune=False)
+        tool.make_vm().run("main")
+        tool.prune_covered()
+        first = {pid: p.hits for pid, p in tool.probes.items()}
+        # No executions in between: a second cadence point must not
+        # re-accumulate the same counters.
+        tool.prune_covered()
+        assert {pid: p.hits for pid, p in tool.probes.items()} == first
+
+    def test_sync_tallies_unattributed_counters(self):
+        # Regression: counters whose probe vanished between execution and
+        # sync (pruned mid-window) were silently discarded.
+        tool = make_tool(prune=False)
+        tool.make_vm().run("main")
+        counts = tool.profile_counts()
+        dropped = next(iter(tool.runtime.covered_ids()))
+        tool.probes.pop(dropped)
+        outcome = tool.sync_profiles()
+        assert outcome.unattributed == counts[dropped]
+        assert tool.unattributed == counts[dropped]
+        # The lifetime tally accumulates across syncs.
+        tool.make_vm().run("main")
+        tool.sync_profiles()
+        assert tool.unattributed == 2 * counts[dropped]
+
     def test_uncovered_probe_survives_and_still_fires(self):
         tool = make_tool()
         tool.make_vm().run("main")

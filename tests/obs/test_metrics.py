@@ -23,6 +23,33 @@ class TestLatencyStat:
         assert stat.percentile(0) == 1.0
         assert stat.percentile(100) == 100.0
 
+    def test_percentile_nearest_rank_is_deterministic(self):
+        """Regression: round-half-to-even (banker's rounding) made the
+        rank depend on sample-count parity — p50 over [1, 2] picked
+        index round(0.5) == 0, under-reporting the median."""
+        stat = LatencyStat()
+        stat.record(1.0)
+        stat.record(2.0)
+        assert stat.percentile(50) == 2.0
+
+    def test_percentile_ties_round_up(self):
+        # Six samples: p90 must be the 6th (rank ceil on the 0..n-1
+        # scale), not the banker's-rounded 5th.
+        stat = LatencyStat()
+        for ms in (10.0, 20.0, 30.0, 40.0, 50.0, 60.0):
+            stat.record(ms)
+        assert stat.percentile(90) == 60.0
+        assert stat.percentile(50) == 40.0
+        assert stat.percentile(10) == 20.0  # ceil(0.5) -> rank 1
+
+    def test_percentile_float_noise_does_not_inflate_rank(self):
+        # 0.9 * 10 == 9.000000000000002: without an epsilon the ceil
+        # would jump a whole rank on pure float noise.
+        stat = LatencyStat()
+        for ms in range(1, 12):
+            stat.record(float(ms))
+        assert stat.percentile(90) == 10.0
+
     def test_reservoir_stays_bounded(self):
         stat = LatencyStat()
         for i in range(MAX_SAMPLES * 5):

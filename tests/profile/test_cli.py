@@ -1,0 +1,56 @@
+"""The ``repro profile`` command."""
+
+import json
+
+from repro.cli import main
+
+
+class TestProfileCLI:
+    def test_profile_runs_and_reports(self, capsys):
+        assert main([
+            "profile", "json", "--executions", "100", "--window", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out and "vs budget" in out
+        assert "PASS" in out
+
+    def test_strict_converged_patch_only(self, capsys):
+        assert main([
+            "profile", "json", "--executions", "100", "--window", "20",
+            "--strict",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "NOT CONVERGED" not in out
+        assert "TOGGLES COMPILED" not in out
+
+    def test_report_json_and_trace(self, tmp_path, capsys):
+        report_path = tmp_path / "profile.json"
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "profile", "lcms", "--executions", "60", "--window", "20",
+            "--report-json", str(report_path),
+            "--trace-out", str(trace_path),
+        ]) == 0
+        payload = json.loads(report_path.read_text())
+        assert len(payload) == 1
+        report = payload[0]
+        assert report["program"] == "lcms"
+        assert report["toggles_patch_only"] is True
+        assert report["compile_batches"] == 0
+        trace = json.loads(trace_path.read_text())
+        events = trace["traceEvents"] if isinstance(trace, dict) else trace
+        assert events
+
+    def test_windows_flag_prints_controller_steps(self, capsys):
+        assert main([
+            "profile", "json", "--executions", "60", "--window", "20",
+            "--windows",
+        ]) == 0
+        assert "window 0:" in capsys.readouterr().out
+
+    def test_default_programs(self, capsys):
+        assert main([
+            "profile", "--executions", "40", "--window", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "json:" in out and "lcms:" in out

@@ -1,0 +1,159 @@
+"""ProfilingRuntime: shadow stack, incl/excl attribution, call paths."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.profile.runtime import (
+    PROF_ENTER_COST,
+    PROF_EXIT_COST,
+    ROOT_SYMBOL,
+    ProfilingRuntime,
+)
+
+
+class FakeVM:
+    def __init__(self, cycles=0):
+        self.cycles = cycles
+
+
+def make_runtime(**kwargs):
+    rt = ProfilingRuntime(**kwargs)
+    rt.register_probe(1, "a", "enter")
+    rt.register_probe(2, "a", "exit")
+    rt.register_probe(3, "b", "enter")
+    rt.register_probe(4, "b", "exit")
+    return rt
+
+
+def fire(rt, pid, cycles):
+    kind = "prof_enter" if rt.kind_of[pid] == "enter" else "prof_exit"
+    rt.on_probe(kind, pid, (pid,), FakeVM(cycles))
+
+
+class TestAttribution:
+    def test_nested_inclusive_exclusive(self):
+        rt = make_runtime()
+        fire(rt, 1, 0)      # a enters
+        fire(rt, 3, 10)     # b enters
+        fire(rt, 4, 30)     # b exits: incl 20
+        fire(rt, 2, 50)     # a exits: incl 50, excl 30
+        assert rt.stats["b"].calls == 1
+        assert rt.stats["b"].incl_cycles == 20
+        assert rt.stats["b"].excl_cycles == 20
+        assert rt.stats["a"].incl_cycles == 50
+        assert rt.stats["a"].excl_cycles == 30
+
+    def test_edges_and_path_tree(self):
+        rt = make_runtime()
+        fire(rt, 1, 0)
+        fire(rt, 3, 10)
+        fire(rt, 4, 30)
+        fire(rt, 2, 50)
+        assert rt.edges == {(ROOT_SYMBOL, "a"): 1, ("a", "b"): 1}
+        a_node = rt.root.children["a"]
+        assert a_node.calls == 1 and a_node.incl_cycles == 50
+        assert a_node.children["b"].incl_cycles == 20
+
+    def test_recursion_matches_innermost_frame(self):
+        rt = make_runtime()
+        fire(rt, 1, 0)      # a
+        fire(rt, 1, 10)     # a -> a
+        fire(rt, 2, 30)     # inner a exits: incl 20
+        fire(rt, 2, 60)     # outer a exits: incl 60, excl 40
+        assert rt.stats["a"].calls == 2
+        assert rt.stats["a"].incl_cycles == 80
+        assert rt.stats["a"].excl_cycles == 60
+        # Context tree separates the two depths.
+        outer = rt.root.children["a"]
+        assert outer.children["a"].incl_cycles == 20
+
+    def test_unknown_probe_id_ignored(self):
+        rt = make_runtime()
+        rt.on_probe("prof_enter", 999, (999,), FakeVM(0))
+        assert not rt.stats and not rt.events
+
+
+class TestPartialInstrumentation:
+    def test_exit_without_enter_dropped(self):
+        # The symbol's probes flipped on mid-call: its exit fires with no
+        # matching frame and must not corrupt someone else's frame.
+        rt = make_runtime()
+        fire(rt, 1, 0)
+        fire(rt, 4, 20)     # b exit, never entered
+        fire(rt, 2, 50)
+        assert "b" not in rt.stats
+        assert rt.stats["a"].incl_cycles == 50
+
+    def test_missing_exit_unwound_by_outer_exit(self):
+        # b's exit never fired (flipped off mid-call); a's exit retires b
+        # up to the current cycle count.
+        rt = make_runtime()
+        fire(rt, 1, 0)
+        fire(rt, 3, 10)
+        fire(rt, 2, 50)     # a exits while b is still open
+        assert rt.stats["b"].incl_cycles == 40
+        assert rt.stats["a"].incl_cycles == 50
+        assert rt.stats["a"].excl_cycles == 10
+
+    def test_finish_execution_unwinds_trap_leftovers(self):
+        rt = make_runtime()
+        fire(rt, 1, 0)
+        fire(rt, 3, 10)     # VMTrap aborts here; no exits ever fire
+        rt.finish_execution(100)
+        assert rt.stats["b"].incl_cycles == 90
+        assert rt.stats["a"].incl_cycles == 100
+        assert not rt._stack
+
+
+class TestAccounting:
+    def test_event_counts_and_clear(self):
+        rt = make_runtime()
+        fire(rt, 1, 0)
+        fire(rt, 2, 10)
+        assert rt.event_counts() == {1: 1, 2: 1}
+        rt.clear_event_counts()
+        assert rt.event_counts() == {}
+        # Clearing the sync counters must not lose the overhead ledger.
+        assert rt.symbol_events["a"] == [1, 1]
+
+    def test_symbol_overhead_cycles_exact(self):
+        rt = make_runtime()
+        fire(rt, 1, 0)
+        fire(rt, 3, 10)
+        fire(rt, 4, 30)
+        fire(rt, 2, 50)
+        fire(rt, 1, 60)
+        fire(rt, 2, 70)
+        assert rt.symbol_overhead_cycles() == {
+            "a": 2 * PROF_ENTER_COST + 2 * PROF_EXIT_COST,
+            "b": PROF_ENTER_COST + PROF_EXIT_COST,
+        }
+        assert rt.overhead_cycles() == sum(rt.symbol_overhead_cycles().values())
+
+
+class TestExport:
+    def test_span_tree_nests_and_tiles(self):
+        rt = make_runtime()
+        fire(rt, 1, 0)
+        fire(rt, 3, 10)
+        fire(rt, 4, 30)
+        fire(rt, 2, 50)
+        root = rt.span_tree("t")
+        assert root.sim_ms == 50.0
+        (a_span,) = root.children
+        assert a_span.name == "a" and a_span.sim_ms == 50.0
+        (b_span,) = a_span.children
+        assert b_span.name == "b" and b_span.sim_ms == 20.0
+        assert b_span.args["calls"] == 1
+        # Children stay inside the parent interval.
+        assert b_span.sim_start_ms >= a_span.sim_start_ms
+        assert b_span.sim_start_ms + b_span.sim_ms <= (
+            a_span.sim_start_ms + a_span.sim_ms
+        )
+
+    def test_publish_gauges(self):
+        rt = make_runtime()
+        fire(rt, 1, 0)
+        fire(rt, 2, 10)
+        metrics = MetricsRegistry()
+        rt.publish(metrics)
+        assert metrics.stats()["gauges"]["profile.calls.a"] == 1.0
+        assert metrics.stats()["gauges"]["profile.incl_cycles.a"] == 10.0

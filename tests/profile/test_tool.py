@@ -1,0 +1,129 @@
+"""Profiler tool: probe installation, execution, patch-tier toggles."""
+
+from repro.core.engine import TIER_PATCH, Odin
+from repro.ir.parser import parse_module
+from repro.profile.probes import ProfEnterProbe, ProfExitProbe
+from repro.profile.tool import Profiler
+
+PROGRAM = """
+define internal i32 @leaf(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+
+define internal i32 @twice(i32 %x) {
+entry:
+  %a = call i32 @leaf(i32 %x)
+  %b = call i32 @leaf(i32 %a)
+  ret i32 %b
+}
+
+define i32 @main() {
+entry:
+  %r = call i32 @twice(i32 5)
+  ret i32 %r
+}
+"""
+
+
+def make_tool(**kwargs):
+    engine = Odin(
+        parse_module(PROGRAM), preserve=("main", "twice", "leaf")
+    )
+    tool = Profiler(engine, **kwargs)
+    tool.add_all_function_probes()
+    tool.build()
+    return tool
+
+
+class TestInstall:
+    def test_one_enter_one_exit_per_ret(self):
+        tool = make_tool()
+        enters = [
+            p for p in tool.probes.values() if isinstance(p, ProfEnterProbe)
+        ]
+        exits = [
+            p for p in tool.probes.values() if isinstance(p, ProfExitProbe)
+        ]
+        assert len(enters) == 3  # leaf, twice, main
+        assert len(exits) == 3   # one ret each
+        assert all(p.patchable and p.family == "prof" for p in tool.probes.values())
+
+    def test_skip_list(self):
+        engine = Odin(
+            parse_module(PROGRAM), preserve=("main", "twice", "leaf")
+        )
+        tool = Profiler(engine)
+        installed = tool.add_all_function_probes(skip=("main",))
+        assert {sym for sym, _ in installed} == {"leaf", "twice"}
+
+    def test_runtime_registration(self):
+        tool = make_tool()
+        for probe in tool.probes.values():
+            assert tool.runtime.symbol_of[probe.id] == probe.target_symbol()
+            kind = "enter" if isinstance(probe, ProfEnterProbe) else "exit"
+            assert tool.runtime.kind_of[probe.id] == kind
+
+
+class TestExecution:
+    def test_profile_populated(self):
+        tool = make_tool()
+        vm = tool.make_vm()
+        result = vm.run("main")
+        tool.runtime.finish_execution(result.cycles)
+        assert result.exit_code == 7
+        stats = tool.runtime.stats
+        assert stats["leaf"].calls == 2
+        assert stats["twice"].calls == 1
+        assert stats["main"].calls == 1
+        # Nesting: main includes twice includes both leaf calls.
+        assert stats["main"].incl_cycles > stats["twice"].incl_cycles
+        assert stats["twice"].incl_cycles > stats["leaf"].incl_cycles
+        assert tool.runtime.edges[("twice", "leaf")] == 2
+
+    def test_sync_profiles_lands_on_calls(self):
+        tool = make_tool()
+        vm = tool.make_vm()
+        tool.runtime.finish_execution(vm.run("main").cycles)
+        tool.sync_profiles()
+        by_symbol = {}
+        for probe in tool.probes.values():
+            by_symbol.setdefault(probe.target_symbol(), 0)
+            by_symbol[probe.target_symbol()] += probe.calls
+        # enter + exit events per call: leaf 2 calls -> 4 events.
+        assert by_symbol["leaf"] == 4
+        assert by_symbol["twice"] == 2
+
+    def test_uninstrumented_run_is_cheaper(self):
+        clean = Odin(
+            parse_module(PROGRAM), preserve=("main", "twice", "leaf")
+        )
+        clean.initial_build()
+        from repro.vm.interpreter import VM
+
+        base = VM(clean.executable).run("main").cycles
+        tool = make_tool()
+        profiled = tool.make_vm().run("main").cycles
+        assert profiled > base
+
+
+class TestToggles:
+    def test_deinstrument_symbol_is_patch_tier(self):
+        tool = make_tool()
+        before = tool.make_vm().run("main").cycles
+        assert tool.set_symbol_probes_enabled("leaf", False) == 2
+        report = tool.engine.rebuild_if_needed()
+        assert report is not None
+        assert report.tier == TIER_PATCH
+        assert all(t == TIER_PATCH for t in report.fragment_tiers.values())
+        # The family tag flows into the patch-tier evidence.
+        assert ("prof",) in report.fragment_families.values()
+        after = tool.make_vm().run("main").cycles
+        assert after < before
+        # leaf no longer reports events; the rest still do.
+        rt = tool.runtime
+        rt.clear()
+        rt.finish_execution(tool.make_vm().run("main").cycles)
+        assert "leaf" not in rt.stats
+        assert rt.stats["twice"].calls == 1
