@@ -346,6 +346,46 @@ def cmd_chaos(args) -> int:
     return 1 if failed else 0
 
 
+DEFAULT_CLUSTER_PROGRAMS = ("json", "lcms")
+
+
+def cmd_cluster(args) -> int:
+    """Sharded multi-tenant cluster chaos sweep with recovery oracle."""
+    from repro.check.chaos import run_cluster_chaos
+
+    programs = [
+        get_program(name)
+        for name in (args.programs or DEFAULT_CLUSTER_PROGRAMS)
+    ]
+    report = run_cluster_chaos(
+        programs,
+        schedules=args.schedules,
+        seed=args.seed,
+        shards=args.shards,
+        tenants=args.tenants,
+        max_inputs=args.max_inputs,
+        reply_timeout_s=args.reply_timeout,
+    )
+    print(report.summary())
+    for outcome in report.outcomes:
+        shed = sum(t.shed_quota + t.shed_deadline for t in outcome.tenants)
+        print(f"  {outcome.schedule.describe()}: "
+              f"{sum(outcome.injected.values())} faults, "
+              f"{outcome.failovers} failovers, "
+              f"{outcome.migrations} migrated, "
+              f"{outcome.resubmits} resubmits, {shed} shed, "
+              f"{outcome.live_shards} shards live"
+              + ("" if outcome.ok else "  FAILED"))
+    for failure in report.failures:
+        print(f"  CLUSTER {failure}")
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"cluster report written to {args.report_json}")
+    print("FAIL" if not report.ok else "PASS")
+    return 0 if report.ok else 1
+
+
 DEFAULT_PARTISAN_PROGRAMS = ("json", "lcms", "libjpeg")
 
 
@@ -891,6 +931,26 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--report-json", default=None,
                          help="write the machine-readable chaos report here")
     p_chaos.set_defaults(fn=cmd_chaos)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="sharded multi-tenant chaos sweep with failover recovery oracle",
+    )
+    p_cluster.add_argument(
+        "programs", nargs="*",
+        help=f"targets to serve (default: {' '.join(DEFAULT_CLUSTER_PROGRAMS)})",
+    )
+    p_cluster.add_argument("--schedules", type=int, default=2)
+    p_cluster.add_argument("--seed", type=int, default=1)
+    p_cluster.add_argument("--shards", type=int, default=3)
+    p_cluster.add_argument("--tenants", type=int, default=8)
+    p_cluster.add_argument("--max-inputs", type=int, default=3,
+                           help="corpus inputs per behaviour comparison")
+    p_cluster.add_argument("--reply-timeout", type=float, default=4.0,
+                           help="per-request result() deadline in seconds")
+    p_cluster.add_argument("--report-json", default=None,
+                           help="write the machine-readable cluster report here")
+    p_cluster.set_defaults(fn=cmd_cluster)
 
     p_lint = sub.add_parser(
         "lint", help="static lint suite + probe-integrity-sanitized build"

@@ -1,0 +1,51 @@
+"""Fault-tolerant sharded multi-tenant compile cluster.
+
+A consistent-hash router (:mod:`repro.cluster.router`) fronts N
+:class:`~repro.service.server.RecompilationService` shards
+(:mod:`repro.cluster.shard`) behind one shared content-addressed cache
+tier, with per-tenant weighted admission (:mod:`repro.cluster.tenants`)
+and health-checked failover that migrates a dead shard's targets and
+lets in-flight clients resubmit idempotently
+(:mod:`repro.cluster.client`).
+"""
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.ring import ConsistentHashRing, RingError, content_route_key
+from repro.cluster.router import ClusterError, CompileCluster
+from repro.cluster.shard import (
+    SHARD_DOWN,
+    SHARD_SUSPECT,
+    SHARD_UP,
+    RouterPartitionError,
+    Shard,
+    ShardDownError,
+)
+from repro.cluster.tenants import (
+    TENANT_TIERS,
+    TIER_BULK,
+    TIER_INTERACTIVE,
+    TenantAccountant,
+    TenantQuotaError,
+    TenantSpec,
+)
+
+__all__ = [
+    "ClusterClient",
+    "ClusterError",
+    "CompileCluster",
+    "ConsistentHashRing",
+    "RingError",
+    "RouterPartitionError",
+    "SHARD_DOWN",
+    "SHARD_SUSPECT",
+    "SHARD_UP",
+    "Shard",
+    "ShardDownError",
+    "TENANT_TIERS",
+    "TIER_BULK",
+    "TIER_INTERACTIVE",
+    "TenantAccountant",
+    "TenantQuotaError",
+    "TenantSpec",
+    "content_route_key",
+]

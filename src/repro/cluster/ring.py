@@ -1,0 +1,127 @@
+"""Consistent-hash ring: content keys -> shard ids.
+
+The cluster routes *work*, not tenants: the routing key of a target is
+the content key of its (printed, canonical) module IR, so two tenants
+fuzzing the same program land on the same shard and share that shard's
+engine-side caches on top of the cluster-wide content-addressed tier.
+
+Classic Karger-style ring with virtual nodes: each shard owns
+``virtual_nodes`` points on a 64-bit circle (sha256 of
+``"{shard}#{replica}"``), and a key routes to the first point at or
+clockwise of its own hash.  Properties the cluster depends on:
+
+* **deterministic** — routing is a pure function of (ring membership,
+  key); replaying a seeded chaos schedule reroutes identically;
+* **minimal disruption** — removing a shard remaps only the keys that
+  were homed on it; every other key keeps its shard, so a failover
+  migrates exactly the dead shard's targets and nothing else.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["ConsistentHashRing", "RingError", "content_route_key"]
+
+
+class RingError(ReproError):
+    """Routing against an empty or inconsistent ring."""
+
+
+def _point(label: str) -> int:
+    """A label's position on the 64-bit circle."""
+    return int.from_bytes(hashlib.sha256(label.encode()).digest()[:8], "big")
+
+
+def content_route_key(ir_text: str) -> str:
+    """Routing key of a target: digest of its canonical printed IR.
+
+    Tenant-agnostic by construction — the tenant id is deliberately not
+    hashed in, so identical programs from different tenants co-locate.
+    """
+    return hashlib.sha256(ir_text.encode()).hexdigest()
+
+
+class ConsistentHashRing:
+    """Thread-safe consistent-hash ring over shard ids."""
+
+    def __init__(self, nodes: Iterable[str] = (), *, virtual_nodes: int = 32):
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.virtual_nodes = virtual_nodes
+        self._lock = threading.Lock()
+        self._points: List[int] = []          # sorted circle positions
+        self._owners: Dict[int, str] = {}     # position -> shard id
+        self._nodes: List[str] = []
+        for node in nodes:
+            self.add(node)
+
+    def __contains__(self, node: str) -> bool:
+        with self._lock:
+            return node in self._nodes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._nodes)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._nodes)
+
+    def add(self, node: str) -> None:
+        with self._lock:
+            if node in self._nodes:
+                raise RingError(f"shard {node!r} is already on the ring")
+            for replica in range(self.virtual_nodes):
+                point = _point(f"{node}#{replica}")
+                # A 64-bit collision between distinct labels is beyond
+                # unlikely; first owner keeps the point if it happens.
+                if point in self._owners:
+                    continue
+                self._owners[point] = node
+                bisect.insort(self._points, point)
+            self._nodes.append(node)
+
+    def remove(self, node: str) -> None:
+        """Take a shard off the ring; its hash range reroutes clockwise."""
+        with self._lock:
+            if node not in self._nodes:
+                raise RingError(f"shard {node!r} is not on the ring")
+            self._nodes.remove(node)
+            dead = [p for p, owner in self._owners.items() if owner == node]
+            for point in dead:
+                del self._owners[point]
+                index = bisect.bisect_left(self._points, point)
+                del self._points[index]
+
+    def route(self, key: str) -> str:
+        """The shard owning *key*: first virtual node clockwise of it."""
+        with self._lock:
+            if not self._points:
+                raise RingError("cannot route on an empty ring")
+            index = bisect.bisect_right(self._points, _point(key))
+            if index == len(self._points):  # wrap around the circle
+                index = 0
+            return self._owners[self._points[index]]
+
+    def spread(self, keys: Iterable[str]) -> Dict[str, int]:
+        """How many of *keys* each shard owns (diagnostics)."""
+        out: Dict[str, int] = {}
+        for key in keys:
+            owner = self.route(key)
+            out[owner] = out.get(owner, 0) + 1
+        return out
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "nodes": list(self._nodes),
+                "virtual_nodes": self.virtual_nodes,
+                "points": len(self._points),
+            }

@@ -1,0 +1,240 @@
+"""One cluster shard: a supervised RecompilationService + health state.
+
+The shard wraps a :class:`RecompilationService` with the pieces the
+router needs to treat it as a fallible network peer:
+
+* a **per-shard circuit breaker** driven by heartbeats and data-path
+  failures — once it opens the router stops routing new work there and
+  starts failover;
+* **fault hooks** (``kill`` / ``hang`` / ``partition``) used by the
+  chaos harness to model the three cluster failure modes: an abrupt
+  crash (submits fail fast with :class:`ShardDownError`, queued jobs
+  are answered with it, like a connection reset), a wedged dispatcher
+  (submits still enqueue but nothing replies — clients hit their
+  ``result()`` deadline), and a router-side partition (the router
+  cannot reach the shard at all: submits raise
+  :class:`RouterPartitionError` and heartbeats miss, but the shard
+  itself keeps serving whatever it already holds);
+* **fencing**: before the router migrates a shard's targets it fences
+  the shard — in-process this closes the underlying service (answering
+  stragglers with an error) and refuses all further submits.  It stands
+  in for the lease/epoch revocation a networked deployment would use to
+  stop a deposed shard from serving stale state.
+
+Everything observable is deterministic given the fault sequence; the
+only clocks involved are the breaker's (injectable) and the service's
+poll interval.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.service.jobs import CompileRequest, Job
+from repro.service.resilience import BREAKER_OPEN, CircuitBreaker
+from repro.service.server import RecompilationService
+
+__all__ = [
+    "Shard",
+    "ShardDownError",
+    "RouterPartitionError",
+    "SHARD_UP",
+    "SHARD_SUSPECT",
+    "SHARD_DOWN",
+]
+
+SHARD_UP = "up"
+SHARD_SUSPECT = "suspect"
+SHARD_DOWN = "down"
+
+
+class ShardDownError(ReproError):
+    """The shard crashed or is fenced; resubmit on a surviving shard."""
+
+
+class RouterPartitionError(ReproError):
+    """The router cannot reach the shard; the shard itself may be fine."""
+
+
+class Shard:
+    """A routable, health-checked compile shard."""
+
+    def __init__(self, shard_id: str, service: RecompilationService, *,
+                 breaker: Optional[CircuitBreaker] = None):
+        self.shard_id = shard_id
+        self.service = service
+        # Separate from the service's own (engine-failure) breaker: this
+        # one models reachability/liveness of the shard as a peer.
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=3, reset_timeout_s=1.0
+        )
+        self._lock = threading.Lock()
+        self._killed = False
+        self._hung = False
+        self._partitioned = False
+        self._fenced = False
+        self.heartbeats = 0
+        self.heartbeat_misses = 0        # lifetime
+        self.consecutive_misses = 0
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def killed(self) -> bool:
+        with self._lock:
+            return self._killed
+
+    @property
+    def hung(self) -> bool:
+        with self._lock:
+            return self._hung
+
+    @property
+    def partitioned(self) -> bool:
+        with self._lock:
+            return self._partitioned
+
+    @property
+    def fenced(self) -> bool:
+        with self._lock:
+            return self._fenced
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._killed or self._fenced:
+                return SHARD_DOWN
+            if self._hung or self._partitioned or self.breaker.state == BREAKER_OPEN:
+                return SHARD_SUSPECT
+            return SHARD_UP
+
+    @property
+    def routable(self) -> bool:
+        return self.state == SHARD_UP
+
+    # -- data path ------------------------------------------------------------
+
+    def submit(self, request: CompileRequest) -> Job:
+        """Submit through the router's view of the shard.
+
+        A partitioned shard is unreachable (the request never arrives);
+        a killed/fenced shard resets the connection; a *hung* shard
+        accepts the request — its queue is alive — but the dispatcher
+        never answers, so the caller's ``result()`` deadline fires.
+        """
+        with self._lock:
+            if self._partitioned:
+                raise RouterPartitionError(
+                    f"shard {self.shard_id!r} is unreachable from the router"
+                )
+            if self._killed or self._fenced:
+                raise ShardDownError(f"shard {self.shard_id!r} is down")
+        return self.service.submit(request)
+
+    # -- health ---------------------------------------------------------------
+
+    def heartbeat(self) -> bool:
+        """One health probe; feeds the shard breaker.  True = healthy."""
+        with self._lock:
+            alive = not (
+                self._killed or self._hung or self._partitioned or self._fenced
+            )
+            # A shard whose dispatcher thread died (without a fault flag)
+            # is just as dead as a killed one.
+            if alive and self.service._dispatcher is not None:
+                alive = self.service._dispatcher.is_alive()
+            self.heartbeats += 1
+            if alive:
+                self.consecutive_misses = 0
+                self.breaker.record_success()
+            else:
+                self.heartbeat_misses += 1
+                self.consecutive_misses += 1
+                self.breaker.record_failure()
+            return alive
+
+    # -- chaos fault hooks -----------------------------------------------------
+
+    def kill(self) -> int:
+        """Abrupt crash: stop serving and reset every queued connection.
+
+        Returns how many queued jobs were answered with
+        :class:`ShardDownError`.  Jobs whose batch was already executing
+        may still receive their reply — exactly like a response that was
+        on the wire when the peer died.
+        """
+        with self._lock:
+            self._killed = True
+        # stop() joins the dispatcher: once kill() returns, nothing is
+        # serving — a batch already executing may still answer (a reply
+        # on the wire), but no *new* batch can be picked up.
+        self.service.stop(drain=False, drain_timeout_s=2.0)
+        errored = 0
+        for job in self.service.queue.drain_remaining():
+            job.set_error(ShardDownError(
+                f"shard {self.shard_id!r} died before this job was dispatched"
+            ))
+            errored += 1
+        return errored
+
+    def hang(self) -> None:
+        """Wedge the dispatcher: submits still enqueue, nothing replies."""
+        with self._lock:
+            self._hung = True
+        self.service.stop(drain=False, drain_timeout_s=2.0)
+
+    def partition(self) -> None:
+        """Cut the router<->shard link; the shard itself keeps running."""
+        with self._lock:
+            self._partitioned = True
+
+    def heal_partition(self) -> None:
+        """Restore the link (only meaningful if not yet failed over)."""
+        with self._lock:
+            self._partitioned = False
+            self.consecutive_misses = 0
+
+    def fence(self) -> int:
+        """Depose the shard before migrating its targets elsewhere.
+
+        Closes the underlying service so every straggling waiter gets an
+        error instead of an eternal wait; all future submits fail with
+        :class:`ShardDownError`.  Returns jobs abandoned by the close.
+        """
+        with self._lock:
+            if self._fenced:
+                return 0
+            self._fenced = True
+        # close() is safe on a killed/hung service: the dispatcher is
+        # already stopped and drain_remaining answers the leftovers.
+        try:
+            abandoned = self.service.stop(drain=False)
+        except Exception:
+            abandoned = 0
+        self.service.close()
+        return abandoned
+
+    # -- export ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "state": self.state_unlocked(),
+                "killed": self._killed,
+                "hung": self._hung,
+                "partitioned": self._partitioned,
+                "fenced": self._fenced,
+                "heartbeats": self.heartbeats,
+                "heartbeat_misses": self.heartbeat_misses,
+                "consecutive_misses": self.consecutive_misses,
+                "breaker": self.breaker.stats(),
+            }
+
+    def state_unlocked(self) -> str:
+        if self._killed or self._fenced:
+            return SHARD_DOWN
+        if self._hung or self._partitioned or self.breaker.state == BREAKER_OPEN:
+            return SHARD_SUSPECT
+        return SHARD_UP

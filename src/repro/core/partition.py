@@ -205,8 +205,15 @@ def _finalize(
     fragdef = FragmentDefinition(strategy=strategy)
     fragdef.copy_on_use = copy_on_use
     fragdef.classification = classification
-    for cluster in clusters:
-        fragment = Fragment(len(fragdef.fragments), tuple(sorted(cluster)))
+    # Canonical fragment numbering: order clusters by their (sorted)
+    # symbol names, not by symbol-table insertion order.  A module that
+    # was printed and re-parsed (process workers, cluster failover
+    # snapshots) groups symbols by kind, so insertion order is not
+    # stable across a round-trip — fragment ids must not depend on it,
+    # or a migrated engine's per-fragment fingerprints stop lining up
+    # with a from-scratch build of the same program.
+    for cluster in sorted(tuple(sorted(c)) for c in clusters):
+        fragment = Fragment(len(fragdef.fragments), cluster)
         fragdef.fragments.append(fragment)
         for name in fragment.symbols:
             fragdef.owner[name] = fragment.id

@@ -188,6 +188,25 @@ def format_stats(stats: dict) -> str:
     lines.append(f"{'cache hit rate':>22}: {derived.get('cache_hit_rate', 0):.1%}")
     lines.append(f"{'mean batch size':>22}: {derived.get('mean_batch_size', 0):.2f}")
     lines.append(f"{'dedup ratio':>22}: {derived.get('dedup_ratio', 1):.2f}x")
+    breaker = stats.get("breaker")
+    if breaker:
+        lines.append(
+            f"{'breaker':>22}: {breaker.get('state', '?')} "
+            f"({breaker.get('opens', 0):g} opens, "
+            f"{breaker.get('rejections', 0):g} rejections"
+            + (f", retry in {breaker['retry_after_s']:.2f}s"
+               if breaker.get("retry_after_s") else "")
+            + ")"
+        )
+    queue = stats.get("queue")
+    if queue:
+        lines.append(
+            f"{'shed':>22}: {queue.get('shed_total', 0):g} total "
+            f"({queue.get('shed_expired', 0):g} expired, "
+            f"{queue.get('shed_overflow', 0):g} overflow); "
+            f"drain abandoned "
+            f"{stats.get('counters', {}).get('drain_abandoned', 0):g}"
+        )
     lines.append("")
     lines.append(f"{'counter':>22} | value")
     for name in sorted(stats.get("counters", {})):

@@ -29,7 +29,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.engine import RebuildReport
 from repro.errors import ReproError
@@ -46,8 +46,21 @@ class QueueFullError(ReproError):
     """The job queue is at ``max_depth``; back off and resubmit."""
 
 
-class DeadlineExpiredError(ReproError):
-    """The job's deadline passed while it was still queued."""
+class DeadlineExpiredError(ReproError, TimeoutError):
+    """A deadline passed: either the job was still queued when its
+    ``deadline_s`` elapsed (server-side shed) or a client's
+    ``Job.result`` wait expired (client-side timeout).
+
+    ``retry_after_s`` carries the circuit breaker's hint when the
+    service can say when capacity returns (``None`` otherwise), so a
+    shed client knows whether to back off or fail over.  Subclasses
+    ``TimeoutError`` so callers treating expiry generically keep
+    working.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 @dataclass(frozen=True)
@@ -76,12 +89,25 @@ class CompileRequest:
     submission: if the job is still queued after that many seconds, the
     service sheds it with :class:`DeadlineExpiredError` instead of
     compiling an answer the client has stopped waiting for.
+
+    ``tenant_id`` (optional) is the multi-tenant identity: which
+    campaign this request belongs to.  The cluster router uses it for
+    quota/shed accounting; a standalone service just carries it through.
+
+    ``resubmit_token`` (optional) makes retries idempotent across shard
+    failover: a router resubmitting an in-flight request after a shard
+    died reuses the original token, and the cluster's per-target ledger
+    refuses to double-acknowledge it.  Probe ops are state-setting, so a
+    replayed batch converges to the same probe state either way; the
+    token makes the accounting exact.
     """
 
     target: str
     ops: Tuple[ProbeOp, ...] = ()
     client_id: str = "anon"
     deadline_s: Optional[float] = None
+    tenant_id: str = ""
+    resubmit_token: Optional[str] = None
 
     def __post_init__(self):
         if self.deadline_s is not None and self.deadline_s < 0:
@@ -109,7 +135,19 @@ class ServiceReply:
 
 
 class Job:
-    """Client-side future for one submitted request."""
+    """Client-side future for one submitted request.
+
+    ``result()`` waits are always bounded: with no explicit timeout the
+    wait expires after ``DEFAULT_RESULT_TIMEOUT_S`` and raises
+    :class:`DeadlineExpiredError` — a client can no longer block forever
+    behind a dead dispatcher.  The error carries the circuit breaker's
+    ``retry_after_s`` hint when the service installed one
+    (``retry_hint``), so the caller knows whether the service expects to
+    recover or the wait should fail over.
+    """
+
+    # Bounds result() waits that pass no explicit timeout.
+    DEFAULT_RESULT_TIMEOUT_S = 60.0
 
     def __init__(self, request: CompileRequest):
         self.request = request
@@ -121,6 +159,9 @@ class Job:
         # Absolute perf_counter deadline (submitted_at + deadline_s), or
         # None when the request carries no deadline.
         self.deadline_at: Optional[float] = None
+        # Installed by the service at submit time: a zero-arg callable
+        # answering "seconds until the breaker admits traffic again".
+        self.retry_hint: Optional[Callable[[], float]] = None
         self._event = threading.Event()
         self._reply: Optional[ServiceReply] = None
         self._error: Optional[BaseException] = None
@@ -142,10 +183,28 @@ class Job:
         self._event.set()
 
     def result(self, timeout: Optional[float] = None) -> ServiceReply:
+        """Wait (bounded) for the batch's reply.
+
+        ``timeout=None`` waits ``DEFAULT_RESULT_TIMEOUT_S`` seconds, not
+        forever.  An expired wait raises :class:`DeadlineExpiredError`
+        (a ``TimeoutError`` subclass) with the breaker's
+        ``retry_after_s`` hint attached when one is known.
+        """
+        if timeout is None:
+            timeout = self.DEFAULT_RESULT_TIMEOUT_S
         if not self._event.wait(timeout):
-            raise TimeoutError(
+            retry_after = None
+            if self.retry_hint is not None:
+                try:
+                    retry_after = self.retry_hint() or None
+                except Exception:  # the hint is best-effort, never fatal
+                    retry_after = None
+            raise DeadlineExpiredError(
                 f"job for target {self.request.target!r} not finished "
                 f"within {timeout}s"
+                + (f" (breaker hints retry in {retry_after:.2f}s)"
+                   if retry_after is not None else ""),
+                retry_after_s=retry_after,
             )
         if self._error is not None:
             raise self._error
@@ -209,6 +268,25 @@ class JobQueue:
     def depth(self) -> int:
         with self._lock:
             return len(self._jobs)
+
+    def stats(self) -> dict:
+        """One consistent snapshot of every queue counter.
+
+        All fields are read under a single lock acquisition, so the
+        snapshot can never tear (e.g. a ``shed_total`` that includes a
+        shed whose ``shed_expired`` increment is not visible yet, or a
+        ``depth`` from a different moment than ``submitted``).
+        """
+        with self._lock:
+            return {
+                "depth": len(self._jobs),
+                "submitted": self.submitted,
+                "peak_depth": self.peak_depth,
+                "max_depth": self.max_depth,
+                "shed_total": self.shed_expired + self.shed_overflow,
+                "shed_expired": self.shed_expired,
+                "shed_overflow": self.shed_overflow,
+            }
 
     def _shed_expired_locked(self) -> List[Job]:
         """Drop every queued job whose deadline passed; returns them."""

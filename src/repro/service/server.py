@@ -131,7 +131,15 @@ class RecompilationService:
         # Tier-2 pass memoization, shared by every target and every rung
         # of the degradation ladder: re-optimizing IR the service has
         # already optimized (for any target/variant) costs isel only.
-        self.pass_memo = PassMemoCache() if pass_memo else None
+        # ``pass_memo`` may also be a ready-made cache instance — the
+        # cluster mounts one memo (like one object cache) across every
+        # shard so cross-shard failovers keep their memoized middle end.
+        if pass_memo is None or pass_memo is False:
+            self.pass_memo = None
+        elif pass_memo is True:
+            self.pass_memo = PassMemoCache()
+        else:
+            self.pass_memo = pass_memo
         self.metrics = metrics or ServiceMetrics()
         # One tracer shared by every target engine and the dispatcher:
         # rebuild span trees nest under the dispatch ("service.batch")
@@ -235,6 +243,8 @@ class RecompilationService:
         # before the dispatcher can see the job; it may shed with
         # QueueFullError when the queue is at max depth.
         job = self.queue.submit(request)
+        # Expired result() waits surface the breaker's recovery hint.
+        job.retry_hint = self.breaker.retry_after_s
         self.metrics.set_gauge("queue_depth", self.queue.depth())
         return job
 
@@ -534,15 +544,10 @@ class RecompilationService:
         snapshot["code_cache"] = self.cache.stats()
         if self.pass_memo is not None:
             snapshot["pass_memo"] = self.pass_memo.stats()
-        snapshot["queue"] = {
-            "depth": self.queue.depth(),
-            "submitted": self.queue.submitted,
-            "peak_depth": self.queue.peak_depth,
-            "max_depth": self.queue.max_depth,
-            "shed_total": self.queue.shed_total,
-            "shed_expired": self.queue.shed_expired,
-            "shed_overflow": self.queue.shed_overflow,
-        }
+        # Single-lock snapshot: the queue dict used to be assembled from
+        # seven independent reads and could tear mid-update (a shed
+        # between reads made shed_total != shed_expired + shed_overflow).
+        snapshot["queue"] = self.queue.stats()
         with self._state_lock:
             targets = sorted(self._targets)
             entries = list(self._targets.items())

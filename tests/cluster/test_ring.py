@@ -1,0 +1,75 @@
+"""Consistent-hash ring: determinism, balance, minimal disruption."""
+
+import pytest
+
+from repro.cluster.ring import ConsistentHashRing, RingError, content_route_key
+
+KEYS = [f"key-{i}" for i in range(200)]
+
+
+def make_ring(n=3, **kwargs):
+    return ConsistentHashRing([f"shard-{i}" for i in range(n)], **kwargs)
+
+
+class TestRouting:
+    def test_route_is_deterministic(self):
+        a, b = make_ring(), make_ring()
+        assert [a.route(k) for k in KEYS] == [b.route(k) for k in KEYS]
+
+    def test_route_independent_of_add_order(self):
+        a = ConsistentHashRing(["shard-0", "shard-1", "shard-2"])
+        b = ConsistentHashRing(["shard-2", "shard-0", "shard-1"])
+        assert [a.route(k) for k in KEYS] == [b.route(k) for k in KEYS]
+
+    def test_every_shard_gets_keys(self):
+        spread = make_ring().spread(KEYS)
+        assert set(spread) == {"shard-0", "shard-1", "shard-2"}
+        assert all(count > 0 for count in spread.values())
+
+    def test_empty_ring_refuses_to_route(self):
+        with pytest.raises(RingError):
+            ConsistentHashRing().route("anything")
+
+    def test_duplicate_add_rejected(self):
+        ring = make_ring()
+        with pytest.raises(RingError):
+            ring.add("shard-0")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(RingError):
+            make_ring().remove("shard-9")
+
+
+class TestMinimalDisruption:
+    def test_remove_remaps_only_dead_shards_keys(self):
+        ring = make_ring()
+        before = {k: ring.route(k) for k in KEYS}
+        ring.remove("shard-1")
+        for key in KEYS:
+            after = ring.route(key)
+            if before[key] != "shard-1":
+                # Survivors' keys keep their home: only the dead shard's
+                # hash range reroutes.
+                assert after == before[key]
+            else:
+                assert after != "shard-1"
+
+    def test_add_back_restores_original_routing(self):
+        ring = make_ring()
+        before = {k: ring.route(k) for k in KEYS}
+        ring.remove("shard-2")
+        ring.add("shard-2")
+        assert {k: ring.route(k) for k in KEYS} == before
+
+
+class TestContentRouteKey:
+    def test_tenant_agnostic(self):
+        # Same IR text -> same key; no tenant identity involved.
+        assert content_route_key("module text") == content_route_key("module text")
+        assert content_route_key("a") != content_route_key("b")
+
+    def test_stats_shape(self):
+        stats = make_ring(2, virtual_nodes=8).stats()
+        assert stats["nodes"] == ["shard-0", "shard-1"]
+        assert stats["virtual_nodes"] == 8
+        assert stats["points"] == 16

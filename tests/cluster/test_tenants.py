@@ -1,0 +1,127 @@
+"""Tenant fairness: weighted window quotas, degraded mode, accounting."""
+
+import pytest
+
+from repro.cluster.tenants import (
+    TIER_BULK,
+    TIER_INTERACTIVE,
+    TenantAccountant,
+    TenantQuotaError,
+    TenantSpec,
+)
+from repro.errors import ReproError
+
+
+def make_accountant(window=16, **kwargs):
+    acct = TenantAccountant(window=window, **kwargs)
+    acct.register(TenantSpec("heavy", weight=3.0))
+    acct.register(TenantSpec("light", weight=1.0, tier=TIER_BULK))
+    return acct
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantSpec("")
+        with pytest.raises(ValueError):
+            TenantSpec("t", weight=0)
+        with pytest.raises(ValueError):
+            TenantSpec("t", tier="batch")
+
+    def test_duplicate_registration_rejected(self):
+        acct = make_accountant()
+        with pytest.raises(ReproError):
+            acct.register(TenantSpec("heavy"))
+
+    def test_unknown_tenant_rejected(self):
+        with pytest.raises(ReproError):
+            make_accountant().admit("stranger")
+
+
+class TestAdmission:
+    def test_lone_tenant_is_never_throttled(self):
+        # Work-conserving: shares are computed over tenants active in
+        # the window, so an idle cluster never sheds its only client.
+        acct = make_accountant(window=8)
+        for _ in range(50):
+            acct.admit("light")
+        assert acct.stats()["tenants"]["light"]["shed_quota"] == 0
+
+    def test_contending_tenants_shed_by_weight(self):
+        acct = make_accountant(window=16)
+        shed = {"heavy": 0, "light": 0}
+        for _ in range(40):  # interleaved equal offered load
+            for tenant in ("heavy", "light"):
+                try:
+                    acct.admit(tenant)
+                except TenantQuotaError:
+                    shed[tenant] += 1
+        # weight 3 vs 1: the light tenant sheds, the heavy one does not.
+        assert shed["light"] > 0
+        assert shed["heavy"] == 0
+
+    def test_quota_error_carries_retry_hint(self):
+        acct = make_accountant(window=4)
+        hint = None
+        for _ in range(20):
+            for tenant in ("heavy", "light"):
+                try:
+                    acct.admit(tenant, retry_after_s=1.25)
+                except TenantQuotaError as error:
+                    hint = error.retry_after_s
+        assert hint == 1.25
+
+    def test_default_retry_hint(self):
+        acct = make_accountant(window=4)
+        hints = []
+        for _ in range(20):
+            for tenant in ("heavy", "light"):
+                try:
+                    acct.admit(tenant)
+                except TenantQuotaError as error:
+                    hints.append(error.retry_after_s)
+        assert hints and all(
+            h == TenantAccountant.DEFAULT_RETRY_AFTER_S for h in hints
+        )
+
+
+class TestDegradedMode:
+    def test_degraded_throttles_bulk_before_interactive(self):
+        acct = make_accountant(window=16, degraded_bulk_factor=0.25)
+        # Warm the window with both tenants active.
+        for _ in range(8):
+            for tenant in ("heavy", "light"):
+                try:
+                    acct.admit(tenant)
+                except TenantQuotaError:
+                    pass
+        healthy_bulk = acct.allowance("light")
+        healthy_interactive = acct.allowance("heavy")
+        acct.set_degraded(True)
+        assert acct.allowance("light") < healthy_bulk
+        # Interactive tenants are untouched by degraded mode.
+        assert acct.allowance("heavy") == healthy_interactive
+
+    def test_allowance_never_zero(self):
+        acct = make_accountant(window=4, degraded_bulk_factor=0.01)
+        acct.set_degraded(True)
+        assert acct.allowance("light") >= 1
+
+
+class TestAccounting:
+    def test_counters_and_stats_shape(self):
+        acct = make_accountant()
+        acct.admit("heavy")
+        acct.note_reply("heavy")
+        acct.note_resubmit("heavy")
+        acct.note_deadline_expired("light")
+        stats = acct.stats()
+        assert stats["window"] == 16
+        assert stats["degraded"] is False
+        heavy = stats["tenants"]["heavy"]
+        assert heavy["admitted"] == 1
+        assert heavy["replies"] == 1
+        assert heavy["resubmits"] == 1
+        assert heavy["tier"] == TIER_INTERACTIVE
+        assert stats["tenants"]["light"]["shed_deadline"] == 1
+        assert stats["tenants"]["light"]["tier"] == TIER_BULK

@@ -1,0 +1,208 @@
+"""Satellite coverage: bounded result() waits, tear-free queue stats,
+and a thread-hammer over JobQueue batching + dedup."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, format_stats
+from repro.service.jobs import (
+    OP_DISABLE,
+    OP_ENABLE,
+    CompileRequest,
+    DeadlineExpiredError,
+    Job,
+    JobQueue,
+    ProbeOp,
+    ServiceReply,
+    merge_batch,
+)
+
+
+def reply_for(batch):
+    ops, submitted, applied = merge_batch(batch)
+    return ServiceReply(
+        report=None, batch_size=len(batch),
+        batch_clients=len({j.request.client_id for j in batch}),
+        ops_submitted=submitted, ops_applied=applied,
+    )
+
+
+class TestBoundedResult:
+    def test_result_with_no_timeout_is_still_bounded(self):
+        job = Job(CompileRequest(target="t"))
+        job.DEFAULT_RESULT_TIMEOUT_S  # class attribute exists
+        # Patch the default down so the test is fast.
+        job.DEFAULT_RESULT_TIMEOUT_S = 0.05
+        with pytest.raises(DeadlineExpiredError):
+            job.result()
+
+    def test_expired_wait_is_a_timeout_error(self):
+        job = Job(CompileRequest(target="t"))
+        with pytest.raises(TimeoutError):
+            job.result(0.01)
+
+    def test_expired_wait_carries_breaker_retry_hint(self):
+        job = Job(CompileRequest(target="t"))
+        job.retry_hint = lambda: 2.5
+        with pytest.raises(DeadlineExpiredError) as exc:
+            job.result(0.01)
+        assert exc.value.retry_after_s == 2.5
+
+    def test_no_hint_means_none(self):
+        job = Job(CompileRequest(target="t"))
+        with pytest.raises(DeadlineExpiredError) as exc:
+            job.result(0.01)
+        assert exc.value.retry_after_s is None
+
+    def test_broken_hint_never_masks_the_timeout(self):
+        job = Job(CompileRequest(target="t"))
+        job.retry_hint = lambda: 1 / 0
+        with pytest.raises(DeadlineExpiredError) as exc:
+            job.result(0.01)
+        assert exc.value.retry_after_s is None
+
+    def test_zero_hint_normalized_to_none(self):
+        job = Job(CompileRequest(target="t"))
+        job.retry_hint = lambda: 0.0
+        with pytest.raises(DeadlineExpiredError) as exc:
+            job.result(0.01)
+        assert exc.value.retry_after_s is None
+
+
+class TestQueueStats:
+    def test_single_snapshot_shape_and_consistency(self):
+        queue = JobQueue(max_depth=2)
+        queue.submit(CompileRequest(target="t"))
+        queue.submit(CompileRequest(target="t"))
+        with pytest.raises(Exception):
+            queue.submit(CompileRequest(target="t"))  # overflow shed
+        stats = queue.stats()
+        assert stats["depth"] == 2
+        assert stats["submitted"] == 2
+        assert stats["peak_depth"] == 2
+        assert stats["max_depth"] == 2
+        assert stats["shed_overflow"] == 1
+        assert stats["shed_total"] == (
+            stats["shed_expired"] + stats["shed_overflow"]
+        )
+
+    def test_format_stats_renders_breaker_and_shed_lines(self):
+        stats = {
+            "derived": {},
+            "counters": {"drain_abandoned": 2},
+            "breaker": {"state": "open", "opens": 1, "rejections": 4,
+                        "retry_after_s": 1.5},
+            "queue": {"shed_total": 3, "shed_expired": 2, "shed_overflow": 1},
+        }
+        text = format_stats(stats)
+        assert "breaker" in text and "open" in text and "retry in 1.50s" in text
+        assert "shed" in text and "3 total" in text and "drain abandoned 2" in text
+
+
+class TestThreadHammer:
+    PRODUCERS = 6
+    PER_PRODUCER = 40
+    OP_POOL = 8
+
+    def test_no_lost_or_double_dispatched_jobs(self):
+        queue = JobQueue(metrics=MetricsRegistry())
+        produced = [[] for _ in range(self.PRODUCERS)]
+        start = threading.Barrier(self.PRODUCERS + 1)
+
+        def producer(index):
+            start.wait()
+            for i in range(self.PER_PRODUCER):
+                kind = OP_ENABLE if (index + i) % 2 else OP_DISABLE
+                ops = (ProbeOp(kind, (index + i) % self.OP_POOL),)
+                job = queue.submit(CompileRequest(
+                    target=f"target-{i % 2}",
+                    ops=ops,
+                    client_id=f"client-{index}",
+                ))
+                produced[index].append(job)
+
+        served = []
+        stop = threading.Event()
+
+        def consumer():
+            while not stop.is_set() or queue.depth():
+                target, batch = queue.pop_batch(timeout=0.01)
+                if not batch:
+                    continue
+                # A batch is single-target by contract.
+                assert len({j.request.target for j in batch}) == 1
+                reply = reply_for(batch)
+                for job in batch:
+                    served.append(job)
+                    job.set_reply(reply)
+
+        threads = [
+            threading.Thread(target=producer, args=(i,))
+            for i in range(self.PRODUCERS)
+        ]
+        pump = threading.Thread(target=consumer)
+        pump.start()
+        for t in threads:
+            t.start()
+        start.wait()
+        for t in threads:
+            t.join()
+        stop.set()
+        pump.join(timeout=10)
+        assert not pump.is_alive()
+
+        total = self.PRODUCERS * self.PER_PRODUCER
+        # No lost jobs, no double dispatch: every submitted job served
+        # exactly once.
+        assert len(served) == total
+        assert len({id(job) for job in served}) == total
+        assert queue.stats()["submitted"] == total
+        assert queue.depth() == 0
+
+        # Every client got its reply, and dedup never dropped a
+        # *distinct* op: each job's ops are contained in its own batch
+        # reply accounting.
+        for jobs in produced:
+            for job in jobs:
+                reply = job.result(1.0)
+                assert reply.ops_applied >= 1
+                assert reply.ops_submitted >= reply.ops_applied
+
+    def test_queue_wait_stamps_monotone_per_producer(self):
+        queue = JobQueue()
+        produced = [[] for _ in range(self.PRODUCERS)]
+        start = threading.Barrier(self.PRODUCERS + 1)
+
+        def producer(index):
+            start.wait()
+            for i in range(self.PER_PRODUCER):
+                job = queue.submit(CompileRequest(
+                    target="t", client_id=f"client-{index}",
+                ))
+                produced[index].append(job)
+
+        threads = [
+            threading.Thread(target=producer, args=(i,))
+            for i in range(self.PRODUCERS)
+        ]
+        for t in threads:
+            t.start()
+        start.wait()
+        for t in threads:
+            t.join()
+
+        popped_at = time.perf_counter()
+        while queue.depth():
+            _target, batch = queue.pop_batch(timeout=0.1)
+            for job in batch:
+                # Stamped under the queue lock before publication: never
+                # missing, never later than the pop.
+                assert job.submitted_at is not None
+                assert job.submitted_at <= popped_at
+                job.set_reply(reply_for(batch))
+        for jobs in produced:
+            stamps = [job.submitted_at for job in jobs]
+            # A producer's own submissions carry non-decreasing stamps.
+            assert stamps == sorted(stamps)
